@@ -1,0 +1,77 @@
+//! Benchmarks regenerating Figures 2 and 4–9 of the paper at
+//! `Scale::Small`, printing each regenerated figure-table once.
+//!
+//! The heavyweight sweeps (Figs. 5 and 8 run ~300 simulations each) use
+//! Criterion's minimum sample count; the printed tables are the
+//! reproduction artefacts recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmhpc_experiments::exp::{fig2, fig4, fig5, fig6, fig7, fig8, fig9};
+use dmhpc_experiments::Scale;
+use std::hint::black_box;
+use std::time::Duration;
+
+const S: Scale = Scale::Small;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(8))
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let f = fig2::run(S, 0);
+    println!("\n== Figure 2: week sampling ==\n{}", f.table().render());
+    c.bench_function("fig2_week_sampling", |b| b.iter(|| black_box(fig2::run(S, 0))));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let f = fig4::run(S, 0);
+    println!("== Figure 4a (avg) ==\n{}", f.avg_table().render());
+    println!("== Figure 4b (max) ==\n{}", f.max_table().render());
+    c.bench_function("fig4_memory_heatmap", |b| b.iter(|| black_box(fig4::run(S, 0))));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let f = fig5::run(S, 0);
+    println!("== Figure 5: normalized throughput ==\n{}", f.table().render());
+    if let Some((trace, over, mem, gain)) = f.max_dynamic_gain() {
+        println!(
+            "max dynamic gain: +{:.1}% ({trace}, +{:.0}%, {mem}% mem)\n",
+            gain * 100.0,
+            over * 100.0
+        );
+    }
+    c.bench_function("fig5_throughput", |b| b.iter(|| black_box(fig5::run(S, 0))));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let f = fig6::run(S, 0);
+    println!("== Figure 6: response-time quantiles ==\n{}", f.table().render());
+    c.bench_function("fig6_response_time", |b| b.iter(|| black_box(fig6::run(S, 0))));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let f = fig7::run(S, 0);
+    println!("== Figure 7: throughput per dollar ==\n{}", f.table().render());
+    c.bench_function("fig7_cost_benefit", |b| b.iter(|| black_box(fig7::run(S, 0))));
+}
+
+fn bench_fig8_and_9(c: &mut Criterion) {
+    let f8 = fig8::run(S, 0);
+    println!("== Figure 8: overestimation sweep ==\n{}", f8.table().render());
+    let f9 = fig9::derive(&f8, "large 50%");
+    println!("== Figure 9: min memory @95% ==\n{}", f9.table().render());
+    c.bench_function("fig8_overestimation", |b| b.iter(|| black_box(fig8::run(S, 0))));
+    c.bench_function("fig9_min_memory", |b| {
+        b.iter(|| black_box(fig9::derive(&f8, "large 50%")))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_fig2, bench_fig4, bench_fig5, bench_fig6, bench_fig7, bench_fig8_and_9
+}
+criterion_main!(benches);

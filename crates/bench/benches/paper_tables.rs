@@ -1,0 +1,58 @@
+//! Benchmarks regenerating Tables 1–4 of the paper.
+//!
+//! Each bench group runs the full experiment at `Scale::Small` and
+//! prints the regenerated table once, so `cargo bench` doubles as the
+//! reproduction harness: the timing tells you what a rerun costs, the
+//! printed table is the artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmhpc_experiments::exp::tables;
+use dmhpc_experiments::Scale;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_tables");
+
+    println!("\n== Table 1: trace sources ==\n{}", tables::table1().render());
+    g.bench_function("table1_trace_sources", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+
+    println!(
+        "== Table 2: memory distribution ==\n{}",
+        tables::table2(Scale::Small).render()
+    );
+    g.bench_function("table2_memory_distribution", |b| {
+        b.iter(|| black_box(tables::table2(Scale::Small)))
+    });
+
+    println!(
+        "== Table 3: job characteristics ==\n{}",
+        tables::table3(Scale::Small).render()
+    );
+    g.bench_function("table3_job_characteristics", |b| {
+        b.iter(|| black_box(tables::table3(Scale::Small)))
+    });
+
+    println!("== Table 4: system configurations ==\n{}", tables::table4().render());
+    g.bench_function("table4_system_config", |b| {
+        b.iter(|| black_box(tables::table4()))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tables
+}
+criterion_main!(benches);

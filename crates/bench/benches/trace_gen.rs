@@ -1,0 +1,89 @@
+//! Benchmarks of the trace-generation substrate: the CIRNE model, the
+//! full Fig. 3 pipeline, the Google-like pool, the Grizzly-like dataset
+//! and RDP reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dmhpc_core::config::SystemConfig;
+use dmhpc_model::rng::Rng64;
+use dmhpc_traces::grizzly::{GrizzlyConfig, GrizzlyDataset};
+use dmhpc_traces::rdp::rdp;
+use dmhpc_traces::{CirneModel, GooglePool, PipelineConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(5))
+}
+
+fn bench_cirne(c: &mut Criterion) {
+    let model = CirneModel::default();
+    let mut g = c.benchmark_group("trace_gen");
+    g.throughput(Throughput::Elements(2000));
+    g.bench_function("cirne_2000_jobs", |b| {
+        b.iter(|| {
+            let mut rng = Rng64::new(7);
+            black_box(model.generate(&mut rng, 2000, 256))
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = PipelineConfig {
+        job_count: 500,
+        google_pool_size: 800,
+        ..PipelineConfig::default()
+    };
+    let system = SystemConfig::with_nodes(256);
+    let mut g = c.benchmark_group("trace_gen");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("fig3_pipeline_500_jobs", |b| {
+        b.iter(|| black_box(dmhpc_traces::build_synthetic(&cfg, &system)))
+    });
+    g.finish();
+}
+
+fn bench_google_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    g.bench_function("google_pool_1000", |b| {
+        b.iter(|| black_box(GooglePool::synthetic(1000, 3)))
+    });
+    let pool = GooglePool::synthetic(1000, 3).filter_batch();
+    g.bench_function("google_match", |b| {
+        b.iter(|| black_box(pool.match_job(16, 7200.0, 40_000.0)))
+    });
+    g.finish();
+}
+
+fn bench_grizzly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_gen");
+    g.sample_size(10);
+    g.bench_function("grizzly_dataset_small", |b| {
+        b.iter(|| black_box(GrizzlyDataset::synthesize(GrizzlyConfig::small(5))))
+    });
+    g.finish();
+}
+
+fn bench_rdp(c: &mut Criterion) {
+    let pts: Vec<(f64, f64)> = (0..10_000)
+        .map(|i| {
+            let y = (i % 37) as f64 * 10.0 + if i % 97 == 0 { 5000.0 } else { 0.0 };
+            (i as f64, y)
+        })
+        .collect();
+    let mut g = c.benchmark_group("trace_gen");
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    g.bench_function("rdp_10k_points", |b| b.iter(|| black_box(rdp(&pts, 50.0))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cirne, bench_pipeline, bench_google_pool, bench_grizzly, bench_rdp
+}
+criterion_main!(benches);

@@ -1,0 +1,934 @@
+//! Cluster state: nodes, the disaggregated-memory ledger, and the
+//! lend/borrow accounting rules of the static and dynamic policies.
+//!
+//! Every node owns `capacity_mb` of DRAM. At any instant it splits into
+//!
+//! * `local_alloc_mb` — allocated to the job running *on this node*,
+//! * `lent_mb` — lent to jobs running on *other* nodes, and
+//! * free memory (`capacity − local_alloc − lent`).
+//!
+//! Node allocation is exclusive: a node runs at most one job (paper §2.1),
+//! but it can lend spare memory while running one. A node that has lent
+//! more than `lend_cap_fraction` of its capacity temporarily becomes a
+//! *memory node*: it keeps lending but accepts no new jobs until enough
+//! borrowed memory is returned.
+//!
+//! All mutations go through checked operations that preserve the ledger
+//! invariants; `debug_assert!`ed globally by [`Cluster::check_invariants`].
+
+use crate::job::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Index of a node in the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// The normal/large node capacity split of a simulated system (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemoryMix {
+    /// Capacity of a normal node in MB.
+    pub normal_mb: u64,
+    /// Capacity of a large node in MB (double the normal capacity in the
+    /// paper's configurations).
+    pub large_mb: u64,
+    /// Fraction of nodes that are large, in `[0, 1]`.
+    pub large_fraction: f64,
+}
+
+impl MemoryMix {
+    /// Capacity of a fully provisioned (large, 128 GB) node in MB; the
+    /// normalisation constant for the "total system memory %" axis.
+    pub const FULL_NODE_MB: u64 = 128 * 1024;
+
+    /// Create a mix. `large_fraction` is clamped to `[0,1]`.
+    pub fn new(normal_mb: u64, large_mb: u64, large_fraction: f64) -> Self {
+        assert!(normal_mb > 0 && large_mb >= normal_mb);
+        Self {
+            normal_mb,
+            large_mb,
+            large_fraction: large_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// All nodes are 128 GB: the 100%-memory system.
+    pub fn all_large() -> Self {
+        Self::new(64 * 1024, Self::FULL_NODE_MB, 1.0)
+    }
+
+    /// 64/128 GB mix with half the nodes large (75% total memory).
+    pub fn half_large() -> Self {
+        Self::new(64 * 1024, Self::FULL_NODE_MB, 0.5)
+    }
+
+    /// The eight memory configurations on the x-axis of Figures 5 and 8,
+    /// as `(label_percent, mix)`: {37, 43, 50, 57, 62, 75, 87, 100}.
+    ///
+    /// Points ≥ 50% come from 64/128 GB systems with {0,15,25,50,75,100}%
+    /// large nodes; 37% and 43% from 32/64 GB systems with 50% and 75%
+    /// large nodes (§3.4: systems have either 128 GB or 64 GB large
+    /// nodes).
+    pub fn paper_axis() -> Vec<(u32, MemoryMix)> {
+        let g = 1024;
+        vec![
+            (37, MemoryMix::new(32 * g, 64 * g, 0.5)),
+            (43, MemoryMix::new(32 * g, 64 * g, 0.75)),
+            (50, MemoryMix::new(64 * g, 128 * g, 0.0)),
+            (57, MemoryMix::new(64 * g, 128 * g, 0.15)),
+            (62, MemoryMix::new(64 * g, 128 * g, 0.25)),
+            (75, MemoryMix::new(64 * g, 128 * g, 0.5)),
+            (87, MemoryMix::new(64 * g, 128 * g, 0.75)),
+            (100, MemoryMix::new(64 * g, 128 * g, 1.0)),
+        ]
+    }
+
+    /// Whether node `i` of `n` is a large node. Large nodes are spread
+    /// evenly across the id space so borrowing distances stay uniform.
+    pub fn is_large(&self, i: u32, _n: u32) -> bool {
+        let f = self.large_fraction;
+        ((i + 1) as f64 * f).floor() > (i as f64 * f).floor()
+    }
+
+    /// Capacity of node `i` of `n` in MB.
+    pub fn capacity_of(&self, i: u32, n: u32) -> u64 {
+        if self.is_large(i, n) {
+            self.large_mb
+        } else {
+            self.normal_mb
+        }
+    }
+
+    /// Capacities of all `n` nodes.
+    pub fn capacities(&self, n: u32) -> Vec<u64> {
+        (0..n).map(|i| self.capacity_of(i, n)).collect()
+    }
+
+    /// Total memory of an `n`-node system in MB.
+    pub fn total_memory_mb(&self, n: u32) -> u64 {
+        self.capacities(n).iter().sum()
+    }
+
+    /// Number of large nodes in an `n`-node system.
+    pub fn large_nodes(&self, n: u32) -> u32 {
+        (0..n).filter(|&i| self.is_large(i, n)).count() as u32
+    }
+}
+
+/// One node's ledger.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Node {
+    /// DRAM capacity in MB.
+    pub capacity_mb: u64,
+    /// Memory allocated to the job running on this node (its local part).
+    pub local_alloc_mb: u64,
+    /// Memory lent to jobs running elsewhere.
+    pub lent_mb: u64,
+    /// The job running on this node, if any (exclusive allocation).
+    pub running: Option<JobId>,
+    /// Aggregate remote-bandwidth demand from borrowers, GB/s.
+    pub remote_demand_gbs: f64,
+}
+
+impl Node {
+    /// Free memory: capacity minus local allocation minus lent memory.
+    #[inline]
+    pub fn free_mb(&self) -> u64 {
+        self.capacity_mb - self.local_alloc_mb - self.lent_mb
+    }
+}
+
+/// The memory allocation of one running job: one entry per compute node.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobAlloc {
+    /// Per-compute-node allocation entries.
+    pub entries: Vec<AllocEntry>,
+}
+
+/// Allocation on a single compute node: a local slice plus zero or more
+/// remote slices borrowed from lender nodes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AllocEntry {
+    /// The compute node the job runs on.
+    pub node: NodeId,
+    /// Local memory allocated on that node, MB.
+    pub local_mb: u64,
+    /// Borrowed slices as `(lender, mb)`; a lender appears at most once.
+    pub remote: Vec<(NodeId, u64)>,
+}
+
+impl AllocEntry {
+    /// Total memory of this entry (local + remote), MB.
+    pub fn total_mb(&self) -> u64 {
+        self.local_mb + self.remote_mb()
+    }
+
+    /// Remote memory of this entry, MB.
+    pub fn remote_mb(&self) -> u64 {
+        self.remote.iter().map(|&(_, mb)| mb).sum()
+    }
+}
+
+impl JobAlloc {
+    /// Total allocated memory across all compute nodes, MB.
+    pub fn total_mb(&self) -> u64 {
+        self.entries.iter().map(AllocEntry::total_mb).sum()
+    }
+
+    /// Total remote memory, MB.
+    pub fn remote_mb(&self) -> u64 {
+        self.entries.iter().map(AllocEntry::remote_mb).sum()
+    }
+
+    /// Remote fraction of the whole allocation in `[0,1]` (0 when the
+    /// allocation is empty).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_mb();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_mb() as f64 / total as f64
+        }
+    }
+
+    /// Iterate over the distinct lender nodes of this allocation.
+    pub fn lenders(&self) -> impl Iterator<Item = NodeId> + '_ {
+        // Lender lists are tiny (a few entries); a linear de-dup avoids a
+        // HashSet allocation on this hot path.
+        let mut seen: Vec<NodeId> = Vec::new();
+        self.entries
+            .iter()
+            .flat_map(|e| e.remote.iter().map(|&(l, _)| l))
+            .filter(move |l| {
+                if seen.contains(l) {
+                    false
+                } else {
+                    seen.push(*l);
+                    true
+                }
+            })
+    }
+}
+
+/// Whole-cluster state: node ledgers plus the per-job allocation table
+/// and the lender→borrowers index used for contention propagation.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    lend_cap_fraction: f64,
+    allocs: HashMap<JobId, JobAlloc>,
+    /// Per-job remote bandwidth contributions: `(lender, gbs)` pairs,
+    /// mirrored into `Node::remote_demand_gbs`.
+    demand_contribs: HashMap<JobId, Vec<(NodeId, f64)>>,
+    /// Reverse index: which jobs borrow from each lender.
+    borrowers: HashMap<NodeId, Vec<JobId>>,
+    idle_nodes: usize,
+    total_capacity_mb: u64,
+    /// Running total of allocated memory (local + lent), maintained by
+    /// every mutation so utilisation accounting is O(1) per event.
+    total_alloc_mb: u64,
+}
+
+impl Cluster {
+    /// Build a cluster from per-node capacities.
+    pub fn new(capacities: Vec<u64>, lend_cap_fraction: f64) -> Self {
+        assert!(!capacities.is_empty(), "cluster needs at least one node");
+        assert!((0.0..=1.0).contains(&lend_cap_fraction));
+        let total_capacity_mb = capacities.iter().sum();
+        let idle_nodes = capacities.len();
+        let nodes = capacities
+            .into_iter()
+            .map(|capacity_mb| Node {
+                capacity_mb,
+                local_alloc_mb: 0,
+                lent_mb: 0,
+                running: None,
+                remote_demand_gbs: 0.0,
+            })
+            .collect();
+        Self {
+            nodes,
+            lend_cap_fraction,
+            allocs: HashMap::new(),
+            demand_contribs: HashMap::new(),
+            borrowers: HashMap::new(),
+            idle_nodes,
+            total_capacity_mb,
+            total_alloc_mb: 0,
+        }
+    }
+
+    /// Build the cluster described by a [`crate::config::SystemConfig`].
+    pub fn from_config(cfg: &crate::config::SystemConfig) -> Self {
+        Self::new(cfg.memory_mix.capacities(cfg.nodes), cfg.lend_cap_fraction)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to one node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Iterate over `(NodeId, &Node)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Number of idle (not running a job) nodes.
+    pub fn idle_count(&self) -> usize {
+        self.idle_nodes
+    }
+
+    /// Total cluster capacity in MB.
+    pub fn total_capacity_mb(&self) -> u64 {
+        self.total_capacity_mb
+    }
+
+    /// Total memory currently allocated (local + lent views coincide:
+    /// lent memory is counted once, on the lender). O(1): maintained
+    /// incrementally because the simulator reads it on every event for
+    /// the utilisation integral.
+    pub fn total_allocated_mb(&self) -> u64 {
+        self.total_alloc_mb
+    }
+
+    /// Whether a node may accept a new job: idle, and within its lend cap
+    /// (otherwise it is temporarily a memory-only node).
+    pub fn schedulable(&self, id: NodeId) -> bool {
+        let n = self.node(id);
+        n.running.is_none()
+            && (n.lent_mb as f64) <= self.lend_cap_fraction * n.capacity_mb as f64
+    }
+
+    /// The allocation of a running job, if any.
+    pub fn alloc_of(&self, job: JobId) -> Option<&JobAlloc> {
+        self.allocs.get(&job)
+    }
+
+    /// Jobs currently borrowing memory from `lender`.
+    pub fn borrowers_of(&self, lender: NodeId) -> &[JobId] {
+        self.borrowers.get(&lender).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Maximum remote-bandwidth demand across the lenders of `job`'s
+    /// allocation, GB/s. Zero for fully local jobs.
+    pub fn hottest_lender_demand_gbs(&self, job: JobId) -> f64 {
+        let Some(alloc) = self.allocs.get(&job) else {
+            return 0.0;
+        };
+        alloc
+            .lenders()
+            .map(|l| self.node(l).remote_demand_gbs)
+            .fold(0.0, f64::max)
+    }
+
+    /// Place a job on the cluster with the given allocation, recording
+    /// its bandwidth demand `bandwidth_gbs` for contention accounting.
+    ///
+    /// # Panics
+    /// Panics if the allocation violates the ledger (node busy, not
+    /// enough free memory on a compute node or lender, job already
+    /// placed, self-borrow, duplicate lender within an entry).
+    pub fn start_job(&mut self, job: JobId, alloc: JobAlloc, bandwidth_gbs: f64) {
+        assert!(
+            !self.allocs.contains_key(&job),
+            "{job} is already placed"
+        );
+        assert!(!alloc.entries.is_empty(), "empty allocation for {job}");
+        // Validate first so a panic cannot leave a half-applied ledger.
+        for e in &alloc.entries {
+            let n = self.node(e.node);
+            assert!(n.running.is_none(), "node {:?} is busy", e.node);
+            assert!(
+                e.local_mb <= n.free_mb(),
+                "node {:?}: local {} > free {}",
+                e.node,
+                e.local_mb,
+                n.free_mb()
+            );
+            let mut seen = Vec::new();
+            for &(lender, mb) in &e.remote {
+                assert!(lender != e.node, "{job} borrows from its own node");
+                assert!(!seen.contains(&lender), "duplicate lender {lender:?}");
+                seen.push(lender);
+                assert!(mb > 0, "zero-size borrow from {lender:?}");
+            }
+        }
+        // Aggregate borrows per lender across entries for the free check.
+        let mut per_lender: HashMap<NodeId, u64> = HashMap::new();
+        for e in &alloc.entries {
+            for &(lender, mb) in &e.remote {
+                *per_lender.entry(lender).or_insert(0) += mb;
+            }
+        }
+        for (&lender, &mb) in &per_lender {
+            // If the lender is also one of the job's compute nodes, its
+            // free memory shrinks by the local slice being placed there.
+            let local_here: u64 = alloc
+                .entries
+                .iter()
+                .filter(|e| e.node == lender)
+                .map(|e| e.local_mb)
+                .sum();
+            let free = self.node(lender).free_mb().saturating_sub(local_here);
+            assert!(
+                mb <= free,
+                "lender {lender:?}: borrow {mb} > free {free}"
+            );
+        }
+        // Apply.
+        for e in &alloc.entries {
+            let n = &mut self.nodes[e.node.0 as usize];
+            n.running = Some(job);
+            n.local_alloc_mb += e.local_mb;
+            self.total_alloc_mb += e.local_mb;
+            self.idle_nodes -= 1;
+        }
+        for (&lender, &mb) in &per_lender {
+            self.nodes[lender.0 as usize].lent_mb += mb;
+            self.total_alloc_mb += mb;
+            self.borrowers.entry(lender).or_default().push(job);
+        }
+        self.allocs.insert(job, alloc);
+        self.refresh_demand(job, bandwidth_gbs);
+        self.debug_check();
+    }
+
+    /// Remove a finished (or killed) job, releasing all its memory.
+    /// Returns the final allocation.
+    ///
+    /// # Panics
+    /// Panics if the job is not placed.
+    pub fn finish_job(&mut self, job: JobId) -> JobAlloc {
+        let alloc = self.allocs.remove(&job).expect("finish of unplaced job");
+        for e in &alloc.entries {
+            let n = &mut self.nodes[e.node.0 as usize];
+            debug_assert_eq!(n.running, Some(job));
+            n.running = None;
+            n.local_alloc_mb -= e.local_mb;
+            self.total_alloc_mb -= e.local_mb;
+            self.idle_nodes += 1;
+            for &(lender, mb) in &e.remote {
+                self.nodes[lender.0 as usize].lent_mb -= mb;
+                self.total_alloc_mb -= mb;
+            }
+        }
+        // Clear contention contributions and the reverse index.
+        if let Some(contribs) = self.demand_contribs.remove(&job) {
+            for (lender, gbs) in contribs {
+                let n = &mut self.nodes[lender.0 as usize];
+                n.remote_demand_gbs = (n.remote_demand_gbs - gbs).max(0.0);
+            }
+        }
+        for lender in alloc.lenders() {
+            if let Some(bs) = self.borrowers.get_mut(&lender) {
+                bs.retain(|&j| j != job);
+                if bs.is_empty() {
+                    self.borrowers.remove(&lender);
+                }
+            }
+        }
+        self.debug_check();
+        alloc
+    }
+
+    /// Shrink a job's allocation towards `target_mb` per compute node,
+    /// releasing remote memory first, then local (paper §2.2: "It will
+    /// deallocate remote memory before deallocating local memory").
+    /// Entries already at or below target are untouched. Returns the MB
+    /// released.
+    ///
+    /// # Panics
+    /// Panics if the job is not placed.
+    pub fn shrink_job(&mut self, job: JobId, target_mb: u64, bandwidth_gbs: f64) -> u64 {
+        let mut alloc = self.allocs.remove(&job).expect("shrink of unplaced job");
+        let mut released = 0u64;
+        let mut touched_lenders: Vec<NodeId> = Vec::new();
+        for e in &mut alloc.entries {
+            let mut excess = e.total_mb().saturating_sub(target_mb);
+            if excess == 0 {
+                continue;
+            }
+            released += excess;
+            // Remote first: peel borrows from the back (most recently
+            // added lender first — the coldest slice in the local-first
+            // allocation order).
+            while excess > 0 {
+                let Some(&mut (lender, ref mut mb)) = e.remote.last_mut() else {
+                    break;
+                };
+                let take = (*mb).min(excess);
+                *mb -= take;
+                excess -= take;
+                self.nodes[lender.0 as usize].lent_mb -= take;
+                if !touched_lenders.contains(&lender) {
+                    touched_lenders.push(lender);
+                }
+                if *mb == 0 {
+                    e.remote.pop();
+                }
+            }
+            // Then local.
+            if excess > 0 {
+                debug_assert!(e.local_mb >= excess);
+                e.local_mb -= excess;
+                self.nodes[e.node.0 as usize].local_alloc_mb -= excess;
+            }
+        }
+        // Drop reverse-index entries for lenders no longer used.
+        let still: Vec<NodeId> = alloc.lenders().collect();
+        for lender in touched_lenders {
+            if !still.contains(&lender) {
+                if let Some(bs) = self.borrowers.get_mut(&lender) {
+                    bs.retain(|&j| j != job);
+                    if bs.is_empty() {
+                        self.borrowers.remove(&lender);
+                    }
+                }
+            }
+        }
+        self.total_alloc_mb -= released;
+        self.allocs.insert(job, alloc);
+        self.refresh_demand(job, bandwidth_gbs);
+        self.debug_check();
+        released
+    }
+
+    /// Grow one compute-node entry of a job: `add_local` MB locally plus
+    /// the given borrowed slices. The caller (the policy) has already
+    /// chosen the lenders; this method validates and applies.
+    ///
+    /// # Panics
+    /// Panics on ledger violations (not enough free local memory, lender
+    /// without free memory, self-borrow) or if the job/entry is unknown.
+    pub fn grow_entry(
+        &mut self,
+        job: JobId,
+        node: NodeId,
+        add_local: u64,
+        add_remote: &[(NodeId, u64)],
+        bandwidth_gbs: f64,
+    ) {
+        {
+            let n = self.node(node);
+            assert_eq!(n.running, Some(job), "grow on a node not running {job}");
+            assert!(
+                add_local <= n.free_mb(),
+                "grow local {} > free {}",
+                add_local,
+                n.free_mb()
+            );
+        }
+        for &(lender, mb) in add_remote {
+            assert!(lender != node, "{job} borrowing from its own node");
+            assert!(mb > 0, "zero-size borrow");
+            assert!(
+                mb <= self.node(lender).free_mb(),
+                "lender {lender:?} lacks {mb} MB"
+            );
+        }
+        let alloc = self.allocs.get_mut(&job).expect("grow of unplaced job");
+        let entry = alloc
+            .entries
+            .iter_mut()
+            .find(|e| e.node == node)
+            .expect("grow on a node outside the job's allocation");
+        entry.local_mb += add_local;
+        self.nodes[node.0 as usize].local_alloc_mb += add_local;
+        self.total_alloc_mb += add_local;
+        for &(lender, mb) in add_remote {
+            self.nodes[lender.0 as usize].lent_mb += mb;
+            self.total_alloc_mb += mb;
+            if let Some(slot) = entry.remote.iter_mut().find(|(l, _)| *l == lender) {
+                slot.1 += mb;
+            } else {
+                entry.remote.push((lender, mb));
+            }
+            let bs = self.borrowers.entry(lender).or_default();
+            if !bs.contains(&job) {
+                bs.push(job);
+            }
+        }
+        self.refresh_demand(job, bandwidth_gbs);
+        self.debug_check();
+    }
+
+    /// Recompute the job's bandwidth contributions to its lenders from its
+    /// current allocation. Contribution to lender `L` is
+    /// `bandwidth × (mb on L) / (total mb)` summed over compute nodes —
+    /// the slice-weighted share of the job's traffic that crosses `L`'s
+    /// link.
+    fn refresh_demand(&mut self, job: JobId, bandwidth_gbs: f64) {
+        if let Some(old) = self.demand_contribs.remove(&job) {
+            for (lender, gbs) in old {
+                let n = &mut self.nodes[lender.0 as usize];
+                n.remote_demand_gbs = (n.remote_demand_gbs - gbs).max(0.0);
+            }
+        }
+        let alloc = &self.allocs[&job];
+        let total = alloc.total_mb();
+        if total == 0 {
+            return;
+        }
+        let mut contribs: Vec<(NodeId, f64)> = Vec::new();
+        for e in &alloc.entries {
+            for &(lender, mb) in &e.remote {
+                let gbs = bandwidth_gbs * mb as f64 / total as f64;
+                if let Some(slot) = contribs.iter_mut().find(|(l, _)| *l == lender) {
+                    slot.1 += gbs;
+                } else {
+                    contribs.push((lender, gbs));
+                }
+            }
+        }
+        for &(lender, gbs) in &contribs {
+            self.nodes[lender.0 as usize].remote_demand_gbs += gbs;
+        }
+        if !contribs.is_empty() {
+            self.demand_contribs.insert(job, contribs);
+        }
+    }
+
+    /// Full invariant check; `debug_assert!`ed after every mutation and
+    /// callable from tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut lent_expected: HashMap<NodeId, u64> = HashMap::new();
+        let mut local_expected: HashMap<NodeId, u64> = HashMap::new();
+        for (job, alloc) in &self.allocs {
+            for e in &alloc.entries {
+                let n = self.node(e.node);
+                if n.running != Some(*job) {
+                    return Err(format!("{job} allocated on {:?} but not running", e.node));
+                }
+                *local_expected.entry(e.node).or_insert(0) += e.local_mb;
+                for &(lender, mb) in &e.remote {
+                    *lent_expected.entry(lender).or_insert(0) += mb;
+                }
+            }
+        }
+        for (id, n) in self.iter() {
+            if n.local_alloc_mb + n.lent_mb > n.capacity_mb {
+                return Err(format!("{id:?} over capacity"));
+            }
+            if n.local_alloc_mb != local_expected.get(&id).copied().unwrap_or(0) {
+                return Err(format!("{id:?} local ledger mismatch"));
+            }
+            if n.lent_mb != lent_expected.get(&id).copied().unwrap_or(0) {
+                return Err(format!("{id:?} lent ledger mismatch"));
+            }
+            if n.running.is_none() && n.local_alloc_mb != 0 {
+                return Err(format!("{id:?} idle but has local allocation"));
+            }
+            if n.remote_demand_gbs < -1e-9 {
+                return Err(format!("{id:?} negative demand"));
+            }
+        }
+        let idle = self.nodes.iter().filter(|n| n.running.is_none()).count();
+        if idle != self.idle_nodes {
+            return Err("idle counter mismatch".into());
+        }
+        let alloc_sum: u64 = self.nodes.iter().map(|n| n.local_alloc_mb + n.lent_mb).sum();
+        if alloc_sum != self.total_alloc_mb {
+            return Err(format!(
+                "allocated counter mismatch: ledger {alloc_sum} vs counter {}",
+                self.total_alloc_mb
+            ));
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster4() -> Cluster {
+        // 4 nodes of 1000 MB, lend cap 50%.
+        Cluster::new(vec![1000; 4], 0.5)
+    }
+
+    fn local_alloc(nodes: &[u32], mb: u64) -> JobAlloc {
+        JobAlloc {
+            entries: nodes
+                .iter()
+                .map(|&n| AllocEntry {
+                    node: NodeId(n),
+                    local_mb: mb,
+                    remote: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn memory_mix_axis_fractions() {
+        for (pct, mix) in MemoryMix::paper_axis() {
+            let total = mix.total_memory_mb(1024) as f64;
+            let frac = total / (1024 * MemoryMix::FULL_NODE_MB) as f64 * 100.0;
+            // Label is the floor-ish value used in the paper.
+            assert!(
+                (frac - pct as f64).abs() < 1.0,
+                "axis point {pct}: got {frac:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_mix_large_nodes_spread() {
+        let mix = MemoryMix::new(64, 128, 0.25);
+        let caps = mix.capacities(8);
+        assert_eq!(caps.iter().filter(|&&c| c == 128).count(), 2);
+        // Evenly spread: one large in each half.
+        assert!(caps[..4].contains(&128) && caps[4..].contains(&128));
+    }
+
+    #[test]
+    fn memory_mix_extremes() {
+        let all = MemoryMix::all_large();
+        assert_eq!(all.large_nodes(10), 10);
+        let none = MemoryMix::new(64, 128, 0.0);
+        assert_eq!(none.large_nodes(10), 0);
+    }
+
+    #[test]
+    fn start_and_finish_job_roundtrip() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0, 1], 600), 5.0);
+        assert_eq!(c.idle_count(), 2);
+        assert_eq!(c.node(NodeId(0)).local_alloc_mb, 600);
+        assert_eq!(c.total_allocated_mb(), 1200);
+        let alloc = c.finish_job(JobId(1));
+        assert_eq!(alloc.total_mb(), 1200);
+        assert_eq!(c.idle_count(), 4);
+        assert_eq!(c.total_allocated_mb(), 0);
+        assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn borrow_accounting() {
+        let mut c = cluster4();
+        let alloc = JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(0),
+                local_mb: 1000,
+                remote: vec![(NodeId(1), 400), (NodeId(2), 100)],
+            }],
+        };
+        c.start_job(JobId(7), alloc, 8.0);
+        assert_eq!(c.node(NodeId(1)).lent_mb, 400);
+        assert_eq!(c.node(NodeId(2)).lent_mb, 100);
+        assert_eq!(c.node(NodeId(1)).free_mb(), 600);
+        assert_eq!(c.borrowers_of(NodeId(1)), &[JobId(7)]);
+        // Demand split by slice share: total 1500, node1 carries 400.
+        let d1 = c.node(NodeId(1)).remote_demand_gbs;
+        assert!((d1 - 8.0 * 400.0 / 1500.0).abs() < 1e-9);
+        assert!(c.hottest_lender_demand_gbs(JobId(7)) >= d1);
+        c.finish_job(JobId(7));
+        assert_eq!(c.node(NodeId(1)).lent_mb, 0);
+        assert!(c.node(NodeId(1)).remote_demand_gbs.abs() < 1e-9);
+        assert!(c.borrowers_of(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn schedulable_respects_lend_cap() {
+        let mut c = cluster4();
+        // Job on node 0 borrowing 600 from node 1 (> 50% of 1000).
+        let alloc = JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(0),
+                local_mb: 1000,
+                remote: vec![(NodeId(1), 600)],
+            }],
+        };
+        c.start_job(JobId(1), alloc, 1.0);
+        assert!(!c.schedulable(NodeId(1)), "memory node must not schedule");
+        assert!(c.schedulable(NodeId(2)));
+        assert!(!c.schedulable(NodeId(0)), "busy node must not schedule");
+    }
+
+    #[test]
+    fn shrink_releases_remote_first() {
+        let mut c = cluster4();
+        let alloc = JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(0),
+                local_mb: 500,
+                remote: vec![(NodeId(1), 300)],
+            }],
+        };
+        c.start_job(JobId(1), alloc, 4.0);
+        // Shrink 800 -> 600: only remote shrinks (300 -> 100).
+        let released = c.shrink_job(JobId(1), 600, 4.0);
+        assert_eq!(released, 200);
+        let a = c.alloc_of(JobId(1)).unwrap();
+        assert_eq!(a.entries[0].local_mb, 500);
+        assert_eq!(a.entries[0].remote, vec![(NodeId(1), 100)]);
+        assert_eq!(c.node(NodeId(1)).lent_mb, 100);
+        // Shrink to 200: remote gone, local 500 -> 200.
+        let released = c.shrink_job(JobId(1), 200, 4.0);
+        assert_eq!(released, 400);
+        let a = c.alloc_of(JobId(1)).unwrap();
+        assert_eq!(a.entries[0].local_mb, 200);
+        assert!(a.entries[0].remote.is_empty());
+        assert!(c.borrowers_of(NodeId(1)).is_empty());
+        assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn shrink_below_target_is_noop() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 300), 1.0);
+        assert_eq!(c.shrink_job(JobId(1), 500, 1.0), 0);
+        assert_eq!(c.alloc_of(JobId(1)).unwrap().total_mb(), 300);
+    }
+
+    #[test]
+    fn grow_local_and_remote() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 300), 6.0);
+        c.grow_entry(JobId(1), NodeId(0), 700, &[(NodeId(3), 250)], 6.0);
+        let a = c.alloc_of(JobId(1)).unwrap();
+        assert_eq!(a.entries[0].local_mb, 1000);
+        assert_eq!(a.entries[0].remote, vec![(NodeId(3), 250)]);
+        assert_eq!(c.node(NodeId(0)).free_mb(), 0);
+        assert_eq!(c.node(NodeId(3)).lent_mb, 250);
+        assert_eq!(c.borrowers_of(NodeId(3)), &[JobId(1)]);
+        // Growing again merges into the same lender slot.
+        c.grow_entry(JobId(1), NodeId(0), 0, &[(NodeId(3), 50)], 6.0);
+        let a = c.alloc_of(JobId(1)).unwrap();
+        assert_eq!(a.entries[0].remote, vec![(NodeId(3), 300)]);
+        assert_eq!(c.borrowers_of(NodeId(3)), &[JobId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy")]
+    fn start_on_busy_node_panics() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 100), 1.0);
+        c.start_job(JobId(2), local_alloc(&[0], 100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "free")]
+    fn over_allocation_panics() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 1500), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "own node")]
+    fn self_borrow_panics() {
+        let mut c = cluster4();
+        let alloc = JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(0),
+                local_mb: 100,
+                remote: vec![(NodeId(0), 50)],
+            }],
+        };
+        c.start_job(JobId(1), alloc, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lender")]
+    fn overdrawn_lender_panics() {
+        let mut c = cluster4();
+        // Lender 1 has 1000 free; two entries borrowing 600 each overdraw.
+        let alloc = JobAlloc {
+            entries: vec![
+                AllocEntry {
+                    node: NodeId(0),
+                    local_mb: 0,
+                    remote: vec![(NodeId(1), 600)],
+                },
+                AllocEntry {
+                    node: NodeId(2),
+                    local_mb: 0,
+                    remote: vec![(NodeId(1), 600)],
+                },
+            ],
+        };
+        c.start_job(JobId(1), alloc, 1.0);
+    }
+
+    #[test]
+    fn hottest_lender_is_the_max_across_lenders() {
+        let mut c = Cluster::new(vec![1000; 4], 0.5);
+        // Job 1 borrows lightly from node 2.
+        c.start_job(
+            JobId(1),
+            JobAlloc {
+                entries: vec![AllocEntry {
+                    node: NodeId(0),
+                    local_mb: 900,
+                    remote: vec![(NodeId(2), 100)],
+                }],
+            },
+            2.0,
+        );
+        // Job 2 borrows heavily from node 3 AND lightly from node 2.
+        c.start_job(
+            JobId(2),
+            JobAlloc {
+                entries: vec![AllocEntry {
+                    node: NodeId(1),
+                    local_mb: 200,
+                    remote: vec![(NodeId(3), 700), (NodeId(2), 100)],
+                }],
+            },
+            10.0,
+        );
+        // Node 3 carries 10 × 700/1000 = 7 GB/s; node 2 carries
+        // 2×0.1 + 10×0.1 = 1.2 GB/s.
+        let hot1 = c.hottest_lender_demand_gbs(JobId(1));
+        let hot2 = c.hottest_lender_demand_gbs(JobId(2));
+        assert!((hot1 - 1.2).abs() < 1e-9, "job1 sees node2: {hot1}");
+        assert!((hot2 - 7.0).abs() < 1e-9, "job2 sees node3: {hot2}");
+        // Both jobs appear in node 2's borrower list.
+        assert_eq!(c.borrowers_of(NodeId(2)).len(), 2);
+    }
+
+    #[test]
+    fn fully_local_job_has_zero_hot_demand() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 500), 9.0);
+        assert_eq!(c.hottest_lender_demand_gbs(JobId(1)), 0.0);
+        assert_eq!(c.hottest_lender_demand_gbs(JobId(99)), 0.0);
+    }
+
+    #[test]
+    fn two_borrowers_share_lender_demand() {
+        let mut c = cluster4();
+        let mk = |node: u32, lender: u32| JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(node),
+                local_mb: 500,
+                remote: vec![(NodeId(lender), 500)],
+            }],
+        };
+        c.start_job(JobId(1), mk(0, 2), 10.0);
+        c.start_job(JobId(2), mk(1, 3), 4.0);
+        // Each job is half remote: contributes bandwidth × 0.5.
+        assert!((c.node(NodeId(2)).remote_demand_gbs - 5.0).abs() < 1e-9);
+        assert!((c.node(NodeId(3)).remote_demand_gbs - 2.0).abs() < 1e-9);
+        c.finish_job(JobId(1));
+        assert!(c.node(NodeId(2)).remote_demand_gbs.abs() < 1e-9);
+        assert!((c.node(NodeId(3)).remote_demand_gbs - 2.0).abs() < 1e-9);
+    }
+}

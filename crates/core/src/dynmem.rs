@@ -1,0 +1,174 @@
+//! The dynamic memory-allocation scheme of Figure 1a: Monitor, Decider,
+//! Actuator, Executor.
+//!
+//! * The **Monitor** runs on every node (Slurmd) and samples the job's
+//!   actual memory consumption; in the simulator it reads the offline
+//!   usage trace instead (Fig. 1b). [`Monitor`] computes the sampling
+//!   horizon and the demand for the next period: the paper takes *the
+//!   maximum memory usage between the current progress and the next
+//!   update*.
+//! * The **Decider** (in Slurmctld) compares the reported usage against
+//!   the current allocation — [`decide`] is that comparison as a pure
+//!   function.
+//! * The **Actuator** applies the decision: deallocate remote-first,
+//!   allocate local-first ([`crate::cluster::Cluster::shrink_job`] /
+//!   [`crate::policy::plan_growth`] + [`crate::cluster::Cluster::grow_entry`]),
+//!   terminating and resubmitting the job when the cluster cannot
+//!   satisfy the demand.
+//! * The **Executor** (back on the node) enforces the new limits; in the
+//!   simulation this reduces to updating the job's duration via the
+//!   slowdown model, which the engine does by re-keying the end event.
+//!
+//! Keeping Monitor/Decider pure makes the §2.2 semantics independently
+//! testable; the simulation driver in [`crate::sim`] wires them to the
+//! cluster ledger.
+
+use crate::cluster::NodeId;
+use crate::job::MemoryUsageTrace;
+
+/// The Monitor's sampling parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Monitor {
+    /// Nominal update interval in seconds (300 s in the paper — "we
+    /// update the memory usage on average every 5 minutes").
+    pub interval_s: f64,
+}
+
+impl Monitor {
+    /// Create a monitor with the given nominal interval.
+    ///
+    /// # Panics
+    /// Panics unless the interval is strictly positive.
+    pub fn new(interval_s: f64) -> Self {
+        assert!(interval_s > 0.0, "update interval must be positive");
+        Self { interval_s }
+    }
+
+    /// The progress the job will reach by the next nominal update, given
+    /// its current progress, speed (fraction of base work per wallclock
+    /// second × base runtime) and base runtime.
+    pub fn horizon(&self, progress: f64, speed: f64, base_runtime_s: f64) -> f64 {
+        debug_assert!(base_runtime_s > 0.0);
+        progress + speed * self.interval_s / base_runtime_s
+    }
+
+    /// The demand the Decider must provision for the coming period: the
+    /// maximum usage over `[progress, horizon]` in the offline trace
+    /// (§2.3: "the maximum memory usage in the time period between the
+    /// current progress and the next update").
+    pub fn sample_demand(
+        &self,
+        usage: &MemoryUsageTrace,
+        progress: f64,
+        speed: f64,
+        base_runtime_s: f64,
+    ) -> u64 {
+        usage.max_in(progress, self.horizon(progress, speed, base_runtime_s))
+    }
+}
+
+/// What the Actuator must do to one job after a usage update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Entries currently above the demand shrink to this target
+    /// (remote-released-first); `None` when nothing is above it.
+    pub shrink_to_mb: Option<u64>,
+    /// Entries below the demand and the amount each must grow
+    /// (local-first, then remote).
+    pub grows: Vec<(NodeId, u64)>,
+}
+
+impl Decision {
+    /// Whether the decision changes anything.
+    pub fn is_hold(&self) -> bool {
+        self.shrink_to_mb.is_none() && self.grows.is_empty()
+    }
+}
+
+/// The Decider: compare per-node allocations against the sampled demand
+/// (identical across the job's nodes — usage traces are per node).
+///
+/// If an entry's allocation exceeds the demand the resource manager
+/// deallocates down to it; if the allocation is below, it allocates up
+/// to it (§2.2).
+pub fn decide(entries: &[(NodeId, u64)], demand_mb: u64) -> Decision {
+    let mut shrink = false;
+    let mut grows = Vec::new();
+    for &(node, alloc_mb) in entries {
+        if alloc_mb > demand_mb {
+            shrink = true;
+        } else if alloc_mb < demand_mb {
+            grows.push((node, demand_mb - alloc_mb));
+        }
+    }
+    Decision {
+        shrink_to_mb: shrink.then_some(demand_mb),
+        grows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn monitor_rejects_bad_interval() {
+        assert!(std::panic::catch_unwind(|| Monitor::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn horizon_scales_with_speed() {
+        let m = Monitor::new(300.0);
+        // Full speed on a 3000 s job: 300 s = 10% progress.
+        assert!((m.horizon(0.2, 1.0, 3000.0) - 0.3).abs() < 1e-12);
+        // Half speed: 5%.
+        assert!((m.horizon(0.2, 0.5, 3000.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_demand_is_window_max() {
+        let m = Monitor::new(300.0);
+        let usage =
+            MemoryUsageTrace::new(vec![(0.0, 100), (0.25, 800), (0.5, 200)]).unwrap();
+        // Window [0.2, 0.3] crosses the 800 MB phase.
+        let d = m.sample_demand(&usage, 0.2, 1.0, 3000.0);
+        assert_eq!(d, 800);
+        // Window [0.6, 0.7] sits inside the 200 MB tail.
+        let d = m.sample_demand(&usage, 0.6, 1.0, 3000.0);
+        assert_eq!(d, 200);
+    }
+
+    #[test]
+    fn decide_hold_when_matching() {
+        let d = decide(&[(n(0), 500), (n(1), 500)], 500);
+        assert!(d.is_hold());
+    }
+
+    #[test]
+    fn decide_shrinks_above_demand() {
+        let d = decide(&[(n(0), 800), (n(1), 900)], 500);
+        assert_eq!(d.shrink_to_mb, Some(500));
+        assert!(d.grows.is_empty());
+    }
+
+    #[test]
+    fn decide_grows_below_demand() {
+        let d = decide(&[(n(0), 200), (n(1), 450)], 500);
+        assert_eq!(d.shrink_to_mb, None);
+        assert_eq!(d.grows, vec![(n(0), 300), (n(1), 50)]);
+    }
+
+    #[test]
+    fn decide_mixed_entries() {
+        // One node above, one below (possible after an OOM-interrupted
+        // growth or when entries started asymmetric).
+        let d = decide(&[(n(0), 800), (n(1), 300)], 500);
+        assert_eq!(d.shrink_to_mb, Some(500));
+        assert_eq!(d.grows, vec![(n(1), 200)]);
+        assert!(!d.is_hold());
+    }
+}

@@ -1,0 +1,62 @@
+//! # dmhpc-core — discrete-event simulator for disaggregated-memory HPC
+//!
+//! Reproduction of the scheduling system of Zacarias, Carpenter &
+//! Petrucci, *Dynamic Memory Provisioning on Disaggregated HPC Systems*
+//! (SC-W 2023). The crate models a Slurm-like resource manager:
+//!
+//! * [`cluster`] — nodes, the disaggregated-memory lend/borrow ledger and
+//!   its invariants (lend cap, memory-node rule);
+//! * [`policy`] — the three allocation policies (Baseline, Static,
+//!   Dynamic) and their placement/growth logic;
+//! * [`sched`] — FCFS + EASY-backfill queue machinery;
+//! * [`engine`] — simulated time and the re-schedulable event queue;
+//! * [`sim`] — the driver tying it all together: job lifecycle,
+//!   Monitor→Decider→Actuator→Executor dynamic loop, out-of-memory
+//!   Fail/Restart & Checkpoint/Restart handling, metrics;
+//! * [`job`] — the job model with progress-keyed memory usage traces;
+//! * [`config`] — the simulated system configurations of Table 4.
+//!
+//! ## Example
+//!
+//! ```
+//! use dmhpc_core::cluster::MemoryMix;
+//! use dmhpc_core::config::SystemConfig;
+//! use dmhpc_core::job::{Job, JobId, MemoryUsageTrace};
+//! use dmhpc_core::policy::PolicyKind;
+//! use dmhpc_core::sim::{Simulation, Workload};
+//! use dmhpc_model::{ProfileId, ProfilePool};
+//!
+//! let cfg = SystemConfig::with_nodes(4)
+//!     .with_memory_mix(MemoryMix::new(32 * 1024, 64 * 1024, 0.5));
+//! let job = Job {
+//!     id: JobId(0),
+//!     submit_s: 0.0,
+//!     nodes: 2,
+//!     base_runtime_s: 3600.0,
+//!     time_limit_s: 7200.0,
+//!     mem_request_mb: 24 * 1024,
+//!     usage: MemoryUsageTrace::flat(16 * 1024),
+//!     profile: ProfileId(0),
+//! };
+//! let workload = Workload::new(vec![job], ProfilePool::synthetic(8, 1));
+//! let outcome = Simulation::new(cfg, workload, PolicyKind::Dynamic).run();
+//! assert_eq!(outcome.stats.completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod dynmem;
+pub mod engine;
+pub mod job;
+pub mod policy;
+pub mod sched;
+pub mod sim;
+
+pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId};
+pub use config::{OomMitigation, RestartStrategy, SystemConfig};
+pub use engine::SimTime;
+pub use job::{Job, JobId, MemoryUsageTrace};
+pub use policy::PolicyKind;
+pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};

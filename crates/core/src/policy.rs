@@ -1,0 +1,407 @@
+//! Memory allocation policies (paper §3.5).
+//!
+//! * **Baseline** — no disaggregated memory: a job runs only on nodes
+//!   whose whole DRAM satisfies the request, and it gets the node's full
+//!   memory exclusively.
+//! * **Static** — disaggregated memory with a fixed allocation equal to
+//!   the submission request (Zacarias et al., ICPADS'21): prefer nodes
+//!   with enough free memory; otherwise pick the nodes with the most free
+//!   memory and borrow the remainder from lender nodes.
+//! * **Dynamic** — same initial allocation as Static, then the
+//!   Monitor→Decider→Actuator→Executor loop resizes the allocation to
+//!   track actual usage (this paper, §2.2). Growth is local-first then
+//!   remote; shrinking releases remote memory first.
+//!
+//! Placement functions are pure with respect to the cluster (they only
+//! read); the simulation applies the returned [`JobAlloc`] through
+//! [`Cluster::start_job`] / [`Cluster::grow_entry`].
+
+use crate::cluster::{AllocEntry, Cluster, JobAlloc, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which allocation policy a simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Exclusive node memory, no disaggregation.
+    Baseline,
+    /// Disaggregated memory, fixed allocation at the requested size.
+    Static,
+    /// Disaggregated memory, allocation follows actual usage.
+    Dynamic,
+}
+
+impl PolicyKind {
+    /// All three policies, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Baseline, PolicyKind::Static, PolicyKind::Dynamic];
+
+    /// Whether the policy uses the disaggregated memory pool.
+    pub fn disaggregated(self) -> bool {
+        !matches!(self, PolicyKind::Baseline)
+    }
+
+    /// Display name as used in the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline (no disaggregated memory)",
+            PolicyKind::Static => "Static disaggregated memory",
+            PolicyKind::Dynamic => "Dynamic disaggregated memory",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PolicyKind::Baseline => "baseline",
+            PolicyKind::Static => "static",
+            PolicyKind::Dynamic => "dynamic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Try to place a job needing `nodes` nodes with `request_mb` per node
+/// under the given policy. Returns the allocation to apply, or `None` if
+/// the job cannot start right now.
+pub fn try_place(
+    cluster: &Cluster,
+    kind: PolicyKind,
+    nodes: u32,
+    request_mb: u64,
+) -> Option<JobAlloc> {
+    let n = nodes as usize;
+    if n == 0 {
+        return None;
+    }
+    // Schedulable = idle and within the lend cap.
+    let mut sched: Vec<(u64, NodeId)> = cluster
+        .iter()
+        .filter(|&(id, _)| cluster.schedulable(id))
+        .map(|(id, node)| (node.free_mb(), id))
+        .collect();
+    if sched.len() < n {
+        return None;
+    }
+    match kind {
+        PolicyKind::Baseline => {
+            // Only nodes whose full DRAM covers the request; the job gets
+            // the whole node (exclusive access to all resources).
+            let mut fit: Vec<(u64, NodeId)> = sched
+                .iter()
+                .copied()
+                .filter(|&(_, id)| cluster.node(id).capacity_mb >= request_mb)
+                .collect();
+            if fit.len() < n {
+                return None;
+            }
+            // Best fit: smallest adequate node first, preserving large
+            // nodes for large jobs.
+            fit.sort_unstable_by_key(|&(_, id)| (cluster.node(id).capacity_mb, id));
+            Some(JobAlloc {
+                entries: fit[..n]
+                    .iter()
+                    .map(|&(_, id)| AllocEntry {
+                        node: id,
+                        local_mb: cluster.node(id).capacity_mb,
+                        remote: vec![],
+                    })
+                    .collect(),
+            })
+        }
+        PolicyKind::Static | PolicyKind::Dynamic => {
+            // Phase 1: enough nodes can hold the request entirely locally.
+            let mut fit: Vec<(u64, NodeId)> = sched
+                .iter()
+                .copied()
+                .filter(|&(free, _)| free >= request_mb)
+                .collect();
+            if fit.len() >= n {
+                // Best fit: least free first.
+                fit.sort_unstable();
+                return Some(JobAlloc {
+                    entries: fit[..n]
+                        .iter()
+                        .map(|&(_, id)| AllocEntry {
+                            node: id,
+                            local_mb: request_mb,
+                            remote: vec![],
+                        })
+                        .collect(),
+                });
+            }
+            // Phase 2: nodes with the most free memory + borrowing.
+            // Sort descending by free, ascending by id for determinism.
+            sched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let compute = &sched[..n];
+            let compute_ids: Vec<NodeId> = compute.iter().map(|&(_, id)| id).collect();
+            // Lenders: every other node with free memory, most free first.
+            let mut lenders: Vec<(u64, NodeId)> = cluster
+                .iter()
+                .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
+                .map(|(id, node)| (node.free_mb(), id))
+                .collect();
+            lenders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+            let mut li = 0usize;
+            let mut entries = Vec::with_capacity(n);
+            for &(free, id) in compute {
+                let local = free.min(request_mb);
+                let mut need = request_mb - local;
+                let mut remote = Vec::new();
+                while need > 0 {
+                    let Some(slot) = lenders.get_mut(li) else {
+                        return None; // pool exhausted
+                    };
+                    let take = slot.0.min(need);
+                    if take > 0 {
+                        remote.push((slot.1, take));
+                        slot.0 -= take;
+                        need -= take;
+                    }
+                    if slot.0 == 0 {
+                        li += 1;
+                    }
+                }
+                entries.push(AllocEntry {
+                    node: id,
+                    local_mb: local,
+                    remote,
+                });
+            }
+            Some(JobAlloc { entries })
+        }
+    }
+}
+
+/// Plan the growth of one compute-node entry by `need_mb`: local memory
+/// first, then borrows from the lenders with the most free memory
+/// (paper §2.2: "allocate memory locally, if possible, and then remotely
+/// if necessary", maximising the local-to-remote ratio).
+///
+/// `compute_ids` are all compute nodes of the job (excluded as lenders).
+/// Returns `(add_local, borrows)`, or `None` if the cluster cannot
+/// satisfy the demand — the out-of-memory case the Actuator resolves by
+/// terminating and resubmitting the job.
+pub fn plan_growth(
+    cluster: &Cluster,
+    entry_node: NodeId,
+    compute_ids: &[NodeId],
+    need_mb: u64,
+) -> Option<(u64, Vec<(NodeId, u64)>)> {
+    if need_mb == 0 {
+        return Some((0, vec![]));
+    }
+    let local = cluster.node(entry_node).free_mb().min(need_mb);
+    let mut need = need_mb - local;
+    if need == 0 {
+        return Some((local, vec![]));
+    }
+    let mut lenders: Vec<(u64, NodeId)> = cluster
+        .iter()
+        .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
+        .map(|(id, node)| (node.free_mb(), id))
+        .collect();
+    lenders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut borrows = Vec::new();
+    for (free, id) in lenders {
+        if need == 0 {
+            break;
+        }
+        let take = free.min(need);
+        borrows.push((id, take));
+        need -= take;
+    }
+    if need > 0 {
+        None
+    } else {
+        Some((local, borrows))
+    }
+}
+
+/// Whether a job could ever be placed on an *empty* cluster under the
+/// policy — used to flag unschedulable jobs ("missing bars" in Figs. 5
+/// and 8: not enough large-memory nodes to run all jobs).
+pub fn feasible_on_empty(
+    cluster: &Cluster,
+    kind: PolicyKind,
+    nodes: u32,
+    request_mb: u64,
+) -> bool {
+    try_place(cluster, kind, nodes, request_mb).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2 large (2000) + 2 normal (1000) nodes, lend cap 50%.
+    fn mixed_cluster() -> Cluster {
+        Cluster::new(vec![2000, 1000, 2000, 1000], 0.5)
+    }
+
+    #[test]
+    fn baseline_needs_full_capacity() {
+        let c = mixed_cluster();
+        // 1500 MB fits only the two 2000-capacity nodes.
+        let a = try_place(&c, PolicyKind::Baseline, 2, 1500).unwrap();
+        let ids: Vec<u32> = a.entries.iter().map(|e| e.node.0).collect();
+        assert_eq!(ids, vec![0, 2]);
+        // Full node allocated (exclusive access).
+        assert!(a.entries.iter().all(|e| e.local_mb == 2000 && e.remote.is_empty()));
+        // Three such nodes don't exist.
+        assert!(try_place(&c, PolicyKind::Baseline, 3, 1500).is_none());
+    }
+
+    #[test]
+    fn baseline_best_fit_prefers_small_nodes() {
+        let c = mixed_cluster();
+        let a = try_place(&c, PolicyKind::Baseline, 2, 800).unwrap();
+        let ids: Vec<u32> = a.entries.iter().map(|e| e.node.0).collect();
+        assert_eq!(ids, vec![1, 3], "small jobs should use normal nodes");
+    }
+
+    #[test]
+    fn static_local_when_possible() {
+        let c = mixed_cluster();
+        let a = try_place(&c, PolicyKind::Static, 2, 900).unwrap();
+        // Best fit: the 1000-MB nodes take it, fully local.
+        let ids: Vec<u32> = a.entries.iter().map(|e| e.node.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert!(a.entries.iter().all(|e| e.local_mb == 900 && e.remote.is_empty()));
+    }
+
+    #[test]
+    fn static_borrows_when_needed() {
+        let c = mixed_cluster();
+        // 1500/node on 3 nodes: two 2000-nodes fit locally; third entry on a
+        // 1000-node borrows 500.
+        let a = try_place(&c, PolicyKind::Static, 3, 1500).unwrap();
+        assert_eq!(a.total_mb(), 4500);
+        let borrowed: u64 = a.remote_mb();
+        assert_eq!(borrowed, 500);
+        // The lender must be the remaining idle node.
+        for e in &a.entries {
+            for &(lender, _) in &e.remote {
+                assert!(!a.entries.iter().any(|x| x.node == lender));
+            }
+        }
+    }
+
+    #[test]
+    fn static_fails_when_pool_exhausted() {
+        let c = mixed_cluster();
+        // 4 nodes × 2500 MB = 10000 > total 6000.
+        assert!(try_place(&c, PolicyKind::Static, 4, 2500).is_none());
+    }
+
+    #[test]
+    fn static_can_exceed_node_capacity_via_borrowing() {
+        let c = mixed_cluster();
+        // A 1-node job needing 2500 (> any node) borrows 500.
+        let a = try_place(&c, PolicyKind::Static, 1, 2500).unwrap();
+        assert_eq!(a.entries[0].local_mb, 2000);
+        assert_eq!(a.remote_mb(), 500);
+        // Baseline cannot run it at all.
+        assert!(try_place(&c, PolicyKind::Baseline, 1, 2500).is_none());
+    }
+
+    #[test]
+    fn placement_respects_busy_nodes() {
+        let mut c = mixed_cluster();
+        let a = try_place(&c, PolicyKind::Static, 2, 1800).unwrap();
+        c.start_job(JobId(1), a, 1.0);
+        // The two large nodes are busy; a second large-memory job needs
+        // borrowing from... remaining free: nodes 1,3 (1000 each) + 2×200.
+        let b = try_place(&c, PolicyKind::Static, 2, 1200);
+        let b = b.expect("should borrow to fit");
+        assert_eq!(b.total_mb(), 2400);
+        assert!(b.remote_mb() > 0);
+    }
+
+    #[test]
+    fn lend_cap_blocks_scheduling_not_lending() {
+        let mut c = Cluster::new(vec![1000; 3], 0.5);
+        // Job on node 0 borrows 600 from node 1 → node 1 over the cap.
+        let alloc = JobAlloc {
+            entries: vec![AllocEntry {
+                node: NodeId(0),
+                local_mb: 1000,
+                remote: vec![(NodeId(1), 600)],
+            }],
+        };
+        c.start_job(JobId(1), alloc, 1.0);
+        // Node 1 (memory node) must not be selected as compute.
+        let a = try_place(&c, PolicyKind::Static, 1, 500).unwrap();
+        assert_eq!(a.entries[0].node, NodeId(2));
+        // Only node 2 is schedulable; a 2-node job must fail.
+        assert!(try_place(&c, PolicyKind::Static, 2, 100).is_none());
+        // But node 1 can still lend its remaining 400.
+        let b = try_place(&c, PolicyKind::Static, 1, 1400).unwrap();
+        assert!(b.remote_mb() >= 400);
+    }
+
+    #[test]
+    fn plan_growth_local_first() {
+        let mut c = Cluster::new(vec![1000; 3], 0.5);
+        c.start_job(
+            JobId(1),
+            JobAlloc {
+                entries: vec![AllocEntry {
+                    node: NodeId(0),
+                    local_mb: 400,
+                    remote: vec![],
+                }],
+            },
+            1.0,
+        );
+        // Need 800 more: 600 local remain, 200 borrowed.
+        let (local, borrows) = plan_growth(&c, NodeId(0), &[NodeId(0)], 800).unwrap();
+        assert_eq!(local, 600);
+        assert_eq!(borrows.iter().map(|&(_, m)| m).sum::<u64>(), 200);
+        assert!(borrows.iter().all(|&(l, _)| l != NodeId(0)));
+    }
+
+    #[test]
+    fn plan_growth_zero_need() {
+        let c = Cluster::new(vec![1000; 2], 0.5);
+        assert_eq!(plan_growth(&c, NodeId(0), &[NodeId(0)], 0), Some((0, vec![])));
+    }
+
+    #[test]
+    fn plan_growth_fails_on_exhaustion() {
+        let mut c = Cluster::new(vec![1000; 2], 0.5);
+        c.start_job(
+            JobId(1),
+            JobAlloc {
+                entries: vec![AllocEntry {
+                    node: NodeId(0),
+                    local_mb: 1000,
+                    remote: vec![(NodeId(1), 900)],
+                }],
+            },
+            1.0,
+        );
+        // Only 100 MB free in the whole system.
+        assert!(plan_growth(&c, NodeId(0), &[NodeId(0)], 200).is_none());
+        assert!(plan_growth(&c, NodeId(0), &[NodeId(0)], 100).is_some());
+    }
+
+    #[test]
+    fn feasibility_matches_empty_cluster_placement() {
+        let c = mixed_cluster();
+        assert!(feasible_on_empty(&c, PolicyKind::Baseline, 2, 2000));
+        assert!(!feasible_on_empty(&c, PolicyKind::Baseline, 2, 2001));
+        assert!(feasible_on_empty(&c, PolicyKind::Static, 2, 2001));
+        assert!(!feasible_on_empty(&c, PolicyKind::Static, 5, 100));
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert!(PolicyKind::Baseline.label().contains("Baseline"));
+        assert!(!PolicyKind::Baseline.disaggregated());
+        assert!(PolicyKind::Dynamic.disaggregated());
+        assert_eq!(PolicyKind::Dynamic.to_string(), "dynamic");
+        assert_eq!(PolicyKind::ALL.len(), 3);
+    }
+
+    use crate::job::JobId;
+}

@@ -1,0 +1,205 @@
+//! FCFS + EASY backfill scheduling (paper Table 4: backfill policy,
+//! queue and backfill depth 100, 30 s interval).
+//!
+//! The scheduling *pass* itself lives in [`crate::sim`], because it needs
+//! the full simulation state; this module holds the pure, testable pieces:
+//! the pending queue and the aggregate reservation calculation.
+//!
+//! ## Reservation model
+//!
+//! When the queue head cannot start, EASY backfill reserves resources for
+//! it at the earliest time they free up, and lets later jobs jump the
+//! queue only if they do not delay that reservation. Computing the exact
+//! reservation under memory borrowing would require replaying placement
+//! against every future release; like other scheduler simulators we use
+//! an aggregate approximation: the head can start once **enough idle
+//! nodes** and **enough free memory** have accumulated, based on the
+//! running jobs' wallclock limits. A backfill candidate is admitted if it
+//! finishes before the reservation, or if the projected idle-node and
+//! free-memory surplus at the reservation still covers the head job.
+
+use crate::job::JobId;
+use std::collections::VecDeque;
+
+/// The pending-job queue, in FCFS order of (re)submission.
+#[derive(Clone, Debug, Default)]
+pub struct PendingQueue {
+    queue: VecDeque<JobId>,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a newly submitted (or resubmitted) job.
+    pub fn push(&mut self, job: JobId) {
+        debug_assert!(!self.queue.contains(&job), "{job} queued twice");
+        self.queue.push_back(job);
+    }
+
+    /// Insert a job at the head of the queue (priority-boosted
+    /// resubmission, §2.2 fairness mitigation).
+    pub fn push_front(&mut self, job: JobId) {
+        debug_assert!(!self.queue.contains(&job), "{job} queued twice");
+        self.queue.push_front(job);
+    }
+
+    /// Jobs in FCFS order.
+    pub fn iter(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Remove a set of started jobs (preserving order of the rest).
+    pub fn remove_started(&mut self, started: &[JobId]) {
+        if !started.is_empty() {
+            self.queue.retain(|j| !started.contains(j));
+        }
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A future resource release: a running job's estimated end.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Release {
+    /// Estimated end time, seconds (start + wallclock limit).
+    pub at_s: f64,
+    /// Nodes that become idle.
+    pub nodes: u32,
+    /// Memory that becomes free, MB (the job's current allocation).
+    pub mem_mb: u64,
+}
+
+/// Projected cluster headroom at the head job's reservation time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Reservation {
+    /// Earliest time the head job is projected to fit, seconds.
+    pub at_s: f64,
+    /// Idle nodes beyond the head's requirement at that time.
+    pub surplus_nodes: u32,
+    /// Free memory beyond the head's requirement at that time, MB.
+    pub surplus_mem_mb: u64,
+}
+
+/// Compute the aggregate reservation for a blocked head job.
+///
+/// * `now_s` — current time;
+/// * `need_nodes` / `need_mem_mb` — the head job's totals;
+/// * `idle_nodes` / `free_mem_mb` — current headroom;
+/// * `releases` — future releases, in any order.
+///
+/// Returns `None` if the head can never fit even after every release
+/// (an unschedulable job — filtered out earlier, but kept safe here).
+pub fn compute_reservation(
+    now_s: f64,
+    need_nodes: u32,
+    need_mem_mb: u64,
+    idle_nodes: u32,
+    free_mem_mb: u64,
+    releases: &[Release],
+) -> Option<Reservation> {
+    let mut idle = idle_nodes;
+    let mut mem = free_mem_mb;
+    if idle >= need_nodes && mem >= need_mem_mb {
+        return Some(Reservation {
+            at_s: now_s,
+            surplus_nodes: idle - need_nodes,
+            surplus_mem_mb: mem - need_mem_mb,
+        });
+    }
+    let mut sorted: Vec<Release> = releases.to_vec();
+    sorted.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
+    for r in &sorted {
+        idle += r.nodes;
+        mem += r.mem_mb;
+        if idle >= need_nodes && mem >= need_mem_mb {
+            return Some(Reservation {
+                at_s: r.at_s.max(now_s),
+                surplus_nodes: idle - need_nodes,
+                surplus_mem_mb: mem - need_mem_mb,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_front_jumps_the_queue() {
+        let mut q = PendingQueue::new();
+        q.push(JobId(1));
+        q.push(JobId(2));
+        q.push_front(JobId(3));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(3), JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn queue_fcfs_and_removal() {
+        let mut q = PendingQueue::new();
+        q.push(JobId(1));
+        q.push(JobId(2));
+        q.push(JobId(3));
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(1), JobId(2), JobId(3)]);
+        q.remove_started(&[JobId(1), JobId(3)]);
+        assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(2)]);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn reservation_immediate_when_fits() {
+        let r = compute_reservation(100.0, 2, 1000, 4, 5000, &[]).unwrap();
+        assert_eq!(r.at_s, 100.0);
+        assert_eq!(r.surplus_nodes, 2);
+        assert_eq!(r.surplus_mem_mb, 4000);
+    }
+
+    #[test]
+    fn reservation_waits_for_releases() {
+        let releases = [
+            Release { at_s: 500.0, nodes: 1, mem_mb: 1000 },
+            Release { at_s: 200.0, nodes: 1, mem_mb: 500 },
+        ];
+        // Need 3 nodes / 2000 MB, have 1 node / 800 MB.
+        let r = compute_reservation(0.0, 3, 2000, 1, 800, &releases).unwrap();
+        // After 200 s: 2 nodes / 1300 — not enough. After 500 s: 3 / 2300.
+        assert_eq!(r.at_s, 500.0);
+        assert_eq!(r.surplus_nodes, 0);
+        assert_eq!(r.surplus_mem_mb, 300);
+    }
+
+    #[test]
+    fn reservation_memory_can_be_the_binding_constraint() {
+        let releases = [
+            Release { at_s: 100.0, nodes: 5, mem_mb: 0 },
+            Release { at_s: 300.0, nodes: 0, mem_mb: 4000 },
+        ];
+        let r = compute_reservation(0.0, 2, 3000, 0, 0, &releases).unwrap();
+        assert_eq!(r.at_s, 300.0);
+    }
+
+    #[test]
+    fn reservation_none_when_impossible() {
+        assert!(compute_reservation(0.0, 10, 0, 1, 0, &[]).is_none());
+    }
+
+    #[test]
+    fn reservation_release_in_past_clamps_to_now() {
+        let releases = [Release { at_s: 5.0, nodes: 2, mem_mb: 100 }];
+        let r = compute_reservation(50.0, 2, 50, 0, 0, &releases).unwrap();
+        assert_eq!(r.at_s, 50.0);
+    }
+}

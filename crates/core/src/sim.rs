@@ -1,0 +1,1304 @@
+//! The discrete-event simulation driver.
+//!
+//! Mirrors Figure 1b of the paper: the simulated controller receives job
+//! submissions, runs FCFS+backfill scheduling passes every 30 s, replays
+//! each running job's offline memory-usage trace through the
+//! Monitor→Decider→Actuator→Executor loop (dynamic policy), applies the
+//! contention model to stretch job durations, and handles out-of-memory
+//! events by terminating and resubmitting the job (Fail/Restart or
+//! Checkpoint/Restart).
+//!
+//! Job progress is tracked in *work seconds*: a job needs
+//! `base_runtime_s` seconds of work; its instantaneous speed is
+//! `1 / slowdown`, so remote-memory contention stretches wallclock
+//! without touching the usage trace (which is keyed on progress).
+
+use crate::cluster::{Cluster, NodeId};
+use crate::config::{OomMitigation, RestartStrategy, SystemConfig};
+use crate::engine::{EventKind, EventQueue, SimTime};
+use crate::job::{Job, JobId};
+use crate::policy::{plan_growth, try_place, PolicyKind};
+use crate::sched::{compute_reservation, PendingQueue, Release};
+use dmhpc_model::rng::Rng64;
+use dmhpc_model::{ContentionModel, ProfilePool, RemoteAccess};
+use serde::{Deserialize, Serialize};
+
+/// A workload: the jobs to simulate plus the profile pool their slowdown
+/// model draws from. Jobs must be indexed by their [`JobId`]
+/// (`jobs[i].id == JobId(i)`).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Jobs, indexed by id.
+    pub jobs: Vec<Job>,
+    /// Application profiles referenced by `Job::profile`.
+    pub pool: ProfilePool,
+}
+
+impl Workload {
+    /// Build a workload, validating the id-index correspondence.
+    ///
+    /// # Panics
+    /// Panics if `jobs[i].id != JobId(i)` for some `i`, or if a job
+    /// references a profile outside the pool.
+    pub fn new(jobs: Vec<Job>, pool: ProfilePool) -> Self {
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u32), "jobs must be indexed by id");
+            assert!(
+                (j.profile.0 as usize) < pool.len(),
+                "{} references missing profile {:?}",
+                j.id,
+                j.profile
+            );
+        }
+        Self { jobs, pool }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the workload has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+/// Why a job permanently failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailReason {
+    /// Static/baseline policy: actual usage exceeded the request.
+    ExceededRequest,
+    /// Dynamic policy: job hit the restart cap after repeated OOM kills.
+    TooManyRestarts,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Status {
+    /// Submit event not yet fired.
+    Waiting,
+    /// In the pending queue.
+    Pending,
+    /// Running on the cluster.
+    Running,
+    /// Completed successfully.
+    Done,
+    /// Permanently failed.
+    Failed(FailReason),
+    /// Could not run even on an empty cluster ("missing bars").
+    Unschedulable,
+}
+
+#[derive(Clone, Debug)]
+struct JobState {
+    status: Status,
+    /// Bumped whenever the job-end event must be re-keyed.
+    end_epoch: u32,
+    /// Bumped on kill/finish; invalidates pending MemUpdate events.
+    life_epoch: u32,
+    start: SimTime,
+    first_start: Option<SimTime>,
+    last_advance: SimTime,
+    /// Seconds of base work completed in the current attempt (includes
+    /// checkpoint credit).
+    work_done_s: f64,
+    /// Work credited on restart under Checkpoint/Restart; advanced to the
+    /// latest successful memory update while running (the update doubles
+    /// as the checkpoint instant).
+    checkpoint_s: f64,
+    /// Snapshot of `checkpoint_s` when the current attempt started; used
+    /// to compute the attempt's true work for slowdown accounting.
+    credit_at_start_s: f64,
+    speed: f64,
+    restarts: u32,
+    finish: Option<SimTime>,
+    /// §2.2 fairness: resubmissions jump to the queue head.
+    boosted: bool,
+    /// §2.2 fairness: the job now runs with a pinned static allocation.
+    static_mode: bool,
+}
+
+impl JobState {
+    fn new() -> Self {
+        Self {
+            status: Status::Waiting,
+            end_epoch: 0,
+            life_epoch: 0,
+            start: SimTime::ZERO,
+            first_start: None,
+            last_advance: SimTime::ZERO,
+            work_done_s: 0.0,
+            checkpoint_s: 0.0,
+            credit_at_start_s: 0.0,
+            speed: 1.0,
+            restarts: 0,
+            finish: None,
+            boosted: false,
+            static_mode: false,
+        }
+    }
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Stats {
+    /// Jobs in the workload.
+    pub total_jobs: u32,
+    /// Jobs that completed successfully.
+    pub completed: u32,
+    /// Jobs that could never be placed (→ the configuration is reported
+    /// as a missing bar in the paper's plots).
+    pub unschedulable: u32,
+    /// Jobs killed for exceeding their request (static/baseline).
+    pub failed_exceeded: u32,
+    /// Jobs that hit the restart cap (dynamic).
+    pub failed_restarts: u32,
+    /// Out-of-memory kill events (each may be followed by a restart).
+    pub oom_kills: u32,
+    /// Distinct jobs killed at least once for OOM — the quantity the
+    /// paper bounds ("less than 1% of jobs fail due to insufficient
+    /// memory" in the most extreme scenario).
+    pub jobs_oom_killed: u32,
+    /// Wallclock from t=0 to the last completion, seconds.
+    pub makespan_s: f64,
+    /// System throughput: completed jobs per second of makespan.
+    pub throughput_jps: f64,
+    /// Mean fraction of nodes busy over the makespan.
+    pub avg_node_utilization: f64,
+    /// Mean fraction of total memory allocated over the makespan.
+    pub avg_mem_utilization: f64,
+    /// Mean slowdown experienced by completed jobs (wallclock runtime of
+    /// the final attempt ÷ base runtime).
+    pub mean_slowdown: f64,
+}
+
+/// How one job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Killed for exceeding its request (static/baseline rule).
+    FailedExceeded,
+    /// Hit the OOM restart cap.
+    FailedRestarts,
+    /// Could not be placed even on an empty cluster.
+    Unschedulable,
+}
+
+/// Per-job record of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job.
+    pub id: JobId,
+    /// Submission time, seconds.
+    pub submit_s: f64,
+    /// First dispatch time, if the job ever started.
+    pub first_start_s: Option<f64>,
+    /// Completion time, if the job completed.
+    pub finish_s: Option<f64>,
+    /// Number of OOM restarts the job went through.
+    pub restarts: u32,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+}
+
+impl JobRecord {
+    /// Response time (submission → completion), if completed.
+    pub fn response_s(&self) -> Option<f64> {
+        Some(self.finish_s? - self.submit_s)
+    }
+
+    /// Wait time (submission → first start), if ever started.
+    pub fn wait_s(&self) -> Option<f64> {
+        Some(self.first_start_s? - self.submit_s)
+    }
+}
+
+/// Everything a run produces: stats plus per-job timing distributions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimulationOutcome {
+    /// Aggregate statistics.
+    pub stats: Stats,
+    /// Response time (submission → completion) of each completed job.
+    pub response_times_s: Vec<f64>,
+    /// Wait time (submission → first start) of each completed job.
+    pub wait_times_s: Vec<f64>,
+    /// Per-job records, indexed by [`JobId`].
+    pub job_records: Vec<JobRecord>,
+    /// True when every job could run under this configuration.
+    pub feasible: bool,
+}
+
+/// A configured simulation, ready to run.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    cfg: SystemConfig,
+    workload: Workload,
+    policy: PolicyKind,
+    seed: u64,
+    max_restarts: u32,
+}
+
+impl Simulation {
+    /// Create a simulation of `workload` on `cfg` under `policy`.
+    pub fn new(cfg: SystemConfig, workload: Workload, policy: PolicyKind) -> Self {
+        Self {
+            cfg,
+            workload,
+            policy,
+            seed: 0x5EED,
+            max_restarts: 64,
+        }
+    }
+
+    /// Override the seed for the memory-update jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the OOM restart cap (dynamic policy fairness guard).
+    pub fn with_max_restarts(mut self, cap: u32) -> Self {
+        self.max_restarts = cap;
+        self
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> SimulationOutcome {
+        Runner::new(self).run()
+    }
+}
+
+struct Runner {
+    cfg: SystemConfig,
+    policy: PolicyKind,
+    jobs: Vec<Job>,
+    pool: ProfilePool,
+    model: ContentionModel,
+    max_restarts: u32,
+
+    cluster: Cluster,
+    queue: EventQueue,
+    pending: PendingQueue,
+    st: Vec<JobState>,
+    running: Vec<JobId>,
+    rng: Rng64,
+
+    now: SimTime,
+    tick_scheduled: bool,
+    change_counter: u64,
+    last_pass_counter: u64,
+    submits_remaining: u32,
+
+    // Metrics accumulators.
+    stats: Stats,
+    resp: Vec<f64>,
+    waits: Vec<f64>,
+    slowdown_sum: f64,
+    last_completion: SimTime,
+    util_last: SimTime,
+    busy_integral: f64,
+    mem_integral: f64,
+}
+
+impl Runner {
+    fn new(sim: Simulation) -> Self {
+        let cluster = Cluster::from_config(&sim.cfg);
+        let model = ContentionModel::new(sim.cfg.link_capacity_gbs);
+        let n = sim.workload.jobs.len();
+        let mut stats = Stats {
+            total_jobs: n as u32,
+            ..Stats::default()
+        };
+        let mut queue = EventQueue::new();
+        let mut st = vec![JobState::new(); n];
+        // Feasibility screen on the empty cluster: unschedulable jobs are
+        // excluded up front (they would pin the queue head forever).
+        let mut submits = 0u32;
+        for job in &sim.workload.jobs {
+            let ok = job.nodes as usize <= cluster.len()
+                && try_place(&cluster, sim.policy, job.nodes, job.mem_request_mb).is_some();
+            if ok {
+                queue.push(SimTime::from_secs(job.submit_s), EventKind::Submit(job.id));
+                submits += 1;
+            } else {
+                st[job.id.0 as usize].status = Status::Unschedulable;
+                stats.unschedulable += 1;
+            }
+        }
+        queue.push(SimTime::ZERO, EventKind::SchedTick);
+        Self {
+            rng: Rng64::stream(sim.seed, 0xD15A),
+            cfg: sim.cfg,
+            policy: sim.policy,
+            jobs: sim.workload.jobs,
+            pool: sim.workload.pool,
+            model,
+            max_restarts: sim.max_restarts,
+            cluster,
+            queue,
+            pending: PendingQueue::new(),
+            st,
+            running: Vec::new(),
+            now: SimTime::ZERO,
+            tick_scheduled: true,
+            change_counter: 1,
+            last_pass_counter: 0,
+            submits_remaining: submits,
+            stats,
+            resp: Vec::new(),
+            waits: Vec::new(),
+            slowdown_sum: 0.0,
+            last_completion: SimTime::ZERO,
+            util_last: SimTime::ZERO,
+            busy_integral: 0.0,
+            mem_integral: 0.0,
+        }
+    }
+
+    fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.0 as usize]
+    }
+
+    fn run(mut self) -> SimulationOutcome {
+        while let Some(ev) = self.queue.pop() {
+            self.advance_integrals(ev.time);
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Submit(job) => self.on_submit(job),
+                EventKind::SchedTick => self.on_tick(),
+                EventKind::JobEnd { job, epoch } => self.on_job_end(job, epoch),
+                EventKind::MemUpdate { job, epoch } => self.on_mem_update(job, epoch),
+            }
+        }
+        self.finalize()
+    }
+
+    fn advance_integrals(&mut self, to: SimTime) {
+        let dt = to - self.util_last;
+        if dt > 0.0 {
+            let busy = self.cluster.len() - self.cluster.idle_count();
+            self.busy_integral += dt * busy as f64;
+            self.mem_integral += dt * self.cluster.total_allocated_mb() as f64;
+            self.util_last = to;
+        }
+    }
+
+    fn on_submit(&mut self, job: JobId) {
+        let s = &mut self.st[job.0 as usize];
+        debug_assert!(matches!(s.status, Status::Waiting | Status::Pending));
+        s.status = Status::Pending;
+        if s.boosted {
+            self.pending.push_front(job);
+        } else {
+            self.pending.push(job);
+        }
+        self.submits_remaining = self.submits_remaining.saturating_sub(1);
+        self.change_counter += 1;
+        self.ensure_tick();
+    }
+
+    fn ensure_tick(&mut self) {
+        if !self.tick_scheduled {
+            self.queue
+                .push(self.now.plus_secs(self.cfg.sched_interval_s), EventKind::SchedTick);
+            self.tick_scheduled = true;
+        }
+    }
+
+    fn on_tick(&mut self) {
+        self.tick_scheduled = false;
+        if self.change_counter != self.last_pass_counter {
+            self.schedule_pass();
+            self.last_pass_counter = self.change_counter;
+        }
+        if !self.pending.is_empty() || !self.running.is_empty() || self.submits_remaining > 0 {
+            self.ensure_tick();
+        }
+    }
+
+    /// One FCFS + EASY-backfill scheduling pass.
+    fn schedule_pass(&mut self) {
+        let window: Vec<JobId> = self.pending.iter().take(self.cfg.queue_depth).collect();
+        if window.is_empty() {
+            return;
+        }
+        let mut started: Vec<JobId> = Vec::new();
+        let mut head_blocked: Option<(JobId, Option<crate::sched::Reservation>)> = None;
+        let mut backfill_seen = 0usize;
+        for &jid in &window {
+            let job = &self.jobs[jid.0 as usize];
+            let (nodes, req) = (job.nodes, job.mem_request_mb);
+            match head_blocked {
+                None => {
+                    if let Some(alloc) = try_place(&self.cluster, self.policy, nodes, req) {
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                    } else {
+                        let res = self.head_reservation(jid);
+                        head_blocked = Some((jid, res));
+                    }
+                }
+                Some((_, ref mut res)) => {
+                    backfill_seen += 1;
+                    if backfill_seen > self.cfg.backfill_depth {
+                        break;
+                    }
+                    let Some(r) = res else { break };
+                    let Some(alloc) = try_place(&self.cluster, self.policy, nodes, req) else {
+                        continue;
+                    };
+                    let ends_before = self.now.as_secs() + job.time_limit_s <= r.at_s;
+                    let total_req = nodes as u64 * req;
+                    let within_surplus = nodes <= r.surplus_nodes && total_req <= r.surplus_mem_mb;
+                    if ends_before {
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                    } else if within_surplus {
+                        // Consumes part of the projected surplus at the
+                        // reservation time.
+                        r.surplus_nodes -= nodes;
+                        r.surplus_mem_mb -= total_req;
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                    }
+                }
+            }
+        }
+        self.pending.remove_started(&started);
+    }
+
+    /// Aggregate EASY reservation for a blocked queue head.
+    fn head_reservation(&self, head: JobId) -> Option<crate::sched::Reservation> {
+        let job = self.job(head);
+        let releases: Vec<Release> = self
+            .running
+            .iter()
+            .map(|&r| {
+                let s = &self.st[r.0 as usize];
+                let j = &self.jobs[r.0 as usize];
+                let est_end = (s.start.as_secs() + j.time_limit_s).max(self.now.as_secs());
+                let mem = self
+                    .cluster
+                    .alloc_of(r)
+                    .map(|a| a.total_mb())
+                    .unwrap_or(0);
+                Release {
+                    at_s: est_end,
+                    nodes: j.nodes,
+                    mem_mb: mem,
+                }
+            })
+            .collect();
+        let free_mem = self.cluster.total_capacity_mb() - self.cluster.total_allocated_mb();
+        compute_reservation(
+            self.now.as_secs(),
+            job.nodes,
+            job.nodes as u64 * job.mem_request_mb,
+            self.cluster.idle_count() as u32,
+            free_mem,
+            &releases,
+        )
+    }
+
+    fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc) {
+        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
+        self.cluster.start_job(jid, alloc, bw);
+        let s = &mut self.st[jid.0 as usize];
+        s.status = Status::Running;
+        s.start = self.now;
+        s.last_advance = self.now;
+        s.work_done_s = s.checkpoint_s;
+        s.credit_at_start_s = s.checkpoint_s;
+        s.speed = 1.0;
+        if s.first_start.is_none() {
+            s.first_start = Some(self.now);
+        }
+        self.running.push(jid);
+        self.change_counter += 1;
+        // Contention changed for this job and everyone sharing its lenders.
+        self.refresh_speeds(jid, &lenders);
+        // Dynamic policy: begin the monitor/update loop. Static/baseline:
+        // schedule the exceeded-request kill probe if the trace will
+        // overflow the request.
+        let statically_allocated =
+            self.policy != PolicyKind::Dynamic || self.st[jid.0 as usize].static_mode;
+        if statically_allocated {
+            // Static/baseline jobs (and dynamic jobs demoted to the
+            // static-fallback mitigation) keep their request pinned; the
+            // only event they need is the exceeded-request kill probe.
+            if self.job(jid).peak_mb() > self.job(jid).mem_request_mb {
+                if let Some(t) = self.time_to_exceed(jid) {
+                    let epoch = self.st[jid.0 as usize].life_epoch;
+                    self.queue
+                        .push(self.now.plus_secs(t), EventKind::MemUpdate { job: jid, epoch });
+                }
+            }
+        } else {
+            let epoch = self.st[jid.0 as usize].life_epoch;
+            let dt = self.next_update_interval();
+            self.queue
+                .push(self.now.plus_secs(dt), EventKind::MemUpdate { job: jid, epoch });
+        }
+    }
+
+    /// Jittered memory-update interval ("on average every 5 minutes").
+    fn next_update_interval(&mut self) -> f64 {
+        self.cfg.mem_update_interval_s * self.rng.range_f64(0.8, 1.2)
+    }
+
+    /// Wallclock (at current speed) until the job's usage next exceeds
+    /// its request, or `None` if no future trace point does (a transient
+    /// exceed phase that already passed unobserved does not reschedule —
+    /// otherwise a late-firing probe would re-arm every second for the
+    /// rest of the job).
+    fn time_to_exceed(&self, jid: JobId) -> Option<f64> {
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let p_now = s.work_done_s / job.base_runtime_s;
+        let p_exceed = job
+            .usage
+            .points()
+            .iter()
+            .find(|&&(p, m)| m > job.mem_request_mb && p >= p_now)
+            .map(|&(p, _)| p)?;
+        Some(((p_exceed - p_now).max(0.0) * job.base_runtime_s) / s.speed)
+    }
+
+    /// Advance a running job's completed work to `self.now`.
+    fn advance_work(&mut self, jid: JobId) {
+        let s = &mut self.st[jid.0 as usize];
+        let dt = self.now - s.last_advance;
+        if dt > 0.0 {
+            s.work_done_s += dt * s.speed;
+            s.last_advance = self.now;
+        }
+    }
+
+    /// Recompute the slowdown of `jid` and of every job borrowing from
+    /// any of `touched_lenders`, re-keying their end events.
+    fn refresh_speeds(&mut self, jid: JobId, touched_lenders: &[NodeId]) {
+        let mut affected: Vec<JobId> = vec![jid];
+        for &l in touched_lenders {
+            for &b in self.cluster.borrowers_of(l) {
+                if !affected.contains(&b) {
+                    affected.push(b);
+                }
+            }
+        }
+        for a in affected {
+            self.update_speed(a);
+        }
+    }
+
+    fn update_speed(&mut self, jid: JobId) {
+        if self.st[jid.0 as usize].status != Status::Running {
+            return;
+        }
+        let Some(alloc) = self.cluster.alloc_of(jid) else {
+            return;
+        };
+        let access = RemoteAccess {
+            remote_fraction: alloc.remote_fraction(),
+            pressure: self
+                .model
+                .pressure(self.cluster.hottest_lender_demand_gbs(jid)),
+        };
+        let profile = self.pool.get(self.job(jid).profile);
+        let slowdown = self.model.slowdown(profile, access);
+        let new_speed = 1.0 / slowdown;
+        self.advance_work(jid);
+        let job_base = self.job(jid).base_runtime_s;
+        let s = &mut self.st[jid.0 as usize];
+        s.speed = new_speed;
+        s.end_epoch += 1;
+        let remaining = (job_base - s.work_done_s).max(0.0) / new_speed;
+        let epoch = s.end_epoch;
+        self.queue
+            .push(self.now.plus_secs(remaining), EventKind::JobEnd { job: jid, epoch });
+    }
+
+    fn on_job_end(&mut self, jid: JobId, epoch: u32) {
+        {
+            let s = &self.st[jid.0 as usize];
+            if s.status != Status::Running || s.end_epoch != epoch {
+                return;
+            }
+        }
+        self.advance_work(jid);
+        let alloc = self.cluster.finish_job(jid);
+        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        self.running.retain(|&r| r != jid);
+        let job_submit = self.job(jid).submit_s;
+        let base = self.job(jid).base_runtime_s;
+        let s = &mut self.st[jid.0 as usize];
+        s.status = Status::Done;
+        s.life_epoch += 1;
+        s.finish = Some(self.now);
+        let attempt_wallclock = self.now - s.start;
+        let attempt_work = base - s.credit_at_start_s;
+        if attempt_work > 0.0 {
+            self.slowdown_sum += attempt_wallclock / attempt_work;
+        } else {
+            self.slowdown_sum += 1.0;
+        }
+        self.stats.completed += 1;
+        self.resp.push(self.now.as_secs() - job_submit);
+        let first = s.first_start.unwrap_or(s.start);
+        self.waits.push(first.as_secs() - job_submit);
+        self.last_completion = self.now;
+        self.change_counter += 1;
+        // Freed memory may unblock queued jobs and eases pressure on the
+        // lenders this job was borrowing from.
+        for &l in &lenders {
+            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
+                self.update_speed(b);
+            }
+        }
+        self.ensure_tick();
+    }
+
+    fn on_mem_update(&mut self, jid: JobId, epoch: u32) {
+        {
+            let s = &self.st[jid.0 as usize];
+            if s.status != Status::Running || s.life_epoch != epoch {
+                return;
+            }
+        }
+        if self.policy == PolicyKind::Dynamic && !self.st[jid.0 as usize].static_mode {
+            self.dynamic_update(jid);
+        } else {
+            // For static/baseline (and static-fallback) jobs this event
+            // is the exceeded-request probe.
+            self.exceed_probe(jid);
+        }
+    }
+
+    /// Static/baseline: kill the job once its usage exceeds its request
+    /// ("any job that exceeds its memory request is killed", §2.1).
+    fn exceed_probe(&mut self, jid: JobId) {
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / job.base_runtime_s).min(1.0);
+        if job.usage.usage_at(progress) > job.mem_request_mb {
+            self.kill_job(jid, FailReason::ExceededRequest);
+        } else if let Some(t) = self.time_to_exceed(jid) {
+            // Re-arm for the next exceed point still ahead of the job.
+            let epoch = self.st[jid.0 as usize].life_epoch;
+            self.queue.push(
+                self.now.plus_secs(t.max(1.0)),
+                EventKind::MemUpdate { job: jid, epoch },
+            );
+        }
+    }
+
+    /// The Monitor→Decider→Actuator→Executor loop of §2.2 (see
+    /// [`crate::dynmem`] for the module breakdown).
+    fn dynamic_update(&mut self, jid: JobId) {
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let base = job.base_runtime_s;
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / base).min(1.0);
+        // Monitor: demand for the period until the next nominal update.
+        let monitor = crate::dynmem::Monitor::new(self.cfg.mem_update_interval_s);
+        let demand = monitor.sample_demand(&job.usage, progress, s.speed, base);
+        let bw = self.pool.get(job.profile).bandwidth_gbs;
+
+        let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
+        let lenders_before: Vec<NodeId> = alloc.lenders().collect();
+        let entries: Vec<(NodeId, u64)> = alloc
+            .entries
+            .iter()
+            .map(|e| (e.node, e.total_mb()))
+            .collect();
+        let compute_ids: Vec<NodeId> = entries.iter().map(|&(n, _)| n).collect();
+
+        // Decider: compare usage against the allocation.
+        let decision = crate::dynmem::decide(&entries, demand);
+        let mut changed = false;
+        // Actuator: deallocate (remote first) …
+        if let Some(target) = decision.shrink_to_mb {
+            let released = self.cluster.shrink_job(jid, target, bw);
+            changed |= released > 0;
+        }
+        // … and allocate (local first, then remote).
+        for &(node, need) in &decision.grows {
+            match plan_growth(&self.cluster, node, &compute_ids, need) {
+                Some((local, borrows)) => {
+                    self.cluster.grow_entry(jid, node, local, &borrows, bw);
+                    changed = true;
+                }
+                None => {
+                    // Out of memory: terminate and resubmit (§2.2).
+                    self.oom_kill(jid);
+                    return;
+                }
+            }
+        }
+        if changed {
+            self.change_counter += 1;
+            let alloc = self.cluster.alloc_of(jid).expect("alloc");
+            let mut touched: Vec<NodeId> = lenders_before;
+            for l in alloc.lenders() {
+                if !touched.contains(&l) {
+                    touched.push(l);
+                }
+            }
+            self.refresh_speeds(jid, &touched);
+            self.ensure_tick();
+        }
+        // Successful update doubles as the checkpoint instant.
+        let s = &mut self.st[jid.0 as usize];
+        s.checkpoint_s = s.work_done_s;
+        let epoch = s.life_epoch;
+        let dt = self.next_update_interval();
+        self.queue
+            .push(self.now.plus_secs(dt), EventKind::MemUpdate { job: jid, epoch });
+    }
+
+    /// Dynamic OOM: kill, release, and resubmit (F/R from scratch, C/R
+    /// from the last checkpoint).
+    fn oom_kill(&mut self, jid: JobId) {
+        self.stats.oom_kills += 1;
+        if self.st[jid.0 as usize].restarts == 0 {
+            self.stats.jobs_oom_killed += 1;
+        }
+        let alloc = self.cluster.finish_job(jid);
+        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        self.running.retain(|&r| r != jid);
+        let cap = self.max_restarts;
+        let restart = self.cfg.restart;
+        let s = &mut self.st[jid.0 as usize];
+        s.life_epoch += 1;
+        s.end_epoch += 1;
+        s.restarts += 1;
+        match restart {
+            RestartStrategy::FailRestart => s.checkpoint_s = 0.0,
+            RestartStrategy::CheckpointRestart => { /* keep checkpoint credit */ }
+        }
+        match self.cfg.oom_mitigation {
+            OomMitigation::PriorityBoost { after } if s.restarts >= after => {
+                s.boosted = true;
+            }
+            OomMitigation::StaticFallback { after } if s.restarts >= after => {
+                s.static_mode = true;
+            }
+            _ => {}
+        }
+        if s.restarts > cap {
+            s.status = Status::Failed(FailReason::TooManyRestarts);
+            self.stats.failed_restarts += 1;
+        } else {
+            s.status = Status::Waiting;
+            self.submits_remaining += 1;
+            self.queue.push(self.now, EventKind::Submit(jid));
+        }
+        self.change_counter += 1;
+        for &l in &lenders {
+            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
+                self.update_speed(b);
+            }
+        }
+        self.ensure_tick();
+    }
+
+    /// Static/baseline kill for exceeding the request: permanent failure.
+    fn kill_job(&mut self, jid: JobId, reason: FailReason) {
+        let alloc = self.cluster.finish_job(jid);
+        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        self.running.retain(|&r| r != jid);
+        let s = &mut self.st[jid.0 as usize];
+        s.life_epoch += 1;
+        s.end_epoch += 1;
+        s.status = Status::Failed(reason);
+        self.stats.failed_exceeded += 1;
+        self.change_counter += 1;
+        for &l in &lenders {
+            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
+                self.update_speed(b);
+            }
+        }
+        self.ensure_tick();
+    }
+
+    fn finalize(mut self) -> SimulationOutcome {
+        debug_assert!(self.running.is_empty(), "run ended with running jobs");
+        debug_assert!(self.pending.is_empty(), "run ended with pending jobs");
+        let makespan = self.last_completion.as_secs();
+        self.stats.makespan_s = makespan;
+        self.stats.throughput_jps = if makespan > 0.0 {
+            self.stats.completed as f64 / makespan
+        } else {
+            0.0
+        };
+        if makespan > 0.0 {
+            self.stats.avg_node_utilization =
+                self.busy_integral / (makespan * self.cluster.len() as f64);
+            self.stats.avg_mem_utilization =
+                self.mem_integral / (makespan * self.cluster.total_capacity_mb() as f64);
+        }
+        self.stats.mean_slowdown = if self.stats.completed > 0 {
+            self.slowdown_sum / self.stats.completed as f64
+        } else {
+            0.0
+        };
+        let feasible = self.stats.unschedulable == 0;
+        let job_records = self
+            .jobs
+            .iter()
+            .map(|job| {
+                let s = &self.st[job.id.0 as usize];
+                let outcome = match s.status {
+                    Status::Done => JobOutcome::Completed,
+                    Status::Failed(FailReason::ExceededRequest) => JobOutcome::FailedExceeded,
+                    Status::Failed(FailReason::TooManyRestarts) => JobOutcome::FailedRestarts,
+                    Status::Unschedulable => JobOutcome::Unschedulable,
+                    other => unreachable!("{} ended in state {other:?}", job.id),
+                };
+                JobRecord {
+                    id: job.id,
+                    submit_s: job.submit_s,
+                    first_start_s: s.first_start.map(SimTime::as_secs),
+                    finish_s: s.finish.map(SimTime::as_secs),
+                    restarts: s.restarts,
+                    outcome,
+                }
+            })
+            .collect();
+        SimulationOutcome {
+            stats: self.stats,
+            response_times_s: self.resp,
+            wait_times_s: self.waits,
+            job_records,
+            feasible,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::MemoryMix;
+    use crate::job::MemoryUsageTrace;
+    use dmhpc_model::ProfileId;
+
+    fn small_cfg(nodes: u32) -> SystemConfig {
+        SystemConfig::with_nodes(nodes).with_memory_mix(MemoryMix::new(1000, 2000, 0.5))
+    }
+
+    fn flat_job(id: u32, submit: f64, nodes: u32, runtime: f64, mem: u64) -> Job {
+        Job {
+            id: JobId(id),
+            submit_s: submit,
+            nodes,
+            base_runtime_s: runtime,
+            time_limit_s: runtime * 1.5,
+            mem_request_mb: mem,
+            usage: MemoryUsageTrace::flat(mem),
+            profile: ProfileId(0),
+        }
+    }
+
+    fn pool() -> ProfilePool {
+        ProfilePool::synthetic(4, 99)
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let jobs = vec![flat_job(0, 0.0, 2, 600.0, 500)];
+        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Dynamic)
+            .run();
+        assert_eq!(out.stats.completed, 1);
+        assert!(out.feasible);
+        assert_eq!(out.stats.oom_kills, 0);
+        // Fully local run: no slowdown; completes at ~630 s (first tick
+        // at 30 s boundary can delay the start by up to one interval).
+        assert!(out.stats.makespan_s >= 600.0 && out.stats.makespan_s < 700.0);
+        assert!((out.stats.mean_slowdown - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_full() {
+        // 2 nodes, two sequential 1-node jobs + a third that must wait.
+        let jobs = vec![
+            flat_job(0, 0.0, 1, 300.0, 500),
+            flat_job(1, 0.0, 1, 300.0, 500),
+            flat_job(2, 0.0, 1, 300.0, 500),
+        ];
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let out = Simulation::new(cfg, Workload::new(jobs, pool()), PolicyKind::Static).run();
+        assert_eq!(out.stats.completed, 3);
+        // Third job waits for a release: response > its runtime.
+        let max_resp = out.response_times_s.iter().cloned().fold(0.0, f64::max);
+        assert!(max_resp > 300.0);
+    }
+
+    #[test]
+    fn baseline_rejects_oversized_jobs() {
+        let jobs = vec![flat_job(0, 0.0, 1, 100.0, 5000)];
+        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Baseline)
+            .run();
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.stats.unschedulable, 1);
+        assert!(!out.feasible);
+    }
+
+    #[test]
+    fn disaggregated_runs_oversized_jobs() {
+        // 3000 MB on one node: > any node, < total (4 nodes: 2×1000+2×2000).
+        let jobs = vec![flat_job(0, 0.0, 1, 100.0, 3000)];
+        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Static)
+            .run();
+        assert_eq!(out.stats.completed, 1);
+        assert!(out.feasible);
+        // Borrowing slows the job: runtime stretched.
+        assert!(out.stats.mean_slowdown > 1.0);
+    }
+
+    #[test]
+    fn dynamic_reclaims_unused_memory() {
+        // Job 0 requests 2000 but uses only 200: dynamic shrinks it, so
+        // job 1 (needing 1800 local) can start before job 0 finishes.
+        let mut j0 = flat_job(0, 0.0, 1, 2000.0, 2000);
+        j0.usage = MemoryUsageTrace::flat(200);
+        let j1 = flat_job(1, 30.0, 1, 300.0, 1800);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
+        let mk = |policy| {
+            Simulation::new(
+                cfg.clone(),
+                Workload::new(vec![j0.clone(), j1.clone()], pool()),
+                policy,
+            )
+            .run()
+        };
+        let stat = mk(PolicyKind::Static);
+        let dyn_ = mk(PolicyKind::Dynamic);
+        assert_eq!(stat.stats.completed, 2);
+        assert_eq!(dyn_.stats.completed, 2);
+        // Under static, both jobs fit side by side (two nodes, all local),
+        // so compare memory utilisation instead: dynamic must allocate
+        // less memory over time.
+        assert!(dyn_.stats.avg_mem_utilization < stat.stats.avg_mem_utilization);
+    }
+
+    #[test]
+    fn dynamic_oom_restarts_job() {
+        // One node of 1000 MB; the job ramps 100 → 900 but a competitor's
+        // static 600 MB allocation on the lender leaves no room to grow.
+        let mut j0 = flat_job(0, 0.0, 1, 1200.0, 1000);
+        j0.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 950)]).unwrap();
+        let j1 = flat_job(1, 0.0, 1, 4000.0, 900);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![j0, j1], pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        // Both eventually finish; j0 may restart if its growth collided
+        // with j1's occupancy.
+        assert_eq!(out.stats.completed, 2);
+    }
+
+    #[test]
+    fn exceeded_request_kills_static_job() {
+        // Usage (800) exceeds the request (500): static kills it.
+        let mut j = flat_job(0, 0.0, 1, 600.0, 500);
+        j.usage = MemoryUsageTrace::new(vec![(0.0, 300), (0.5, 800)]).unwrap();
+        let out = Simulation::new(
+            small_cfg(2),
+            Workload::new(vec![j], pool()),
+            PolicyKind::Static,
+        )
+        .run();
+        assert_eq!(out.stats.completed, 0);
+        assert_eq!(out.stats.failed_exceeded, 1);
+    }
+
+    #[test]
+    fn dynamic_tolerates_usage_above_request() {
+        // Same job under dynamic: allocation follows usage, no kill.
+        let mut j = flat_job(0, 0.0, 1, 600.0, 500);
+        j.usage = MemoryUsageTrace::new(vec![(0.0, 300), (0.5, 800)]).unwrap();
+        let out = Simulation::new(
+            small_cfg(2),
+            Workload::new(vec![j], pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.failed_exceeded, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| flat_job(i, i as f64 * 50.0, 1 + (i % 3), 400.0 + i as f64, 600))
+            .collect();
+        let mk = || {
+            Simulation::new(
+                small_cfg(6),
+                Workload::new(jobs.clone(), pool()),
+                PolicyKind::Dynamic,
+            )
+            .with_seed(7)
+            .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.stats.completed, b.stats.completed);
+        assert_eq!(a.stats.makespan_s, b.stats.makespan_s);
+        assert_eq!(a.response_times_s, b.response_times_s);
+    }
+
+    #[test]
+    fn waits_and_responses_consistent() {
+        let jobs = vec![flat_job(0, 100.0, 1, 300.0, 500)];
+        let out = Simulation::new(small_cfg(2), Workload::new(jobs, pool()), PolicyKind::Static)
+            .run();
+        assert_eq!(out.wait_times_s.len(), 1);
+        assert_eq!(out.response_times_s.len(), 1);
+        // Response ≥ wait + base runtime.
+        assert!(out.response_times_s[0] >= out.wait_times_s[0] + 300.0 - 1e-6);
+        // Wait is bounded by the scheduling interval for an empty system.
+        assert!(out.wait_times_s[0] <= 31.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexed by id")]
+    fn workload_validates_ids() {
+        let j = flat_job(5, 0.0, 1, 10.0, 10);
+        Workload::new(vec![j], pool());
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump_a_blocked_head() {
+        // 2 nodes. Job 0 occupies both for a long time. Job 1 (head of
+        // queue) needs 2 nodes — blocked. Job 2 needs 1 node for a short
+        // time... but nothing is free, so backfilling can't help while
+        // job 0 holds both nodes. Instead: job 0 takes ONE node, job 1
+        // needs 2 (blocked until job 0 ends), job 2 needs 1 node and
+        // finishes before job 0's limit → backfills onto the free node.
+        let j0 = flat_job(0, 0.0, 1, 5000.0, 500);
+        let j1 = flat_job(1, 10.0, 2, 1000.0, 500);
+        let j2 = flat_job(2, 20.0, 1, 600.0, 500); // limit 900 < j0 end
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![j0, j1, j2], pool()),
+            PolicyKind::Static,
+        )
+        .run();
+        assert_eq!(out.stats.completed, 3);
+        // Job 2 must finish long before job 1 even though it was queued
+        // behind it (EASY backfill), i.e. its response ≪ job 1's.
+        // Completion order → response vector order: j2 completes first
+        // among the queued pair.
+        let r1 = out.response_times_s[1]; // second completion
+        let r2 = out.response_times_s[2]; // third completion
+        // First completion is j2 (600 s), then j0 (5000 s), then j1.
+        let first = out.response_times_s[0];
+        assert!(first < 700.0, "backfilled job should finish first: {first}");
+        assert!(r1 > first && r2 > first);
+    }
+
+    #[test]
+    fn checkpoint_restart_wastes_less_work_than_fail_restart() {
+        // A job that grows to 900 MB at 60% progress on a 1000 MB node,
+        // while a long-running neighbour has borrowed 400 MB from that
+        // node: the growth OOMs, the job restarts. Under C/R it resumes
+        // from its last update; under F/R it starts over.
+        let mut grower = flat_job(0, 0.0, 1, 3000.0, 100);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.6, 950)]).unwrap();
+        // The blocker runs on node 1 and borrows 400 from node 0,
+        // leaving grower (on node 0) at most 600 local + 0 remote.
+        let mut blocker = flat_job(1, 0.0, 1, 10_000.0, 1400);
+        blocker.usage = MemoryUsageTrace::flat(1400);
+        let mk = |strat| {
+            let cfg = SystemConfig::with_nodes(2)
+                .with_memory_mix(MemoryMix::new(1000, 1000, 0.0))
+                .with_restart(strat);
+            Simulation::new(
+                cfg,
+                Workload::new(vec![grower.clone(), blocker.clone()], pool()),
+                PolicyKind::Dynamic,
+            )
+            .run()
+        };
+        let fr = mk(RestartStrategy::FailRestart);
+        let cr = mk(RestartStrategy::CheckpointRestart);
+        assert_eq!(fr.stats.completed, 2);
+        assert_eq!(cr.stats.completed, 2);
+        assert!(fr.stats.oom_kills >= 1, "scenario must trigger OOM");
+        assert!(cr.stats.oom_kills >= 1);
+        // C/R finishes the grower no later than F/R (it keeps progress).
+        assert!(
+            cr.stats.makespan_s <= fr.stats.makespan_s,
+            "C/R {} vs F/R {}",
+            cr.stats.makespan_s,
+            fr.stats.makespan_s
+        );
+    }
+
+    #[test]
+    fn utilization_accounting_bounds() {
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| flat_job(i, i as f64 * 100.0, 1, 500.0, 400))
+            .collect();
+        let out = Simulation::new(
+            small_cfg(4),
+            Workload::new(jobs, pool()),
+            PolicyKind::Static,
+        )
+        .run();
+        assert!(out.stats.avg_node_utilization > 0.0);
+        assert!(out.stats.avg_node_utilization <= 1.0);
+        assert!(out.stats.avg_mem_utilization > 0.0);
+        assert!(out.stats.avg_mem_utilization <= 1.0);
+        // 10 × 500 node-seconds on 4 nodes over the makespan.
+        let expect = 10.0 * 500.0 / (4.0 * out.stats.makespan_s);
+        assert!((out.stats.avg_node_utilization - expect).abs() < 0.05);
+    }
+
+    #[test]
+    fn stale_events_are_ignored_after_restart() {
+        // A job that OOMs and restarts must not be double-completed by
+        // its pre-kill end event.
+        let mut grower = flat_job(0, 0.0, 1, 1000.0, 100);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 2000)]).unwrap();
+        let blocker = flat_job(1, 0.0, 1, 20_000.0, 1900);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![grower, blocker], pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        // Exactly two completions; total = completed regardless of the
+        // number of restarts in between.
+        assert_eq!(out.stats.completed, 2);
+        assert_eq!(out.response_times_s.len(), 2);
+    }
+
+    #[test]
+    fn static_fallback_breaks_restart_loops() {
+        use crate::config::OomMitigation;
+        // Same pathological scenario as the restart-cap test: the grower
+        // wants far more than its request and can never be satisfied.
+        // With the static fallback it is demoted after 2 kills and then
+        // killed once for exceeding its (pinned) request — no livelock,
+        // far fewer OOM kills.
+        let mut grower = flat_job(0, 0.0, 1, 1000.0, 100);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.2, 1800)]).unwrap();
+        let blocker = flat_job(1, 0.0, 1, 3_000_000.0, 1500);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0))
+            .with_mitigation(OomMitigation::StaticFallback { after: 2 });
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![grower, blocker], pool()),
+            PolicyKind::Dynamic,
+        )
+        .with_max_restarts(50)
+        .run();
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.oom_kills, 2, "fallback must stop the kills");
+        assert_eq!(out.stats.failed_exceeded, 1, "static rule applies after demotion");
+        assert_eq!(out.stats.failed_restarts, 0);
+    }
+
+    #[test]
+    fn static_fallback_guarantees_adequate_requests() {
+        use crate::config::OomMitigation;
+        // The grower's request (950) covers its peak; dynamically it gets
+        // shrunk and then cannot regrow because the blocker's own growth
+        // races it. After the fallback the request is pinned, so the
+        // second attempt is guaranteed to finish.
+        let mut grower = flat_job(0, 0.0, 1, 2000.0, 950);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 950)]).unwrap();
+        let mut racer = flat_job(1, 0.0, 1, 2000.0, 950);
+        racer.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 950)]).unwrap();
+        let third = flat_job(2, 0.0, 1, 8000.0, 900);
+        let cfg = SystemConfig::with_nodes(3)
+            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0))
+            .with_mitigation(OomMitigation::StaticFallback { after: 1 });
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![grower, racer, third], pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        assert_eq!(out.stats.completed, 3, "everything completes eventually");
+        assert_eq!(out.stats.failed_restarts, 0);
+    }
+
+    #[test]
+    fn priority_boost_requeues_at_head() {
+        use crate::config::OomMitigation;
+        // The boosted job must start before older queue entries after
+        // its OOM kill.
+        let mut grower = flat_job(0, 0.0, 1, 1200.0, 1000);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.4, 1000)]).unwrap();
+        let blocker = flat_job(1, 0.0, 1, 5000.0, 950);
+        // A queue of patient small jobs behind the grower.
+        let tail: Vec<Job> = (2..8)
+            .map(|i| flat_job(i, 50.0, 1, 3000.0, 800))
+            .collect();
+        let mut jobs = vec![grower, blocker];
+        jobs.extend(tail);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0))
+            .with_mitigation(OomMitigation::PriorityBoost { after: 1 });
+        let boosted = Simulation::new(
+            cfg.clone(),
+            Workload::new(jobs.clone(), pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        let plain = Simulation::new(
+            cfg.with_mitigation(OomMitigation::None),
+            Workload::new(jobs, pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
+        assert_eq!(boosted.stats.completed, 8);
+        assert_eq!(plain.stats.completed, 8);
+        if boosted.stats.oom_kills > 0 {
+            // The grower itself must not finish later with the boost.
+            let grower_b = boosted.job_records[0].response_s().unwrap();
+            let grower_p = plain.job_records[0].response_s().unwrap();
+            assert!(
+                grower_b <= grower_p + 1e-6,
+                "boosted {grower_b} vs plain {grower_p}"
+            );
+            assert!(boosted.job_records[0].restarts >= 1);
+        }
+    }
+
+    #[test]
+    fn max_restart_cap_fails_job_permanently() {
+        // The grower can never fit: it wants 2000 MB on a node where a
+        // 30-day blocker borrowed everything beyond 500 MB.
+        let mut grower = flat_job(0, 0.0, 1, 1000.0, 100);
+        grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.2, 1800)]).unwrap();
+        let blocker = flat_job(1, 0.0, 1, 3_000_000.0, 1500);
+        let cfg = SystemConfig::with_nodes(2)
+            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let out = Simulation::new(
+            cfg,
+            Workload::new(vec![grower, blocker], pool()),
+            PolicyKind::Dynamic,
+        )
+        .with_max_restarts(3)
+        .run();
+        assert_eq!(out.stats.completed, 1, "only the blocker completes");
+        assert_eq!(out.stats.failed_restarts, 1);
+        assert!(out.stats.oom_kills >= 4, "cap+1 kills, got {}", out.stats.oom_kills);
+    }
+}

@@ -1,0 +1,376 @@
+//! `dmhpc` — regenerate the paper's tables and figures from the command
+//! line.
+//!
+//! ```text
+//! dmhpc <command> [--scale small|medium|full] [--threads N] [--csv]
+//!
+//! commands: table1 table2 table3 table4
+//!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
+//!           ablate all
+//! ```
+
+use dmhpc_experiments::exp;
+use dmhpc_experiments::scale::Scale;
+use dmhpc_experiments::table::TextTable;
+
+struct Args {
+    command: String,
+    scale: Scale,
+    threads: usize,
+    csv: bool,
+    /// Free-form `--key value` options for export/simulate.
+    opts: std::collections::HashMap<String, String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut scale = Scale::Medium;
+    let mut threads = 0usize;
+    let mut csv = false;
+    let mut opts = std::collections::HashMap::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                scale = Scale::parse(&v)?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--csv" => csv = true,
+            flag if flag.starts_with("--") => {
+                let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                opts.insert(flag[2..].to_string(), v);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        command,
+        scale,
+        threads,
+        csv,
+        opts,
+    })
+}
+
+fn usage() -> String {
+    "usage: dmhpc <command> [--scale small|medium|full] [--threads N] [--csv]\n\
+     commands:\n\
+     \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
+     \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
+     \x20 ablate                                 design-choice ablations\n\
+     \x20 validate                               PASS/FAIL the headline claims\n\
+     \x20 all                                    everything above\n\
+     \x20 export  --out DIR [--jobs N] [--large F] [--over O] [--seed S]\n\
+     \x20                                        write workload.swf + usage.txt\n\
+     \x20 simulate --swf FILE [--usage FILE] [--policy P] [--nodes N] [--large-nodes F]\n\
+     \x20                                        run an SWF trace through the simulator"
+        .to_string()
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    opts: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_export(
+    scale: Scale,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    use dmhpc_core::config::SystemConfig;
+    let out = opts
+        .get("out")
+        .ok_or("export requires --out DIR")?
+        .clone();
+    let jobs: usize = opt_parse(opts, "jobs", scale.synthetic_jobs())?;
+    let large: f64 = opt_parse(opts, "large", 0.5)?;
+    let over: f64 = opt_parse(opts, "over", 0.0)?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let system = SystemConfig::with_nodes(scale.synthetic_nodes());
+    let workload = dmhpc_traces::WorkloadBuilder::new(seed)
+        .jobs(jobs)
+        .max_job_nodes(scale.max_job_nodes())
+        .large_job_fraction(large)
+        .overestimation(over)
+        .google_pool(scale.google_pool())
+        .build_for(&system);
+    let records: Vec<_> = workload
+        .jobs
+        .iter()
+        .map(|j| dmhpc_traces::swf::from_job(j, system.cores_per_node))
+        .collect();
+    let note = format!(
+        "dmhpc export: {jobs} jobs, large {large}, overestimation {over}, seed {seed}"
+    );
+    std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {out}: {e}"))?;
+    let swf_path = format!("{out}/workload.swf");
+    let usage_path = format!("{out}/usage.txt");
+    std::fs::write(&swf_path, dmhpc_traces::swf::write(&records, &note))
+        .map_err(|e| format!("{swf_path}: {e}"))?;
+    let usage = dmhpc_traces::usagefile::from_workload(&workload);
+    std::fs::write(&usage_path, dmhpc_traces::usagefile::write(&usage))
+        .map_err(|e| format!("{usage_path}: {e}"))?;
+    let stats = dmhpc_traces::WorkloadStats::of(&workload);
+    println!("wrote {} jobs to {swf_path} and {usage_path}", workload.len());
+    println!(
+        "  large-memory jobs: {} | offered load vs {} nodes: {:.2} | \
+         mean peak {:.0} MB (headroom ×{:.2}) | mean overestimation {:+.0}%",
+        stats.large_memory_jobs,
+        system.nodes,
+        stats.offered_load(system.nodes),
+        stats.mean_peak_mb,
+        stats.headroom_ratio(),
+        stats.mean_overestimation * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_chart(
+    scale: Scale,
+    threads: usize,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    use dmhpc_experiments::chart::sweep_panel;
+    use dmhpc_experiments::{ThroughputSweep, TraceSpec};
+    let large: f64 = opt_parse(opts, "large", 0.5)?;
+    let over: f64 = opt_parse(opts, "over", 0.6)?;
+    let width: usize = opt_parse(opts, "width", 40)?;
+    let trace = TraceSpec::Synthetic { large_fraction: large };
+    let overs = if over == 0.0 { vec![0.0] } else { vec![0.0, over] };
+    let sweep = ThroughputSweep::run(scale, &[trace], &overs, threads);
+    print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
+    Ok(())
+}
+
+fn cmd_simulate(
+    scale: Scale,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    use dmhpc_core::cluster::MemoryMix;
+    use dmhpc_core::config::SystemConfig;
+    use dmhpc_core::policy::PolicyKind;
+    use dmhpc_core::sim::Simulation;
+    let swf_path = opts.get("swf").ok_or("simulate requires --swf FILE")?;
+    let swf_text =
+        std::fs::read_to_string(swf_path).map_err(|e| format!("{swf_path}: {e}"))?;
+    let usage_text = match opts.get("usage") {
+        Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
+        None => None,
+    };
+    let policy = match opts.get("policy").map(String::as_str).unwrap_or("dynamic") {
+        "baseline" => PolicyKind::Baseline,
+        "static" => PolicyKind::Static,
+        "dynamic" => PolicyKind::Dynamic,
+        other => return Err(format!("--policy: unknown policy '{other}'")),
+    };
+    let nodes: u32 = opt_parse(opts, "nodes", scale.synthetic_nodes())?;
+    let large_nodes: f64 = opt_parse(opts, "large-nodes", 1.0)?;
+    let workload = dmhpc_traces::workload_from_text(
+        &swf_text,
+        usage_text.as_deref(),
+        &dmhpc_traces::ImportOptions::default(),
+    )?;
+    let system = SystemConfig::with_nodes(nodes)
+        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, large_nodes));
+    let n_jobs = workload.len();
+    let out = Simulation::new(system, workload, policy).run();
+    let mut t = TextTable::new(vec!["metric", "value"]);
+    t.row(vec!["jobs".to_string(), n_jobs.to_string()]);
+    t.row(vec!["policy".to_string(), policy.to_string()]);
+    t.row(vec!["feasible".to_string(), out.feasible.to_string()]);
+    t.row(vec!["completed".to_string(), out.stats.completed.to_string()]);
+    t.row(vec!["unschedulable".to_string(), out.stats.unschedulable.to_string()]);
+    t.row(vec!["oom kill events".to_string(), out.stats.oom_kills.to_string()]);
+    t.row(vec!["jobs OOM-killed".to_string(), out.stats.jobs_oom_killed.to_string()]);
+    t.row(vec!["makespan (s)".to_string(), format!("{:.0}", out.stats.makespan_s)]);
+    t.row(vec![
+        "throughput (jobs/h)".to_string(),
+        format!("{:.3}", out.stats.throughput_jps * 3600.0),
+    ]);
+    t.row(vec![
+        "node utilization".to_string(),
+        format!("{:.1}%", out.stats.avg_node_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "memory utilization".to_string(),
+        format!("{:.1}%", out.stats.avg_mem_utilization * 100.0),
+    ]);
+    t.row(vec![
+        "mean slowdown".to_string(),
+        format!("{:.3}", out.stats.mean_slowdown),
+    ]);
+    if let Ok(e) = dmhpc_metrics::ecdf::Ecdf::new(out.response_times_s.clone()) {
+        t.row(vec!["median response (s)".to_string(), format!("{:.0}", e.median())]);
+        t.row(vec!["p95 response (s)".to_string(), format!("{:.0}", e.quantile(0.95))]);
+    }
+    emit("Simulation result", &t, false);
+    Ok(())
+}
+
+fn emit(title: &str, t: &TextTable, csv: bool) {
+    if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("== {title} ==");
+        print!("{}", t.render());
+        println!();
+    }
+}
+
+fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(), String> {
+    match cmd {
+        "table1" => emit("Table 1: trace sources", &exp::tables::table1(), csv),
+        "table2" => emit(
+            "Table 2: max memory usage per node (% of jobs)",
+            &exp::tables::table2(scale),
+            csv,
+        ),
+        "table3" => emit(
+            "Table 3: normal vs large memory job characteristics",
+            &exp::tables::table3(scale),
+            csv,
+        ),
+        "table4" => emit("Table 4: simulated system configurations", &exp::tables::table4(), csv),
+        "fig2" => {
+            let f = exp::fig2::run(scale, threads);
+            emit("Figure 2: Grizzly week sampling", &f.table(), csv);
+            if !csv {
+                println!(
+                    "selected weeks all >=70% util: {}",
+                    f.selection_is_high_util()
+                );
+            }
+        }
+        "fig4" => {
+            let f = exp::fig4::run(scale, threads);
+            emit("Figure 4a: average memory usage heatmap", &f.avg_table(), csv);
+            emit("Figure 4b: maximum memory usage heatmap", &f.max_table(), csv);
+            if !csv {
+                println!(
+                    "mass below 12 GB: avg {:.1}% vs max {:.1}%",
+                    f.avg_mass_below_12gb(),
+                    f.max_mass_below_12gb()
+                );
+            }
+        }
+        "fig5" => {
+            let f = exp::fig5::run(scale, threads);
+            emit("Figure 5: normalized throughput", &f.table(), csv);
+            if !csv {
+                if let Some((trace, over, mem, gain)) = f.max_dynamic_gain() {
+                    println!(
+                        "max dynamic-over-static gain: +{:.1}% ({trace}, +{:.0}% overest, {mem}% memory)",
+                        gain * 100.0,
+                        over * 100.0
+                    );
+                }
+            }
+        }
+        "fig6" => {
+            let f = exp::fig6::run(scale, threads);
+            emit("Figure 6: response-time quantiles", &f.table(), csv);
+            if !csv {
+                if let Some(r) =
+                    f.median_reduction(exp::fig6::Provisioning::Under, 0.6)
+                {
+                    println!(
+                        "median response reduction (underprovisioned, +60%): {:.0}%",
+                        r * 100.0
+                    );
+                }
+            }
+        }
+        "fig7" => {
+            let f = exp::fig7::run(scale, threads);
+            emit("Figure 7: throughput per dollar", &f.table(), csv);
+            if !csv {
+                if let Some(adv) = f.max_dynamic_advantage(0.6) {
+                    println!("max dynamic advantage at +60%: +{:.1}%", adv * 100.0);
+                }
+            }
+        }
+        "fig8" => {
+            let f = exp::fig8::run(scale, threads);
+            emit("Figure 8: throughput vs overestimation", &f.table(), csv);
+            if !csv {
+                if let Some(gap) = f.gap_at_37("large 50%", 1.0) {
+                    println!(
+                        "dynamic-static gap at 37% memory, +100% overest: {:.1} pp",
+                        gap * 100.0
+                    );
+                }
+            }
+        }
+        "fig9" => {
+            let f = exp::fig9::run(scale, threads);
+            emit("Figure 9: min memory for 95% throughput", &f.table(), csv);
+        }
+        "ablate" => {
+            let a = exp::ablations::run(scale, threads);
+            emit("Ablations (dynamic policy, stress scenario)", &a.table(), csv);
+        }
+        "validate" => {
+            let v = exp::validate::run(scale, threads);
+            emit("Validation of the paper's headline claims", &v.table(), csv);
+            if !v.all_pass() {
+                return Err("some claims failed validation".into());
+            }
+        }
+        "all" => {
+            for c in [
+                "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6", "fig7",
+            ] {
+                run_command(c, scale, threads, csv)?;
+            }
+            // Figures 8 and 9 share one sweep; run it once.
+            let f8 = exp::fig8::run(scale, threads);
+            emit("Figure 8: throughput vs overestimation", &f8.table(), csv);
+            let f9 = exp::fig9::derive(&f8, "large 50%");
+            emit("Figure 9: min memory for 95% throughput", &f9.table(), csv);
+            run_command("ablate", scale, threads, csv)?;
+        }
+        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let start = std::time::Instant::now();
+    let result = match args.command.as_str() {
+        "export" => cmd_export(args.scale, &args.opts),
+        "simulate" => cmd_simulate(args.scale, &args.opts),
+        "chart" => cmd_chart(args.scale, args.threads, &args.opts),
+        cmd => run_command(cmd, args.scale, args.threads, args.csv),
+    };
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    if !args.csv {
+        eprintln!(
+            "[{} @ {} scale in {:.1}s]",
+            args.command,
+            args.scale.label(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

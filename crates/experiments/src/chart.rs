@@ -1,0 +1,121 @@
+//! Terminal bar charts for the figure panels.
+//!
+//! The paper's figures are bar/line plots; the CLI renders a Unicode
+//! bar per `(memory %, policy)` point so the shape is visible without
+//! leaving the terminal. Missing bars (infeasible configurations)
+//! render as `∅`, exactly like the paper's gaps.
+
+/// Render one figure panel as horizontal bars.
+///
+/// `rows` are `(label, value)` with values normalised to `max_value`;
+/// `width` is the bar length in cells for `max_value`.
+///
+/// # Panics
+/// Panics if `width` is zero or `max_value` is not positive and finite.
+pub fn bar_panel(title: &str, rows: &[(String, Option<f64>)], max_value: f64, width: usize) -> String {
+    assert!(width > 0, "bar width must be positive");
+    assert!(
+        max_value > 0.0 && max_value.is_finite(),
+        "max_value must be positive and finite"
+    );
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::with_capacity(rows.len() * (label_w + width + 16));
+    out.push_str(title);
+    out.push('\n');
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<label_w$} "));
+        match value {
+            Some(v) => {
+                let clamped = v.clamp(0.0, max_value);
+                // Eighth-block resolution for the final partial cell.
+                let exact = clamped / max_value * width as f64;
+                let full = exact.floor() as usize;
+                let rem = ((exact - full as f64) * 8.0).round() as usize;
+                let mut bar = "█".repeat(full.min(width));
+                if full < width && rem > 0 {
+                    bar.push(['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'][rem - 1]);
+                }
+                out.push_str(&format!("{bar:<width$} {v:.3}\n", width = width + 1));
+            }
+            None => {
+                out.push_str(&format!("{:<w$} ∅\n", "", w = width + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Render a throughput-sweep leg (one figure panel) as bars grouped by
+/// memory point, one bar per policy.
+pub fn sweep_panel(
+    sweep: &crate::sweep::ThroughputSweep,
+    trace: &str,
+    overest: f64,
+    width: usize,
+) -> String {
+    let mut rows: Vec<(String, Option<f64>)> = Vec::new();
+    let mut pts: Vec<_> = sweep.leg(trace, overest).collect();
+    pts.sort_by_key(|p| (p.mem_pct, format!("{}", p.policy)));
+    for p in &pts {
+        rows.push((
+            format!("{:>3}% {:<8}", p.mem_pct, p.policy.to_string()),
+            sweep.normalized(p),
+        ));
+    }
+    bar_panel(
+        &format!("{trace} @ +{:.0}% overestimation", overest * 100.0),
+        &rows,
+        1.0,
+        width,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_with_value() {
+        let rows = vec![
+            ("a".to_string(), Some(1.0)),
+            ("b".to_string(), Some(0.5)),
+            ("c".to_string(), None),
+        ];
+        let s = bar_panel("t", &rows, 1.0, 16);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let count = |l: &str| l.matches('█').count();
+        assert_eq!(count(lines[1]), 16);
+        assert_eq!(count(lines[2]), 8);
+        assert!(lines[3].contains('∅'));
+    }
+
+    #[test]
+    fn values_above_max_clamp() {
+        let rows = vec![("x".to_string(), Some(5.0))];
+        let s = bar_panel("t", &rows, 1.0, 10);
+        assert_eq!(s.lines().nth(1).unwrap().matches('█').count(), 10);
+    }
+
+    #[test]
+    fn partial_blocks_render() {
+        let rows = vec![("x".to_string(), Some(0.55))];
+        let s = bar_panel("t", &rows, 1.0, 10);
+        // 5.5 cells → 5 full + one half block.
+        let line = s.lines().nth(1).unwrap();
+        assert_eq!(line.matches('█').count(), 5);
+        assert!(line.contains('▌'));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        bar_panel("t", &[], 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_value")]
+    fn bad_max_rejected() {
+        bar_panel("t", &[("x".to_string(), Some(1.0))], 0.0, 8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 2: sampling the Grizzly trace — one point per one-week period
+//! (CPU utilisation vs max job node-hours and vs max job memory), with
+//! the simulated high-utilisation weeks highlighted.
+
+use crate::scale::Scale;
+use crate::scenario::{grizzly_bundle, BASE_SEED};
+use crate::table::TextTable;
+use dmhpc_traces::grizzly::WeekSummary;
+
+/// Figure 2's data: one summary row per week.
+pub struct Fig2 {
+    /// Per-week summaries with the selection flag.
+    pub summaries: Vec<WeekSummary>,
+}
+
+/// Run the Figure 2 experiment.
+pub fn run(scale: Scale, _threads: usize) -> Fig2 {
+    let (ds, selected) = grizzly_bundle(scale, BASE_SEED ^ 0x312);
+    Fig2 {
+        summaries: ds.week_summaries(&selected),
+    }
+}
+
+impl Fig2 {
+    /// Render the week table (normalised columns as plotted).
+    pub fn table(&self) -> TextTable {
+        let max_nh = self
+            .summaries
+            .iter()
+            .map(|s| s.max_node_hours)
+            .fold(1.0, f64::max);
+        let max_mem = self
+            .summaries
+            .iter()
+            .map(|s| s.max_memory_mb as f64)
+            .fold(1.0, f64::max);
+        let mut t = TextTable::new(vec![
+            "week",
+            "cpu_util%",
+            "max_node_hours",
+            "norm_node_hours",
+            "max_mem_MB",
+            "norm_mem",
+            "simulated",
+        ]);
+        for s in &self.summaries {
+            t.row(vec![
+                s.index.to_string(),
+                format!("{:.1}", s.cpu_utilization_pct),
+                format!("{:.0}", s.max_node_hours),
+                format!("{:.3}", s.max_node_hours / max_nh),
+                s.max_memory_mb.to_string(),
+                format!("{:.3}", s.max_memory_mb as f64 / max_mem),
+                if s.selected { "yes" } else { "." }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The paper's selection property: every simulated week has ≥ 70%
+    /// CPU utilisation.
+    pub fn selection_is_high_util(&self) -> bool {
+        self.summaries
+            .iter()
+            .filter(|s| s.selected)
+            .all(|s| s.cpu_utilization_pct >= 70.0)
+    }
+}

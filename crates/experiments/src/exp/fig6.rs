@@ -1,0 +1,195 @@
+//! Figure 6: ECDF of job response times for overprovisioned, matching
+//! and underprovisioned systems, at +0% and +60% overestimation, under
+//! the static and dynamic policies.
+//!
+//! A system with a 50%-large-memory job mix is *matching* when 50% of
+//! its nodes are large, *overprovisioned* at 75% large nodes, and
+//! *underprovisioned* at 25% large nodes (§4.2).
+
+use crate::runner::run_parallel;
+use crate::scale::Scale;
+use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
+use crate::table::TextTable;
+use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::policy::PolicyKind;
+use dmhpc_metrics::ecdf::Ecdf;
+
+/// Provisioning scenarios of Figure 6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Provisioning {
+    /// More large nodes than the job mix demands (75% large nodes).
+    Over,
+    /// Large nodes match the job mix (50% large nodes).
+    Match,
+    /// Fewer large nodes than demanded (25% large nodes).
+    Under,
+}
+
+impl Provisioning {
+    /// All three scenarios in the paper's order.
+    pub const ALL: [Provisioning; 3] = [Provisioning::Over, Provisioning::Match, Provisioning::Under];
+
+    /// The memory mix realising the scenario for a 50% large-job mix.
+    pub fn mix(self) -> MemoryMix {
+        let g = 1024;
+        match self {
+            Provisioning::Over => MemoryMix::new(64 * g, 128 * g, 0.75),
+            Provisioning::Match => MemoryMix::new(64 * g, 128 * g, 0.5),
+            Provisioning::Under => MemoryMix::new(64 * g, 128 * g, 0.25),
+        }
+    }
+
+    /// Label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Provisioning::Over => "overprovisioned",
+            Provisioning::Match => "match",
+            Provisioning::Under => "underprovisioned",
+        }
+    }
+}
+
+/// One panel curve: the response-time ECDF of a (scenario, overest,
+/// policy) cell.
+#[derive(Clone, Debug)]
+pub struct Fig6Cell {
+    /// Provisioning scenario.
+    pub provisioning: Provisioning,
+    /// Overestimation factor.
+    pub overest: f64,
+    /// Policy (static or dynamic).
+    pub policy: PolicyKind,
+    /// The ECDF of response times (empty runs yield `None`).
+    pub ecdf: Option<Ecdf>,
+}
+
+/// Figure 6's data.
+pub struct Fig6 {
+    /// All twelve cells.
+    pub cells: Vec<Fig6Cell>,
+}
+
+/// Run the Figure 6 experiment.
+pub fn run(scale: Scale, threads: usize) -> Fig6 {
+    let overs = [0.0, 0.6];
+    // One workload per overestimation (50% large jobs).
+    let workloads: Vec<_> = run_parallel(overs.to_vec(), threads, |&o| {
+        synthetic_workload(scale, 0.5, o, BASE_SEED ^ 0x66)
+    });
+    let mut tasks = Vec::new();
+    for (oi, &over) in overs.iter().enumerate() {
+        for prov in Provisioning::ALL {
+            for policy in [PolicyKind::Static, PolicyKind::Dynamic] {
+                tasks.push((oi, over, prov, policy));
+            }
+        }
+    }
+    let cells = run_parallel(tasks, threads, |&(oi, over, prov, policy)| {
+        let system = synthetic_system(scale, prov.mix());
+        let out = simulate(system, workloads[oi].clone(), policy, BASE_SEED ^ 0x6F16);
+        Fig6Cell {
+            provisioning: prov,
+            overest: over,
+            policy,
+            ecdf: Ecdf::new(out.response_times_s).ok(),
+        }
+    });
+    Fig6 { cells }
+}
+
+impl Fig6 {
+    /// Quantile table: one row per cell with p25/p50/p75/p95.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "provisioning", "overest", "policy", "p25_s", "median_s", "p75_s", "p95_s",
+        ]);
+        for c in &self.cells {
+            let q = |p: f64| {
+                c.ecdf
+                    .as_ref()
+                    .map(|e| format!("{:.0}", e.quantile(p)))
+                    .unwrap_or_else(|| "n/a".into())
+            };
+            t.row(vec![
+                c.provisioning.label().to_string(),
+                format!("+{:.0}%", c.overest * 100.0),
+                c.policy.to_string(),
+                q(0.25),
+                q(0.5),
+                q(0.75),
+                q(0.95),
+            ]);
+        }
+        t
+    }
+
+    /// Median-response-time reduction of dynamic vs static for a cell,
+    /// as a fraction (paper: 69% for underprovisioned at +60%).
+    pub fn median_reduction(&self, prov: Provisioning, overest: f64) -> Option<f64> {
+        let median = |policy| {
+            self.cells
+                .iter()
+                .find(|c| c.provisioning == prov && c.overest == overest && c.policy == policy)
+                .and_then(|c| c.ecdf.as_ref())
+                .map(Ecdf::median)
+        };
+        let stat = median(PolicyKind::Static)?;
+        let dynm = median(PolicyKind::Dynamic)?;
+        if stat <= 0.0 {
+            return None;
+        }
+        Some(1.0 - dynm / stat)
+    }
+
+    /// Log-sampled curves for external plotting: `(x, y)` pairs per cell.
+    pub fn curves(&self, points: usize) -> Vec<(String, Vec<(f64, f64)>)> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                let e = c.ecdf.as_ref()?;
+                let label = format!(
+                    "{}/{}/+{:.0}%",
+                    c.provisioning.label(),
+                    c.policy,
+                    c.overest * 100.0
+                );
+                Some((label, e.log_curve(points)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn provisioning_mixes_order_by_large_nodes() {
+        let n = 100;
+        let over = Provisioning::Over.mix().large_nodes(n);
+        let mat = Provisioning::Match.mix().large_nodes(n);
+        let und = Provisioning::Under.mix().large_nodes(n);
+        assert_eq!((over, mat, und), (75, 50, 25));
+    }
+
+    #[test]
+    fn small_run_produces_all_twelve_cells() {
+        let f = run(Scale::Small, 0);
+        assert_eq!(f.cells.len(), 12);
+        for c in &f.cells {
+            let e = c.ecdf.as_ref().expect("every cell completes jobs");
+            assert!(e.len() > 100);
+            assert!(e.median() > 0.0);
+        }
+        // The paper's headline cell: dynamic reduces the median under
+        // +60% overestimation on the underprovisioned system.
+        let red = f
+            .median_reduction(Provisioning::Under, 0.6)
+            .expect("cells present");
+        assert!(red > 0.0, "dynamic must reduce the median (got {red})");
+        // Rendering works and has one row per cell.
+        assert_eq!(f.table().len(), 12);
+        assert_eq!(f.curves(8).len(), 12);
+    }
+}

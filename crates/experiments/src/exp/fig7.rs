@@ -1,0 +1,133 @@
+//! Figure 7: cost–benefit analysis — throughput per dollar (y) vs the
+//! percentage of large jobs (x), for systems provisioned with
+//! {100, 75, 50, 25}% of full memory, at +0% and +60% overestimation,
+//! under the static and dynamic policies.
+
+use crate::runner::run_parallel;
+use crate::scale::Scale;
+use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
+use crate::table::{opt_cell, TextTable};
+use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::policy::PolicyKind;
+use dmhpc_metrics::cost::CostModel;
+
+/// The system memory provisioning panels of Figure 7 as `(percent, mix)`.
+/// 100% = all 128 GB, 75% = half large, 50% = all 64 GB, 25% = all 32 GB.
+pub fn system_panels() -> Vec<(u32, MemoryMix)> {
+    let g = 1024;
+    vec![
+        (100, MemoryMix::new(64 * g, 128 * g, 1.0)),
+        (75, MemoryMix::new(64 * g, 128 * g, 0.5)),
+        (50, MemoryMix::new(64 * g, 128 * g, 0.0)),
+        (25, MemoryMix::new(32 * g, 64 * g, 0.0)),
+    ]
+}
+
+/// The large-job mixes on the x-axis.
+pub const LARGE_MIXES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// The overestimation rows.
+pub const OVERS: [f64; 2] = [0.0, 0.6];
+
+/// One point of Figure 7.
+#[derive(Clone, Debug)]
+pub struct Fig7Point {
+    /// System memory percent (panel).
+    pub sys_mem_pct: u32,
+    /// Overestimation factor (row).
+    pub overest: f64,
+    /// Percent of large jobs (x).
+    pub large_pct: u32,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// Throughput per dollar, `None` if the mix cannot run.
+    pub throughput_per_usd: Option<f64>,
+}
+
+/// Figure 7's data.
+pub struct Fig7 {
+    /// All points.
+    pub points: Vec<Fig7Point>,
+}
+
+/// Run the Figure 7 experiment.
+pub fn run(scale: Scale, threads: usize) -> Fig7 {
+    let cost = CostModel::default();
+    // One workload per (large mix, overestimation).
+    let legs: Vec<(f64, f64)> = LARGE_MIXES
+        .iter()
+        .flat_map(|&f| OVERS.iter().map(move |&o| (f, o)))
+        .collect();
+    let workloads = run_parallel(legs.clone(), threads, |&(f, o)| {
+        synthetic_workload(scale, f, o, BASE_SEED ^ 0x77)
+    });
+    let mut tasks = Vec::new();
+    for (li, &(f, o)) in legs.iter().enumerate() {
+        for &(pct, mix) in &system_panels() {
+            for policy in [PolicyKind::Static, PolicyKind::Dynamic] {
+                tasks.push((li, f, o, pct, mix, policy));
+            }
+        }
+    }
+    let points = run_parallel(tasks, threads, |&(li, f, o, pct, mix, policy)| {
+        let system = synthetic_system(scale, mix);
+        let nodes = system.nodes;
+        let mem = system.total_memory_mb();
+        let out = simulate(system, workloads[li].clone(), policy, BASE_SEED ^ 0x7F16);
+        let tpd = out
+            .feasible
+            .then(|| cost.throughput_per_dollar(out.stats.throughput_jps, nodes, mem));
+        Fig7Point {
+            sys_mem_pct: pct,
+            overest: o,
+            large_pct: (f * 100.0).round() as u32,
+            policy,
+            throughput_per_usd: tpd,
+        }
+    });
+    Fig7 { points }
+}
+
+impl Fig7 {
+    /// Long-format table (throughput/$ in 1e-8 units for readability,
+    /// matching the paper's axis).
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "sys_mem%", "overest", "large_jobs%", "policy", "tput_per_usd_1e-8",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.sys_mem_pct.to_string(),
+                format!("+{:.0}%", p.overest * 100.0),
+                p.large_pct.to_string(),
+                p.policy.to_string(),
+                opt_cell(p.throughput_per_usd.map(|v| v * 1e8), 2),
+            ]);
+        }
+        t
+    }
+
+    /// Dynamic-over-static throughput/$ advantage maximised over panels
+    /// and mixes at the given overestimation (paper: up to +38% at +60%).
+    pub fn max_dynamic_advantage(&self, overest: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for p in &self.points {
+            if p.policy != PolicyKind::Dynamic || p.overest != overest {
+                continue;
+            }
+            let stat = self.points.iter().find(|q| {
+                q.sys_mem_pct == p.sys_mem_pct
+                    && q.overest == p.overest
+                    && q.large_pct == p.large_pct
+                    && q.policy == PolicyKind::Static
+            })?;
+            if let (Some(d), Some(s)) = (p.throughput_per_usd, stat.throughput_per_usd) {
+                if s > 0.0 {
+                    let adv = d / s - 1.0;
+                    best = Some(best.map_or(adv, |b: f64| b.max(adv)));
+                }
+            }
+        }
+        best
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper table/figure, plus the ablation suite.
+
+pub mod ablations;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod tables;
+pub mod validate;

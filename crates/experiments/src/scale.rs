@@ -1,0 +1,128 @@
+//! Experiment scale presets.
+//!
+//! The paper simulates 1024-node (synthetic) and 1490-node (Grizzly)
+//! systems over week-long traces. That is the `Full` preset. `Medium`
+//! and `Small` shrink the node count and job count proportionally so the
+//! whole experiment suite runs in seconds (tests/benches) or minutes
+//! (interactive use) while preserving every distribution and the
+//! relative behaviour of the policies.
+
+use dmhpc_traces::grizzly::GrizzlyConfig;
+
+/// How big to run an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tests and benches: ~96 nodes, hundreds of jobs.
+    Small,
+    /// Interactive default: 256 nodes, ~1.2k jobs.
+    Medium,
+    /// The paper's configuration: 1024/1490 nodes, thousands of jobs.
+    Full,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" | "s" => Ok(Scale::Small),
+            "medium" | "m" => Ok(Scale::Medium),
+            "full" | "f" | "paper" => Ok(Scale::Full),
+            other => Err(format!("unknown scale '{other}' (small|medium|full)")),
+        }
+    }
+
+    /// Node count of the synthetic-trace system (paper: 1024).
+    pub fn synthetic_nodes(self) -> u32 {
+        match self {
+            Scale::Small => 96,
+            Scale::Medium => 256,
+            Scale::Full => 1024,
+        }
+    }
+
+    /// Jobs per synthetic workload.
+    pub fn synthetic_jobs(self) -> usize {
+        match self {
+            Scale::Small => 320,
+            Scale::Medium => 1200,
+            Scale::Full => 5000,
+        }
+    }
+
+    /// Largest job size in nodes (paper workloads reach 128).
+    pub fn max_job_nodes(self) -> u32 {
+        match self {
+            Scale::Small => 16,
+            Scale::Medium => 32,
+            Scale::Full => 128,
+        }
+    }
+
+    /// Size of the Google-like shape pool.
+    pub fn google_pool(self) -> usize {
+        match self {
+            Scale::Small => 600,
+            Scale::Medium => 1500,
+            Scale::Full => 4000,
+        }
+    }
+
+    /// Grizzly dataset configuration (paper: 1490 nodes, 26 weeks).
+    pub fn grizzly(self, seed: u64) -> GrizzlyConfig {
+        match self {
+            Scale::Small => GrizzlyConfig {
+                weeks: 6,
+                nodes: 96,
+                seed,
+                ..GrizzlyConfig::default()
+            },
+            Scale::Medium => GrizzlyConfig {
+                weeks: 10,
+                nodes: 256,
+                seed,
+                ..GrizzlyConfig::default()
+            },
+            Scale::Full => GrizzlyConfig {
+                seed,
+                ..GrizzlyConfig::default()
+            },
+        }
+    }
+
+    /// Short label for output headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Scale::parse("small").unwrap(), Scale::Small);
+        assert_eq!(Scale::parse("M").unwrap(), Scale::Medium);
+        assert_eq!(Scale::parse("paper").unwrap(), Scale::Full);
+        assert!(Scale::parse("gigantic").is_err());
+    }
+
+    #[test]
+    fn full_matches_paper() {
+        assert_eq!(Scale::Full.synthetic_nodes(), 1024);
+        assert_eq!(Scale::Full.grizzly(1).nodes, 1490);
+        assert_eq!(Scale::Full.grizzly(1).weeks, 26);
+        assert_eq!(Scale::Full.max_job_nodes(), 128);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Small.synthetic_nodes() < Scale::Medium.synthetic_nodes());
+        assert!(Scale::Medium.synthetic_nodes() < Scale::Full.synthetic_nodes());
+        assert!(Scale::Small.synthetic_jobs() < Scale::Full.synthetic_jobs());
+    }
+}

@@ -1,0 +1,291 @@
+//! The throughput sweep shared by Figures 5 and 8: traces × overestimation
+//! × memory axis × policies, normalised against the baseline policy on a
+//! fully provisioned system.
+
+use crate::runner::run_parallel;
+use crate::scale::Scale;
+use crate::scenario::{
+    grizzly_bundle, grizzly_rep_workload, grizzly_system, memory_axis, norm_throughput,
+    simulate, synthetic_system, synthetic_workload, BASE_SEED,
+};
+use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::sim::Workload;
+
+/// Which trace a sweep leg runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceSpec {
+    /// The synthetic (CIRNE + Google + Archer) trace with the given
+    /// fraction of large-memory jobs.
+    Synthetic {
+        /// Fraction of large-memory jobs in `[0,1]`.
+        large_fraction: f64,
+    },
+    /// The Grizzly-derived trace (representative high-utilisation week).
+    Grizzly,
+}
+
+impl TraceSpec {
+    /// Label used in tables ("large 50%" / "grizzly").
+    pub fn label(&self) -> String {
+        match self {
+            TraceSpec::Synthetic { large_fraction } => {
+                format!("large {:.0}%", large_fraction * 100.0)
+            }
+            TraceSpec::Grizzly => "grizzly".to_string(),
+        }
+    }
+}
+
+/// One simulated point of the sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Trace label (see [`TraceSpec::label`]).
+    pub trace: String,
+    /// Overestimation factor.
+    pub overest: f64,
+    /// Total system memory as a percent of the all-large system.
+    pub mem_pct: u32,
+    /// Allocation policy.
+    pub policy: PolicyKind,
+    /// Raw throughput in jobs/s.
+    pub throughput_jps: f64,
+    /// Whether every job could run (false ⇒ "missing bar").
+    pub feasible: bool,
+    /// Completed jobs.
+    pub completed: u32,
+    /// OOM kill events (dynamic policy).
+    pub oom_kills: u32,
+    /// Distinct jobs killed at least once for OOM.
+    pub jobs_oom_killed: u32,
+    /// Median response time of completed jobs, seconds.
+    pub median_response_s: f64,
+}
+
+/// A finished sweep with its normalisation references.
+#[derive(Clone, Debug)]
+pub struct ThroughputSweep {
+    /// All simulated points.
+    pub points: Vec<SweepPoint>,
+}
+
+impl ThroughputSweep {
+    /// How many of the selected high-utilisation Grizzly weeks the sweep
+    /// aggregates over. The paper simulates seven periods; three capture
+    /// the week-to-week spread at a fraction of the cost (and reduced
+    /// datasets may have fewer eligible weeks anyway).
+    pub const GRIZZLY_WEEKS: usize = 3;
+
+    /// Run the sweep. `overs` must contain `0.0` (the normalisation
+    /// reference is Baseline at 100% memory and +0% overestimation).
+    ///
+    /// Grizzly points are the mean over up to [`Self::GRIZZLY_WEEKS`]
+    /// selected weeks; a configuration counts as feasible only when every
+    /// simulated week ran all its jobs (the paper's missing-bar rule).
+    pub fn run(scale: Scale, traces: &[TraceSpec], overs: &[f64], threads: usize) -> Self {
+        assert!(
+            overs.contains(&0.0),
+            "sweep needs the 0% overestimation leg for normalisation"
+        );
+        // Phase 1: build one workload per (trace, over, week), in
+        // parallel. Synthetic legs have a single "week" (index 0).
+        let needs_grizzly = traces.contains(&TraceSpec::Grizzly);
+        let grizzly = needs_grizzly.then(|| grizzly_bundle(scale, BASE_SEED ^ 0x312));
+        let n_weeks = grizzly
+            .as_ref()
+            .map(|(_, weeks)| weeks.len().min(Self::GRIZZLY_WEEKS))
+            .unwrap_or(1)
+            .max(1);
+        let mut legs: Vec<(TraceSpec, f64, usize)> = Vec::new();
+        for &t in traces {
+            for &o in overs {
+                match t {
+                    TraceSpec::Synthetic { .. } => legs.push((t, o, 0)),
+                    TraceSpec::Grizzly => {
+                        for w in 0..n_weeks {
+                            legs.push((t, o, w));
+                        }
+                    }
+                }
+            }
+        }
+        let workloads: Vec<Workload> =
+            run_parallel(legs.clone(), threads, |&(t, o, week)| match t {
+                TraceSpec::Synthetic { large_fraction } => {
+                    synthetic_workload(scale, large_fraction, o, BASE_SEED ^ 0x51)
+                }
+                TraceSpec::Grizzly => {
+                    let (ds, weeks) = grizzly.as_ref().expect("grizzly built");
+                    grizzly_rep_workload(ds, &weeks[week..], o, BASE_SEED ^ 0x312)
+                }
+            });
+        // Phase 2: simulate every (leg, mem, policy) point.
+        let axis = memory_axis();
+        let mut tasks: Vec<(usize, u32, MemoryMix, PolicyKind)> = Vec::new();
+        for (leg_idx, _) in legs.iter().enumerate() {
+            for &(pct, mix) in &axis {
+                for policy in PolicyKind::ALL {
+                    tasks.push((leg_idx, pct, mix, policy));
+                }
+            }
+        }
+        let raw = run_parallel(tasks, threads, |&(leg_idx, pct, mix, policy)| {
+            let (trace, over, _week) = legs[leg_idx];
+            let system = match trace {
+                TraceSpec::Synthetic { .. } => synthetic_system(scale, mix),
+                TraceSpec::Grizzly => {
+                    grizzly_system(mix, &grizzly.as_ref().expect("grizzly built").0)
+                }
+            };
+            let out = simulate(
+                system,
+                workloads[leg_idx].clone(),
+                policy,
+                BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64,
+            );
+            let median = if out.response_times_s.is_empty() {
+                0.0
+            } else {
+                let mut r = out.response_times_s.clone();
+                r.sort_unstable_by(f64::total_cmp);
+                r[r.len() / 2]
+            };
+            SweepPoint {
+                trace: trace.label(),
+                overest: over,
+                mem_pct: pct,
+                policy,
+                throughput_jps: out.stats.throughput_jps,
+                feasible: out.feasible,
+                completed: out.stats.completed,
+                oom_kills: out.stats.oom_kills,
+                jobs_oom_killed: out.stats.jobs_oom_killed,
+                median_response_s: median,
+            }
+        });
+        // Phase 3: aggregate multi-week legs into one point per
+        // (trace, over, mem, policy). All weeks of one trace share the
+        // same normalisation reference, so averaging raw throughputs is
+        // averaging normalised ones.
+        let mut points: Vec<SweepPoint> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for p in raw {
+            if let Some(i) = points.iter().position(|q| {
+                q.trace == p.trace
+                    && q.overest == p.overest
+                    && q.mem_pct == p.mem_pct
+                    && q.policy == p.policy
+            }) {
+                let q = &mut points[i];
+                let k = counts[i] as f64;
+                q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
+                q.median_response_s =
+                    (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.feasible &= p.feasible;
+                q.completed += p.completed;
+                q.oom_kills += p.oom_kills;
+                q.jobs_oom_killed += p.jobs_oom_killed;
+                counts[i] += 1;
+            } else {
+                points.push(p);
+                counts.push(1);
+            }
+        }
+        Self { points }
+    }
+
+    /// The normalisation reference for a trace: Baseline throughput at
+    /// 100% memory and +0% overestimation.
+    pub fn reference_jps(&self, trace: &str) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| {
+                p.trace == trace
+                    && p.overest == 0.0
+                    && p.mem_pct == 100
+                    && p.policy == PolicyKind::Baseline
+                    && p.feasible
+            })
+            .map(|p| p.throughput_jps)
+    }
+
+    /// Normalised throughput of a point, `None` for missing bars.
+    pub fn normalized(&self, p: &SweepPoint) -> Option<f64> {
+        let reference = self.reference_jps(&p.trace)?;
+        if !p.feasible {
+            return None;
+        }
+        norm_throughput(
+            &fake_outcome(p.throughput_jps, p.feasible),
+            reference,
+        )
+    }
+
+    /// Points matching a `(trace, overest)` leg, in memory-axis order.
+    pub fn leg<'a>(&'a self, trace: &'a str, overest: f64) -> impl Iterator<Item = &'a SweepPoint> {
+        self.points
+            .iter()
+            .filter(move |p| p.trace == trace && p.overest == overest)
+    }
+}
+
+/// Minimal outcome wrapper so normalisation flows through the same
+/// `norm_throughput` helper as ad-hoc runs.
+fn fake_outcome(jps: f64, feasible: bool) -> dmhpc_core::sim::SimulationOutcome {
+    dmhpc_core::sim::SimulationOutcome {
+        stats: dmhpc_core::sim::Stats {
+            throughput_jps: jps,
+            ..Default::default()
+        },
+        response_times_s: vec![],
+        wait_times_s: vec![],
+        job_records: vec![],
+        feasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_has_reference_and_ordering() {
+        let sweep = ThroughputSweep::run(
+            Scale::Small,
+            &[TraceSpec::Synthetic { large_fraction: 0.5 }],
+            &[0.0],
+            0,
+        );
+        // 8 memory points × 3 policies.
+        assert_eq!(sweep.points.len(), 24);
+        let reference = sweep.reference_jps("large 50%").expect("reference exists");
+        assert!(reference > 0.0);
+        // Normalised baseline at 100% is exactly 1.
+        let base100 = sweep
+            .points
+            .iter()
+            .find(|p| p.policy == PolicyKind::Baseline && p.mem_pct == 100)
+            .unwrap();
+        assert!((sweep.normalized(base100).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0% overestimation")]
+    fn sweep_requires_zero_leg() {
+        ThroughputSweep::run(
+            Scale::Small,
+            &[TraceSpec::Synthetic { large_fraction: 0.0 }],
+            &[0.6],
+            1,
+        );
+    }
+
+    #[test]
+    fn trace_labels() {
+        assert_eq!(
+            TraceSpec::Synthetic { large_fraction: 0.25 }.label(),
+            "large 25%"
+        );
+        assert_eq!(TraceSpec::Grizzly.label(), "grizzly");
+    }
+}

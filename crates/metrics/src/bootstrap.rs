@@ -1,0 +1,212 @@
+//! Bootstrap resampling for robust comparisons.
+//!
+//! Single simulation runs yield point estimates; when two policies are
+//! close (e.g. static vs dynamic at +0% overestimation, Fig. 5 top row),
+//! a confidence interval over the per-job response times says whether a
+//! difference is signal or noise. This module implements the percentile
+//! bootstrap for arbitrary statistics of an f64 sample, with the
+//! workspace's deterministic RNG so reports are reproducible.
+
+use dmhpc_model::rng::Rng64;
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether the interval excludes `value` (a crude significance test).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Percentile bootstrap of `stat` over `samples`.
+///
+/// * `resamples` — number of bootstrap draws (≥ 100 recommended);
+/// * `confidence` — e.g. `0.95` for a 95% interval.
+///
+/// # Panics
+/// Panics on an empty sample, `resamples == 0`, or a confidence outside
+/// `(0, 1)`.
+pub fn bootstrap<F: Fn(&[f64]) -> f64>(
+    samples: &[f64],
+    stat: F,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Interval {
+    assert!(!samples.is_empty(), "bootstrap needs samples");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let mut rng = Rng64::stream(seed, 0xB0075);
+    let point = stat(samples);
+    let n = samples.len();
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = samples[rng.below(n as u64) as usize];
+        }
+        stats.push(stat(&buf));
+    }
+    stats.sort_unstable_by(f64::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    let idx = |q: f64| -> f64 {
+        let i = (q * (resamples - 1) as f64).round() as usize;
+        stats[i.min(resamples - 1)]
+    };
+    Interval {
+        point,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+    }
+}
+
+/// Bootstrap interval for the mean.
+pub fn mean_interval(samples: &[f64], resamples: usize, confidence: f64, seed: u64) -> Interval {
+    bootstrap(
+        samples,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        confidence,
+        seed,
+    )
+}
+
+/// Bootstrap interval for the median.
+pub fn median_interval(samples: &[f64], resamples: usize, confidence: f64, seed: u64) -> Interval {
+    bootstrap(
+        samples,
+        |s| {
+            let mut v = s.to_vec();
+            v.sort_unstable_by(f64::total_cmp);
+            v[v.len() / 2]
+        },
+        resamples,
+        confidence,
+        seed,
+    )
+}
+
+/// Bootstrap the ratio of two independent samples' statistics
+/// (`stat(a) / stat(b)`), resampling both sides — the estimator behind
+/// "dynamic cuts the median response time by X%".
+pub fn ratio_interval<F: Fn(&[f64]) -> f64 + Copy>(
+    a: &[f64],
+    b: &[f64],
+    stat: F,
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Interval {
+    assert!(!a.is_empty() && !b.is_empty());
+    assert!(resamples > 0);
+    let mut rng = Rng64::stream(seed, 0x4A7_10);
+    let point = stat(a) / stat(b);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf_a = vec![0.0f64; a.len()];
+    let mut buf_b = vec![0.0f64; b.len()];
+    for _ in 0..resamples {
+        for slot in buf_a.iter_mut() {
+            *slot = a[rng.below(a.len() as u64) as usize];
+        }
+        for slot in buf_b.iter_mut() {
+            *slot = b[rng.below(b.len() as u64) as usize];
+        }
+        stats.push(stat(&buf_a) / stat(&buf_b));
+    }
+    stats.sort_unstable_by(f64::total_cmp);
+    let alpha = (1.0 - confidence) / 2.0;
+    let idx = |q: f64| stats[((q * (resamples - 1) as f64).round() as usize).min(resamples - 1)];
+    Interval {
+        point,
+        lo: idx(alpha),
+        hi: idx(1.0 - alpha),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniformish(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Rng64::new(seed);
+        (0..n).map(|_| rng.range_f64(0.0, 100.0)).collect()
+    }
+
+    #[test]
+    fn interval_brackets_the_point() {
+        let s = uniformish(500, 1);
+        let iv = mean_interval(&s, 500, 0.95, 2);
+        assert!(iv.lo <= iv.point && iv.point <= iv.hi);
+        // Mean of U(0,100) ≈ 50 with a tight interval at n=500.
+        assert!((iv.point - 50.0).abs() < 5.0);
+        assert!(iv.width() < 15.0);
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let small = mean_interval(&uniformish(50, 3), 400, 0.95, 4);
+        let large = mean_interval(&uniformish(5000, 3), 400, 0.95, 4);
+        assert!(large.width() < small.width());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let s = uniformish(100, 5);
+        let a = median_interval(&s, 300, 0.9, 7);
+        let b = median_interval(&s, 300, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn excludes_detects_clear_shifts() {
+        let a: Vec<f64> = (0..200).map(|i| 100.0 + (i % 10) as f64).collect();
+        let iv = mean_interval(&a, 300, 0.95, 9);
+        assert!(iv.excludes(50.0));
+        assert!(!iv.excludes(iv.point));
+    }
+
+    #[test]
+    fn ratio_interval_detects_double() {
+        let a: Vec<f64> = (0..300).map(|i| 200.0 + (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..300).map(|i| 100.0 + (i % 7) as f64).collect();
+        let iv = ratio_interval(
+            &a,
+            &b,
+            |s| s.iter().sum::<f64>() / s.len() as f64,
+            400,
+            0.95,
+            11,
+        );
+        assert!((iv.point - 2.0).abs() < 0.05);
+        assert!(iv.excludes(1.0), "ratio CI must exclude parity");
+    }
+
+    #[test]
+    #[should_panic(expected = "samples")]
+    fn empty_sample_rejected() {
+        mean_interval(&[], 100, 0.95, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn bad_confidence_rejected() {
+        mean_interval(&[1.0], 100, 1.5, 1);
+    }
+}

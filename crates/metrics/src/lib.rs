@@ -1,0 +1,27 @@
+//! # dmhpc-metrics — scheduling metrics and the cost model
+//!
+//! Statistical machinery the experiment harness uses to turn raw
+//! simulation outcomes into the paper's tables and figures:
+//!
+//! * [`ecdf`] — empirical cumulative distribution functions (Fig. 6:
+//!   response-time ECDFs) and quantiles;
+//! * [`summary`] — five-number summaries (Table 3) and binned
+//!   distributions (Table 2);
+//! * [`heatmap`] — 2-D binned job-size × memory heatmaps (Fig. 4);
+//! * [`cost`] — the throughput-per-dollar cost model (Fig. 7, §4.3);
+//! * [`bootstrap`] — percentile-bootstrap confidence intervals for
+//!   comparing close policies robustly.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod cost;
+pub mod ecdf;
+pub mod heatmap;
+pub mod summary;
+
+pub use bootstrap::{bootstrap, mean_interval, median_interval, ratio_interval, Interval};
+pub use cost::CostModel;
+pub use ecdf::Ecdf;
+pub use heatmap::Heatmap2D;
+pub use summary::{binned_percentages, FiveNumber};

@@ -1,0 +1,46 @@
+//! # dmhpc-model — contention-aware slowdown model for disaggregated memory
+//!
+//! This crate implements the performance model used by the simulator to
+//! quantify the slowdown a job experiences when part of its memory is
+//! served from a *remote* (disaggregated) memory pool instead of node-local
+//! DRAM. It reproduces the model of Zacarias, Nishtala and Carpenter,
+//! *Contention-aware application performance prediction for disaggregated
+//! memory systems* (CF'20), as used by the SC-W 2023 paper:
+//!
+//! * every application is characterised by a **sensitivity curve**, a
+//!   monotone function relating remote-memory bandwidth *pressure* to a
+//!   slowdown multiplier, and
+//! * a **contentiousness** figure: the remote bandwidth the application
+//!   would consume when running at full performance.
+//!
+//! The simulator aggregates the contentiousness of all jobs borrowing
+//! memory from the same lender link, derives a pressure value, and asks
+//! each affected job's sensitivity curve for the resulting multiplier. The
+//! multiplier is then scaled by the fraction of the job's memory that is
+//! remote, so a job with 100% local memory never slows down.
+//!
+//! Application profiling is *only* an input to the simulation methodology;
+//! the resource-management policy itself never sees these profiles
+//! (mirroring §2.1 of the paper).
+//!
+//! The crate also provides:
+//!
+//! * [`ProfilePool`] — a synthetic pool of profiled applications spanning
+//!   the model's parameter space, with the nearest-neighbour matching used
+//!   by the trace pipeline (paper §3.2, Fig. 3 steps 2–3), and
+//! * [`rng`] — a small, self-contained, version-stable deterministic PRNG
+//!   (xoshiro256**), so simulation results are bit-reproducible regardless
+//!   of the `rand` crate's internal algorithm choices.
+
+#![warn(missing_docs)]
+
+pub mod contention;
+pub mod pool;
+pub mod profile;
+pub mod rng;
+pub mod sensitivity;
+
+pub use contention::{ContentionModel, RemoteAccess};
+pub use pool::ProfilePool;
+pub use profile::{AppProfile, ProfileId};
+pub use sensitivity::SensitivityCurve;

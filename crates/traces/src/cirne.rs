@@ -1,0 +1,278 @@
+//! The CIRNE comprehensive supercomputer workload model.
+//!
+//! Cirne & Berman (WWC-4, 2001) model the statistical structure of
+//! supercomputer workloads: job arrival patterns with a strong daily
+//! cycle, partition sizes biased towards powers of two, heavy-tailed
+//! runtimes, and user-requested wallclock limits that overestimate the
+//! actual runtime. The paper uses this model (as extended by Zacarias et
+//! al.) to generate submission times, sizes, runtimes and time limits for
+//! its synthetic traces (§3.1.2) and to supply submission times for the
+//! Grizzly trace (§3.2.1).
+//!
+//! Parameters below follow the published model's shape: uniform-log
+//! job sizes with ~75% powers of two, log-normal runtimes, and a
+//! sinusoidal daily arrival modulation peaking in working hours.
+
+use dmhpc_model::rng::Rng64;
+
+/// Parameters of the CIRNE model.
+///
+/// ```
+/// use dmhpc_model::rng::Rng64;
+/// use dmhpc_traces::cirne::CirneModel;
+///
+/// let model = CirneModel::default();
+/// let mut rng = Rng64::new(7);
+/// let jobs = model.generate(&mut rng, 100, 64);
+/// assert_eq!(jobs.len(), 100);
+/// // Sorted by arrival, sizes within the model's cap.
+/// assert!(jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s));
+/// assert!(jobs.iter().all(|j| j.nodes >= 1 && j.nodes <= 128));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CirneModel {
+    /// Largest job size the model draws, in nodes.
+    pub max_nodes: u32,
+    /// Probability that a job size is rounded to a power of two
+    /// (Cirne & Berman report most jobs request power-of-two partitions).
+    pub pow2_probability: f64,
+    /// Mean of ln(runtime seconds).
+    pub runtime_ln_mean: f64,
+    /// Std-dev of ln(runtime seconds).
+    pub runtime_ln_sigma: f64,
+    /// Minimum runtime in seconds.
+    pub min_runtime_s: f64,
+    /// Maximum runtime in seconds (jobs are capped at a day, the typical
+    /// queue limit on the modelled systems).
+    pub max_runtime_s: f64,
+    /// Mean offered load as a fraction of system node capacity; sets the
+    /// arrival rate (≥ 70% is representative of HPC, §3.2.1).
+    pub target_utilization: f64,
+    /// Relative amplitude of the daily arrival cycle in `[0,1)`:
+    /// `rate(t) = base × (1 + a·sin(2πt/day + φ))`.
+    pub daily_amplitude: f64,
+    /// Wallclock limits are `runtime × U(limit_factor_lo, limit_factor_hi)`
+    /// — users overestimate their time limits too.
+    pub limit_factor_lo: f64,
+    /// Upper bound of the time-limit overestimation factor.
+    pub limit_factor_hi: f64,
+}
+
+impl Default for CirneModel {
+    fn default() -> Self {
+        Self {
+            max_nodes: 128,
+            pow2_probability: 0.75,
+            runtime_ln_mean: 8.0, // e^8 ≈ 50 min
+            runtime_ln_sigma: 1.4,
+            min_runtime_s: 120.0,
+            max_runtime_s: 86_400.0,
+            target_utilization: 0.8,
+            daily_amplitude: 0.5,
+            limit_factor_lo: 1.2,
+            limit_factor_hi: 3.0,
+        }
+    }
+}
+
+/// One synthetic job skeleton: everything the CIRNE model provides
+/// (memory comes later in the pipeline, steps 5–6 of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CirneJob {
+    /// Submission time, seconds from trace start.
+    pub submit_s: f64,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Actual runtime at full speed, seconds.
+    pub runtime_s: f64,
+    /// User-requested wallclock limit, seconds (≥ runtime).
+    pub time_limit_s: f64,
+}
+
+impl CirneJob {
+    /// Node-seconds of work.
+    pub fn node_seconds(&self) -> f64 {
+        self.nodes as f64 * self.runtime_s
+    }
+}
+
+impl CirneModel {
+    /// Draw a job size in nodes.
+    pub fn sample_nodes(&self, rng: &mut Rng64) -> u32 {
+        // Uniform-log over [1, max_nodes], optionally snapped to the
+        // nearest power of two.
+        let lg_max = (self.max_nodes as f64).log2();
+        let raw = 2f64.powf(rng.range_f64(0.0, lg_max));
+        let n = if rng.chance(self.pow2_probability) {
+            let e = raw.log2().round().clamp(0.0, lg_max.floor());
+            2f64.powi(e as i32)
+        } else {
+            raw.round().max(1.0)
+        };
+        (n as u32).clamp(1, self.max_nodes)
+    }
+
+    /// Draw a runtime in seconds, mildly correlated with size (bigger
+    /// jobs run longer in the Cirne–Berman fits).
+    pub fn sample_runtime(&self, rng: &mut Rng64, nodes: u32) -> f64 {
+        let size_shift = 0.12 * (nodes as f64).ln();
+        rng.lognormal(self.runtime_ln_mean + size_shift, self.runtime_ln_sigma)
+            .clamp(self.min_runtime_s, self.max_runtime_s)
+    }
+
+    /// Draw the user's wallclock limit for a job with `runtime_s`.
+    pub fn sample_time_limit(&self, rng: &mut Rng64, runtime_s: f64) -> f64 {
+        runtime_s * rng.range_f64(self.limit_factor_lo, self.limit_factor_hi)
+    }
+
+    /// Generate `count` jobs for a system of `system_nodes` nodes,
+    /// sorted by submission time (Fig. 3 step 4).
+    ///
+    /// The arrival rate is calibrated so the offered load
+    /// (Σ node-seconds over the arrival horizon) matches
+    /// `target_utilization × system_nodes`, and arrivals follow a
+    /// non-homogeneous Poisson process with the daily cycle, thinned by
+    /// inversion.
+    pub fn generate(&self, rng: &mut Rng64, count: usize, system_nodes: u32) -> Vec<CirneJob> {
+        assert!(count > 0, "need at least one job");
+        assert!(system_nodes > 0);
+        // First draw shapes, then spread arrivals to hit the target load.
+        let mut jobs: Vec<CirneJob> = (0..count)
+            .map(|_| {
+                let nodes = self.sample_nodes(rng);
+                let runtime_s = self.sample_runtime(rng, nodes);
+                let time_limit_s = self.sample_time_limit(rng, runtime_s);
+                CirneJob {
+                    submit_s: 0.0,
+                    nodes,
+                    runtime_s,
+                    time_limit_s,
+                }
+            })
+            .collect();
+        let total_work: f64 = jobs.iter().map(CirneJob::node_seconds).sum();
+        // Horizon T such that total_work = util × system_nodes × T.
+        let horizon = total_work / (self.target_utilization * system_nodes as f64);
+        // Non-homogeneous Poisson arrivals over [0, horizon] via thinning
+        // against the daily cycle.
+        let day = 86_400.0;
+        let base_rate = count as f64 / horizon;
+        let max_rate = base_rate * (1.0 + self.daily_amplitude);
+        let mut t = 0.0;
+        let mut arrivals = Vec::with_capacity(count);
+        while arrivals.len() < count {
+            t += rng.exponential(max_rate);
+            let rate =
+                base_rate * (1.0 + self.daily_amplitude * (2.0 * std::f64::consts::PI * t / day).sin());
+            if rng.f64() < rate / max_rate {
+                arrivals.push(t);
+            }
+        }
+        for (job, t) in jobs.iter_mut().zip(arrivals) {
+            job.submit_s = t;
+        }
+        jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_in_range_and_pow2_biased() {
+        let m = CirneModel::default();
+        let mut rng = Rng64::new(1);
+        let n = 20_000;
+        let mut pow2 = 0usize;
+        for _ in 0..n {
+            let s = m.sample_nodes(&mut rng);
+            assert!((1..=128).contains(&s));
+            if s.is_power_of_two() {
+                pow2 += 1;
+            }
+        }
+        // ≥ pow2_probability of draws snap (plus accidental powers).
+        assert!(pow2 as f64 / n as f64 > 0.7);
+    }
+
+    #[test]
+    fn runtimes_clamped() {
+        let m = CirneModel::default();
+        let mut rng = Rng64::new(2);
+        for _ in 0..10_000 {
+            let r = m.sample_runtime(&mut rng, 4);
+            assert!((120.0..=86_400.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn larger_jobs_run_longer_on_average() {
+        let m = CirneModel::default();
+        let mut rng = Rng64::new(3);
+        let avg = |nodes: u32, rng: &mut Rng64| {
+            (0..20_000).map(|_| m.sample_runtime(rng, nodes)).sum::<f64>() / 20_000.0
+        };
+        assert!(avg(128, &mut rng) > avg(1, &mut rng));
+    }
+
+    #[test]
+    fn limits_exceed_runtimes() {
+        let m = CirneModel::default();
+        let mut rng = Rng64::new(4);
+        for _ in 0..1000 {
+            let rt = m.sample_runtime(&mut rng, 2);
+            let lim = m.sample_time_limit(&mut rng, rt);
+            assert!(lim >= rt * 1.2 && lim <= rt * 3.0);
+        }
+    }
+
+    #[test]
+    fn generate_sorted_and_calibrated() {
+        let m = CirneModel::default();
+        let mut rng = Rng64::new(5);
+        let jobs = m.generate(&mut rng, 2000, 256);
+        assert_eq!(jobs.len(), 2000);
+        assert!(jobs.windows(2).all(|w| w[0].submit_s <= w[1].submit_s));
+        // Offered load over the arrival horizon ≈ target utilization.
+        let total_work: f64 = jobs.iter().map(CirneJob::node_seconds).sum();
+        let horizon = jobs.last().unwrap().submit_s;
+        let load = total_work / (horizon * 256.0);
+        assert!(
+            (load - 0.8).abs() < 0.15,
+            "offered load {load:.3} should be near 0.8"
+        );
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let m = CirneModel::default();
+        let a = m.generate(&mut Rng64::new(9), 100, 64);
+        let b = m.generate(&mut Rng64::new(9), 100, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn daily_cycle_modulates_arrivals() {
+        // With a strong cycle, arrivals concentrate in the high-rate half
+        // of the day.
+        let m = CirneModel {
+            daily_amplitude: 0.9,
+            ..CirneModel::default()
+        };
+        let mut rng = Rng64::new(10);
+        let jobs = m.generate(&mut rng, 4000, 64);
+        let day = 86_400.0;
+        let first_half = jobs
+            .iter()
+            .filter(|j| (j.submit_s % day) < day / 2.0)
+            .count();
+        // sin is positive in the first half-day: more arrivals there.
+        assert!(
+            first_half as f64 / jobs.len() as f64 > 0.55,
+            "got {first_half}/{}",
+            jobs.len()
+        );
+    }
+}

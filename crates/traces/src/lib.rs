@@ -1,0 +1,44 @@
+//! # dmhpc-traces — HPC job trace generation and formats
+//!
+//! The trace substrate of the SC-W 2023 reproduction (paper §3):
+//!
+//! * [`swf`] — the Standard Workload Format the Slurm simulator consumes;
+//! * [`cirne`] — the CIRNE comprehensive workload model (arrivals, sizes,
+//!   runtimes, limits);
+//! * [`google`] — a statistical clone of the 2019 Google Borg trace's
+//!   per-job memory profiles (5-minute avg/max windows, priority and
+//!   scheduling-class filtering, 12 TB denormalisation);
+//! * [`grizzly`] — a statistical clone of LANL's Grizzly LDMS dataset
+//!   (1490 × 128 GB nodes, weekly periods, Table 2 memory marginals);
+//! * [`distributions`] — the Table 2 / Table 3 memory distributions and
+//!   their samplers (Archer-derived);
+//! * [`rdp`] — Ramer–Douglas–Peucker trace reduction;
+//! * [`pipeline`] — the nine-step matching pipeline of Figure 3;
+//! * [`usagefile`] — the per-job usage-trace sidecar files of Fig. 3
+//!   step 8;
+//! * [`swf_import`] — building workloads from real SWF archives;
+//! * [`stats`] — workload characterisation (§3.3-style summaries);
+//! * [`workload`] — the fluent [`workload::WorkloadBuilder`] facade.
+
+#![warn(missing_docs)]
+
+pub mod cirne;
+pub mod distributions;
+pub mod google;
+pub mod grizzly;
+pub mod pipeline;
+pub mod rdp;
+pub mod stats;
+pub mod swf;
+pub mod swf_import;
+pub mod usagefile;
+pub mod workload;
+
+pub use cirne::{CirneJob, CirneModel};
+pub use distributions::{Dataset, MemoryClass, SizeClass};
+pub use google::{GoogleJob, GooglePool};
+pub use grizzly::{GrizzlyConfig, GrizzlyDataset, GrizzlyJob, GrizzlyWeek};
+pub use pipeline::{build_grizzly_week, build_synthetic, PipelineConfig};
+pub use stats::WorkloadStats;
+pub use swf_import::{workload_from_swf, workload_from_text, ImportOptions};
+pub use workload::{grizzly_workload, WorkloadBuilder};

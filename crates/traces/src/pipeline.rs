@@ -1,0 +1,374 @@
+//! The trace-generation pipeline of Figure 3.
+//!
+//! Steps (numbers match the figure):
+//! 1. generate a synthetic workload skeleton with the CIRNE model;
+//! 2. build the profiled-application pool;
+//! 3. match each job to a profiled application by `(size, runtime)`
+//!    similarity (the profile feeds the slowdown model);
+//! 4. order by arrival time;
+//! 5. draw the job's peak/request memory from the Archer-derived
+//!    distributions, honouring the target large-memory-job proportion;
+//! 6. match the job to a Google job by `(size, runtime, memory)` and take
+//!    its memory-over-time shape;
+//! 7. the proportion filter is exact by construction of step 5;
+//! 8. reduce the usage trace with RDP;
+//! 9. emit simulator input ([`Workload`]).
+//!
+//! The same machinery adapts the Grizzly dataset (§3.2.1): usage shapes
+//! and peaks come from the dataset, submission times from the CIRNE
+//! model, and the request from the peak with a sweepable overestimation
+//! factor.
+
+use crate::cirne::CirneModel;
+use crate::distributions::{sample_table3_peak_mb, MemoryClass};
+use crate::google::GooglePool;
+use crate::grizzly::GrizzlyDataset;
+use crate::rdp::reduce_usage_trace;
+use dmhpc_core::config::SystemConfig;
+use dmhpc_core::job::{Job, JobId, MemoryUsageTrace};
+use dmhpc_core::sim::Workload;
+use dmhpc_model::rng::Rng64;
+use dmhpc_model::ProfilePool;
+
+/// Parameters of the synthetic pipeline.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Number of jobs to generate.
+    pub job_count: usize,
+    /// Fraction of jobs that are large-memory (demand above a normal
+    /// node) — the "% Jobs Large" axis of the paper.
+    pub large_fraction: f64,
+    /// Request overestimation: `request = peak × (1 + overestimation)`.
+    /// 0.0 means users specify the exact peak; 0.6 is the paper's
+    /// "realistic" setting. May be negative to model underestimation.
+    pub overestimation: f64,
+    /// Seed for everything downstream.
+    pub seed: u64,
+    /// Relative RDP tolerance for usage traces.
+    pub rdp_epsilon: f64,
+    /// The CIRNE model parameters.
+    pub cirne: CirneModel,
+    /// Size of the profiled-application pool (Fig. 3 step 2).
+    pub profile_pool_size: usize,
+    /// Size of the raw Google-like pool (before the batch filter).
+    pub google_pool_size: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            job_count: 2000,
+            large_fraction: 0.5,
+            overestimation: 0.0,
+            seed: 42,
+            rdp_epsilon: 0.02,
+            cirne: CirneModel::default(),
+            profile_pool_size: 64,
+            google_pool_size: 2000,
+        }
+    }
+}
+
+/// Apply an overestimation factor to a peak: `peak × (1 + o)`, floored
+/// at 1 MB.
+pub fn requested_mb(peak_mb: u64, overestimation: f64) -> u64 {
+    ((peak_mb as f64) * (1.0 + overestimation)).round().max(1.0) as u64
+}
+
+/// The canonical normal-node capacity (64 GB) that defines the
+/// normal/large memory-job boundary (§3.4). The workload is *fixed* while
+/// the system's memory mix sweeps, so the boundary must not depend on the
+/// mix being simulated — a 32/64 GB system is underprovisioned exactly
+/// because jobs were sized against this 64 GB norm.
+pub const NORMAL_NODE_MB: u64 = 64 * 1024;
+
+/// Select exactly `k` of `n` items as "large", weighted so jobs with
+/// more nodes are likelier picks (matching Table 2's heavier memory tail
+/// for big jobs). Weighted sampling without replacement via the
+/// Efraimidis–Spirakis exponential-key trick; deterministic in `rng`.
+fn select_large(rng: &mut Rng64, weights: &[f64], k: usize) -> Vec<bool> {
+    let n = weights.len();
+    let k = k.min(n);
+    let mut keys: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            debug_assert!(w > 0.0);
+            let u = rng.f64().max(f64::MIN_POSITIVE);
+            (u.powf(1.0 / w), i)
+        })
+        .collect();
+    keys.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut large = vec![false; n];
+    for &(_, i) in keys.iter().take(k) {
+        large[i] = true;
+    }
+    large
+}
+
+/// Build the synthetic workload (Fig. 3, steps 1–9) for `system`.
+pub fn build_synthetic(cfg: &PipelineConfig, system: &SystemConfig) -> Workload {
+    assert!(cfg.job_count > 0, "job_count must be positive");
+    assert!((0.0..=1.0).contains(&cfg.large_fraction));
+    assert!(cfg.overestimation > -1.0, "overestimation must exceed -100%");
+    let mut rng = Rng64::stream(cfg.seed, 0xF163);
+
+    // Step 1: CIRNE skeleton (sorted by arrival — step 4).
+    let skeleton = cfg.cirne.generate(&mut rng, cfg.job_count, system.nodes);
+
+    // Step 2: profiled application pool.
+    let pool = ProfilePool::synthetic(cfg.profile_pool_size, cfg.seed ^ 0xA99);
+
+    // Step 5 pre-pass: choose which jobs are large-memory, biased
+    // towards bigger jobs.
+    let weights: Vec<f64> = skeleton
+        .iter()
+        .map(|j| if j.nodes > 32 { 1.6 } else { 1.0 })
+        .collect();
+    let k = (cfg.large_fraction * cfg.job_count as f64).round() as usize;
+    let large = select_large(&mut rng, &weights, k);
+
+    // Step 6 resource: Google-like shape pool, batch-filtered.
+    let google = GooglePool::synthetic(cfg.google_pool_size, cfg.seed ^ 0x6006).filter_batch();
+
+    let normal_cap = NORMAL_NODE_MB;
+    let mut jobs = Vec::with_capacity(cfg.job_count);
+    for (i, sk) in skeleton.iter().enumerate() {
+        // Step 3: nearest profiled application by (size, runtime).
+        let profile = pool.match_job(sk.nodes, sk.runtime_s);
+        // Step 5: peak memory per node from the Table 3 class
+        // distributions (normal jobs must actually fit the system's
+        // normal nodes, so the normal class is clamped to that capacity).
+        let class = if large[i] {
+            MemoryClass::Large
+        } else {
+            MemoryClass::Normal
+        };
+        let mut peak = sample_table3_peak_mb(&mut rng, class);
+        if class == MemoryClass::Normal {
+            peak = peak.min(normal_cap);
+        }
+        // Step 6: usage shape from the nearest Google job, scaled to the
+        // peak.
+        let shape = google.match_job(sk.nodes, sk.runtime_s, peak as f64).shape();
+        let raw: Vec<(f64, f64)> = shape
+            .iter()
+            .map(|&(p, f)| (p, (f * peak as f64).max(1.0)))
+            .collect();
+        // Step 8: RDP reduction.
+        let reduced = reduce_usage_trace(&raw, cfg.rdp_epsilon);
+        let mut points: Vec<(f64, u64)> = reduced
+            .into_iter()
+            .map(|(p, m)| (p, m.round().max(1.0) as u64))
+            .collect();
+        points[0].0 = 0.0;
+        // Rounding must not push the trace above its nominal peak.
+        let top = points.iter().map(|&(_, m)| m).max().unwrap();
+        debug_assert!(top <= peak + 1);
+        for pt in &mut points {
+            pt.1 = pt.1.min(peak);
+        }
+        let usage = MemoryUsageTrace::new(points).expect("pipeline produced invalid trace");
+        // Step 9: simulator job.
+        jobs.push(Job {
+            id: JobId(i as u32),
+            submit_s: sk.submit_s,
+            nodes: sk.nodes,
+            base_runtime_s: sk.runtime_s,
+            time_limit_s: sk.time_limit_s,
+            mem_request_mb: requested_mb(peak, cfg.overestimation),
+            usage,
+            profile,
+        });
+    }
+    Workload::new(jobs, pool)
+}
+
+/// Adapt one week of the Grizzly dataset into a simulator workload
+/// (§3.2.1): submission times from the CIRNE arrival process, profiles
+/// matched by `(size, runtime)`, requests from the peak with the given
+/// overestimation.
+pub fn build_grizzly_week(
+    dataset: &GrizzlyDataset,
+    week_index: usize,
+    overestimation: f64,
+    seed: u64,
+    profile_pool_size: usize,
+) -> Workload {
+    let week = &dataset.weeks[week_index];
+    assert!(!week.jobs.is_empty());
+    assert!(overestimation > -1.0);
+    let mut rng = Rng64::stream(seed, 0x3172 ^ week_index as u64);
+    let pool = ProfilePool::synthetic(profile_pool_size, seed ^ 0xA99);
+    // Arrivals: CIRNE process rescaled onto the one-week window, so the
+    // offered load matches the week's recorded utilisation (the jobs
+    // *did* fit in that week on the real machine).
+    let cirne = CirneModel::default();
+    let mut arrivals: Vec<f64> = {
+        let jobs = cirne.generate(&mut rng, week.jobs.len(), dataset.config.nodes);
+        jobs.iter().map(|j| j.submit_s).collect()
+    };
+    arrivals.sort_by(f64::total_cmp);
+    let span = arrivals.last().copied().unwrap_or(1.0).max(1.0);
+    for t in &mut arrivals {
+        *t *= crate::grizzly::WEEK_S / span;
+    }
+    let mut jobs = Vec::with_capacity(week.jobs.len());
+    for (i, (gj, &submit)) in week.jobs.iter().zip(&arrivals).enumerate() {
+        let profile = pool.match_job(gj.nodes, gj.duration_s);
+        let mut points = gj.usage.clone();
+        points[0].0 = 0.0;
+        for pt in &mut points {
+            pt.1 = pt.1.clamp(1, gj.peak_mb.max(1));
+        }
+        let usage = MemoryUsageTrace::new(points).expect("grizzly trace invalid");
+        let time_limit = cirne.sample_time_limit(&mut rng, gj.duration_s);
+        jobs.push(Job {
+            id: JobId(i as u32),
+            submit_s: submit,
+            nodes: gj.nodes,
+            base_runtime_s: gj.duration_s,
+            time_limit_s: time_limit,
+            mem_request_mb: requested_mb(gj.peak_mb, overestimation),
+            usage,
+            profile,
+        });
+    }
+    Workload::new(jobs, pool)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_core::cluster::MemoryMix;
+    use crate::grizzly::GrizzlyConfig;
+
+    fn system() -> SystemConfig {
+        SystemConfig::with_nodes(128).with_memory_mix(MemoryMix::half_large())
+    }
+
+    fn cfg(n: usize, large: f64, over: f64) -> PipelineConfig {
+        PipelineConfig {
+            job_count: n,
+            large_fraction: large,
+            overestimation: over,
+            seed: 7,
+            google_pool_size: 600,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_requested_job_count() {
+        let w = build_synthetic(&cfg(300, 0.5, 0.0), &system());
+        assert_eq!(w.len(), 300);
+    }
+
+    #[test]
+    fn large_fraction_is_exact() {
+        let sys = system();
+        let w = build_synthetic(&cfg(400, 0.25, 0.0), &sys);
+        let large = w
+            .jobs
+            .iter()
+            .filter(|j| j.peak_mb() > sys.memory_mix.normal_mb)
+            .count();
+        assert_eq!(large, 100);
+    }
+
+    #[test]
+    fn zero_overestimation_means_request_equals_peak() {
+        let w = build_synthetic(&cfg(200, 0.5, 0.0), &system());
+        for j in &w.jobs {
+            assert_eq!(j.mem_request_mb, j.peak_mb(), "{}", j.id);
+        }
+    }
+
+    #[test]
+    fn overestimation_scales_requests() {
+        let a = build_synthetic(&cfg(150, 0.5, 0.0), &system());
+        let b = build_synthetic(&cfg(150, 0.5, 0.6), &system());
+        // Same seed → same peaks; only requests change.
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.peak_mb(), y.peak_mb());
+            let expect = requested_mb(x.peak_mb(), 0.6);
+            assert_eq!(y.mem_request_mb, expect);
+            assert!(y.mem_request_mb > x.mem_request_mb);
+        }
+    }
+
+    #[test]
+    fn underestimation_supported() {
+        let w = build_synthetic(&cfg(100, 0.3, -0.2), &system());
+        for j in &w.jobs {
+            assert!(j.mem_request_mb < j.peak_mb().max(2));
+        }
+    }
+
+    #[test]
+    fn usage_average_below_peak() {
+        // The paper's headroom: average usage well below maximum (§3.3.1).
+        let w = build_synthetic(&cfg(300, 0.5, 0.0), &system());
+        let mut below = 0;
+        for j in &w.jobs {
+            if j.usage.average() < 0.9 * j.peak_mb() as f64 {
+                below += 1;
+            }
+        }
+        assert!(below as f64 / w.len() as f64 > 0.7, "only {below} of 300");
+    }
+
+    #[test]
+    fn arrivals_sorted() {
+        let w = build_synthetic(&cfg(250, 0.5, 0.0), &system());
+        assert!(w.jobs.windows(2).all(|p| p[0].submit_s <= p[1].submit_s));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_synthetic(&cfg(120, 0.5, 0.6), &system());
+        let b = build_synthetic(&cfg(120, 0.5, 0.6), &system());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.mem_request_mb, y.mem_request_mb);
+            assert_eq!(x.submit_s, y.submit_s);
+            assert_eq!(x.usage, y.usage);
+        }
+    }
+
+    #[test]
+    fn large_jobs_biased_towards_big_sizes() {
+        let sys = system();
+        let w = build_synthetic(&cfg(2000, 0.3, 0.0), &sys);
+        let frac_large = |pred: &dyn Fn(&dmhpc_core::job::Job) -> bool| {
+            let sel: Vec<_> = w.jobs.iter().filter(|j| pred(j)).collect();
+            sel.iter()
+                .filter(|j| j.peak_mb() > sys.memory_mix.normal_mb)
+                .count() as f64
+                / sel.len().max(1) as f64
+        };
+        let big = frac_large(&|j| j.nodes > 32);
+        let small = frac_large(&|j| j.nodes <= 32);
+        assert!(big > small, "big {big:.3} vs small {small:.3}");
+    }
+
+    #[test]
+    fn grizzly_week_to_workload() {
+        let ds = GrizzlyDataset::synthesize(GrizzlyConfig::small(3));
+        let w = build_grizzly_week(&ds, 0, 0.6, 11, 32);
+        assert_eq!(w.len(), ds.weeks[0].jobs.len());
+        for (job, gj) in w.jobs.iter().zip(&ds.weeks[0].jobs) {
+            assert_eq!(job.nodes, gj.nodes);
+            assert_eq!(job.base_runtime_s, gj.duration_s);
+            assert_eq!(job.mem_request_mb, requested_mb(gj.peak_mb, 0.6));
+            assert!(job.time_limit_s >= job.base_runtime_s);
+        }
+        assert!(w.jobs.windows(2).all(|p| p[0].submit_s <= p[1].submit_s));
+    }
+
+    #[test]
+    fn requested_mb_floors_at_one() {
+        assert_eq!(requested_mb(0, 0.0), 1);
+        assert_eq!(requested_mb(100, -0.999), 1);
+        assert_eq!(requested_mb(100, 0.6), 160);
+    }
+}

@@ -1,0 +1,211 @@
+//! Ramer–Douglas–Peucker polyline reduction.
+//!
+//! The paper reduces the per-job memory-consumption traces with RDP
+//! (refs [13, 32]) before feeding them to the simulator: LDMS samples
+//! every 10 s, so a multi-day job yields tens of thousands of points of
+//! which only the phase changes matter.
+//!
+//! The implementation is iterative (explicit stack) so deeply nested
+//! traces cannot overflow the call stack, and `O(n log n)` in the common
+//! case.
+
+/// Reduce `points` (x strictly increasing) to the subset that stays
+/// within `epsilon` vertical+horizontal distance of the original
+/// polyline. The first and last points are always kept.
+///
+/// Distance is the standard perpendicular point-to-segment distance, so
+/// `epsilon` shares the units of the coordinates (normalise first if the
+/// axes differ wildly — [`reduce_usage_trace`] does this for memory
+/// traces).
+///
+/// ```
+/// use dmhpc_traces::rdp::rdp;
+///
+/// // A straight ramp collapses to its endpoints…
+/// let line: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 2.0 * i as f64)).collect();
+/// assert_eq!(rdp(&line, 0.1).len(), 2);
+/// // …but a significant spike survives.
+/// let spike = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 50.0), (3.0, 0.0), (4.0, 0.0)];
+/// assert!(rdp(&spike, 1.0).contains(&(2.0, 50.0)));
+/// ```
+///
+/// # Panics
+/// Panics if `epsilon` is negative.
+pub fn rdp(points: &[(f64, f64)], epsilon: f64) -> Vec<(f64, f64)> {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut max_d, mut max_i) = (0.0f64, lo);
+        for i in lo + 1..hi {
+            let d = seg_distance(points[i], points[lo], points[hi]);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > epsilon {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    points
+        .iter()
+        .zip(&keep)
+        .filter_map(|(&p, &k)| k.then_some(p))
+        .collect()
+}
+
+/// Perpendicular distance from `p` to the segment `a`–`b`.
+fn seg_distance(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (dx, dy) = (b.0 - a.0, b.1 - a.1);
+    let len2 = dx * dx + dy * dy;
+    if len2 == 0.0 {
+        return ((p.0 - a.0).powi(2) + (p.1 - a.1).powi(2)).sqrt();
+    }
+    let t = ((p.0 - a.0) * dx + (p.1 - a.1) * dy) / len2;
+    let t = t.clamp(0.0, 1.0);
+    let (cx, cy) = (a.0 + t * dx, a.1 + t * dy);
+    ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt()
+}
+
+/// Reduce a memory usage trace given as `(progress ∈ [0,1], mem_mb)`
+/// points, tolerating a relative memory error of `rel_epsilon` of the
+/// trace's peak. Progress is scaled to the peak so both axes carry
+/// comparable weight, mirroring the paper's use of RDP on (time, MB)
+/// series.
+pub fn reduce_usage_trace(points: &[(f64, f64)], rel_epsilon: f64) -> Vec<(f64, f64)> {
+    let peak = points.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
+    if peak == 0.0 {
+        return rdp(points, 0.0);
+    }
+    let scaled: Vec<(f64, f64)> = points.iter().map(|&(p, m)| (p * peak, m)).collect();
+    let reduced = rdp(&scaled, rel_epsilon * peak);
+    reduced.into_iter().map(|(p, m)| (p / peak, m)).collect()
+}
+
+/// Maximum perpendicular distance from any original point to the reduced
+/// polyline — the quantity RDP bounds by `epsilon`. Used by tests (and
+/// property tests) to verify the reduction guarantee.
+pub fn max_polyline_error(original: &[(f64, f64)], reduced: &[(f64, f64)]) -> f64 {
+    assert!(!reduced.is_empty());
+    if reduced.len() == 1 {
+        return original
+            .iter()
+            .map(|&p| seg_distance(p, reduced[0], reduced[0]))
+            .fold(0.0, f64::max);
+    }
+    original
+        .iter()
+        .map(|&p| {
+            reduced
+                .windows(2)
+                .map(|w| seg_distance(p, w[0], w[1]))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_endpoints() {
+        let pts = vec![(0.0, 0.0), (1.0, 5.0), (2.0, 0.0)];
+        let r = rdp(&pts, 10.0);
+        assert_eq!(r, vec![(0.0, 0.0), (2.0, 0.0)]);
+    }
+
+    #[test]
+    fn straight_line_collapses() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let r = rdp(&pts, 1e-9);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn preserves_significant_corners() {
+        let pts = vec![
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 10.0), // significant spike
+            (3.0, 0.0),
+            (4.0, 0.0),
+        ];
+        let r = rdp(&pts, 0.5);
+        assert!(r.contains(&(2.0, 10.0)));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_everything_nonlinear() {
+        let pts = vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.5), (3.0, 2.0)];
+        let r = rdp(&pts, 0.0);
+        assert_eq!(r, pts);
+    }
+
+    #[test]
+    fn short_inputs_pass_through() {
+        assert_eq!(rdp(&[], 1.0), vec![]);
+        assert_eq!(rdp(&[(1.0, 2.0)], 1.0), vec![(1.0, 2.0)]);
+        assert_eq!(rdp(&[(1.0, 2.0), (3.0, 4.0)], 1.0), vec![(1.0, 2.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn error_bound_holds() {
+        // A noisy sawtooth; reduction error must stay near epsilon.
+        let pts: Vec<(f64, f64)> = (0..500)
+            .map(|i| {
+                let x = i as f64;
+                let y = (i % 17) as f64 + if i % 53 == 0 { 40.0 } else { 0.0 };
+                (x, y)
+            })
+            .collect();
+        let eps = 5.0;
+        let r = rdp(&pts, eps);
+        assert!(r.len() < pts.len());
+        // RDP guarantees every removed point lies within eps
+        // (perpendicular distance) of the reduced polyline.
+        let err = max_polyline_error(&pts, &r);
+        assert!(err <= eps + 1e-9, "error {err} exceeds epsilon {eps}");
+    }
+
+    #[test]
+    fn usage_trace_reduction_keeps_peak() {
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let p = i as f64 / 199.0;
+                let m = if i == 120 { 1000.0 } else { 100.0 + (i % 7) as f64 };
+                (p, m)
+            })
+            .collect();
+        let r = reduce_usage_trace(&pts, 0.02);
+        assert!(r.len() < 50, "reduced to {} points", r.len());
+        let peak = r.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
+        assert_eq!(peak, 1000.0, "the spike must survive reduction");
+    }
+
+    #[test]
+    fn zero_peak_trace_is_fine() {
+        let pts = vec![(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)];
+        let r = reduce_usage_trace(&pts, 0.05);
+        assert_eq!(r.first(), Some(&(0.0, 0.0)));
+        assert_eq!(r.last(), Some(&(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_segment_distance() {
+        // a == b: distance is point-to-point.
+        let d = seg_distance((3.0, 4.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Workload characterisation: the summary numbers §3.3 reports about a
+//! trace before simulating it.
+
+use dmhpc_core::sim::Workload;
+use crate::pipeline::NORMAL_NODE_MB;
+
+/// Aggregate statistics of a workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Jobs whose per-node peak exceeds a normal (64 GB) node.
+    pub large_memory_jobs: usize,
+    /// Total work in node-seconds.
+    pub total_node_seconds: f64,
+    /// Arrival span in seconds (first to last submission).
+    pub arrival_span_s: f64,
+    /// Mean per-node peak memory, MB.
+    pub mean_peak_mb: f64,
+    /// Mean per-node *average* memory, MB — the paper's headroom story
+    /// is the gap between this and the peak.
+    pub mean_avg_mb: f64,
+    /// Mean request overestimation observed (`request / peak − 1`).
+    pub mean_overestimation: f64,
+    /// Largest single request in MB per node.
+    pub max_request_mb: u64,
+    /// Largest job size in nodes.
+    pub max_nodes: u32,
+}
+
+impl WorkloadStats {
+    /// Compute the statistics of a workload.
+    ///
+    /// # Panics
+    /// Panics on an empty workload.
+    pub fn of(workload: &Workload) -> Self {
+        assert!(!workload.is_empty(), "cannot characterise an empty workload");
+        let jobs = workload.len();
+        let mut large = 0usize;
+        let mut node_seconds = 0.0;
+        let mut peak_sum = 0.0;
+        let mut avg_sum = 0.0;
+        let mut over_sum = 0.0;
+        let mut max_request = 0u64;
+        let mut max_nodes = 0u32;
+        let mut first = f64::INFINITY;
+        let mut last = f64::NEG_INFINITY;
+        for j in &workload.jobs {
+            let peak = j.peak_mb();
+            if peak > NORMAL_NODE_MB {
+                large += 1;
+            }
+            node_seconds += j.nodes as f64 * j.base_runtime_s;
+            peak_sum += peak as f64;
+            avg_sum += j.usage.average();
+            over_sum += j.mem_request_mb as f64 / peak.max(1) as f64 - 1.0;
+            max_request = max_request.max(j.mem_request_mb);
+            max_nodes = max_nodes.max(j.nodes);
+            first = first.min(j.submit_s);
+            last = last.max(j.submit_s);
+        }
+        let n = jobs as f64;
+        Self {
+            jobs,
+            large_memory_jobs: large,
+            total_node_seconds: node_seconds,
+            arrival_span_s: (last - first).max(0.0),
+            mean_peak_mb: peak_sum / n,
+            mean_avg_mb: avg_sum / n,
+            mean_overestimation: over_sum / n,
+            max_request_mb: max_request,
+            max_nodes,
+        }
+    }
+
+    /// Offered load against a system of `nodes` nodes over the arrival
+    /// span: total work ÷ (nodes × span). Above ~1.0 the system cannot
+    /// keep up regardless of policy.
+    pub fn offered_load(&self, nodes: u32) -> f64 {
+        if self.arrival_span_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.total_node_seconds / (nodes as f64 * self.arrival_span_s)
+    }
+
+    /// The average peak-to-average headroom ratio the dynamic policy can
+    /// reclaim (≥ 1; the paper's §3.3.1 observation).
+    pub fn headroom_ratio(&self) -> f64 {
+        if self.mean_avg_mb <= 0.0 {
+            return 1.0;
+        }
+        self.mean_peak_mb / self.mean_avg_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadBuilder;
+    use dmhpc_core::config::SystemConfig;
+
+    fn workload(over: f64) -> Workload {
+        WorkloadBuilder::new(3)
+            .jobs(200)
+            .max_job_nodes(8)
+            .large_job_fraction(0.4)
+            .overestimation(over)
+            .build_for(&SystemConfig::with_nodes(64))
+    }
+
+    #[test]
+    fn counts_and_classes() {
+        let s = WorkloadStats::of(&workload(0.0));
+        assert_eq!(s.jobs, 200);
+        assert_eq!(s.large_memory_jobs, 80);
+        assert!(s.max_nodes <= 8);
+        assert!(s.total_node_seconds > 0.0);
+    }
+
+    #[test]
+    fn overestimation_measured_back() {
+        let s = WorkloadStats::of(&workload(0.6));
+        assert!(
+            (s.mean_overestimation - 0.6).abs() < 0.01,
+            "measured {}",
+            s.mean_overestimation
+        );
+        let s0 = WorkloadStats::of(&workload(0.0));
+        assert!(s0.mean_overestimation.abs() < 0.01);
+    }
+
+    #[test]
+    fn headroom_exceeds_one() {
+        let s = WorkloadStats::of(&workload(0.0));
+        assert!(s.headroom_ratio() > 1.1, "headroom {}", s.headroom_ratio());
+        assert!(s.mean_avg_mb < s.mean_peak_mb);
+    }
+
+    #[test]
+    fn offered_load_near_target() {
+        let s = WorkloadStats::of(&workload(0.0));
+        let load = s.offered_load(64);
+        // The CIRNE default targets 0.8.
+        assert!((load - 0.8).abs() < 0.2, "load {load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_workload_rejected() {
+        use dmhpc_model::ProfilePool;
+        WorkloadStats::of(&Workload::new(vec![], ProfilePool::synthetic(1, 1)));
+    }
+}

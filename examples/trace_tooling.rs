@@ -1,0 +1,68 @@
+//! Trace tooling: generate a workload, export it to the Standard
+//! Workload Format (SWF), inspect the Grizzly-style dataset, and watch
+//! RDP shrink a memory trace.
+//!
+//! ```text
+//! cargo run --release --example trace_tooling
+//! ```
+
+use dmhpc::core::config::SystemConfig;
+use dmhpc::traces::grizzly::{GrizzlyConfig, GrizzlyDataset};
+use dmhpc::traces::rdp::{max_polyline_error, rdp};
+use dmhpc::traces::swf;
+use dmhpc::traces::workload::WorkloadBuilder;
+
+fn main() {
+    // 1. Generate a workload and export it as SWF.
+    let system = SystemConfig::with_nodes(64);
+    let workload = WorkloadBuilder::new(5)
+        .jobs(50)
+        .max_job_nodes(8)
+        .large_job_fraction(0.25)
+        .overestimation(0.3)
+        .build_for(&system);
+    let records: Vec<swf::SwfRecord> = workload
+        .jobs
+        .iter()
+        .map(|j| swf::from_job(j, system.cores_per_node))
+        .collect();
+    let text = swf::write(&records, "dmhpc example workload");
+    println!("--- SWF export (first 5 lines) ---");
+    for line in text.lines().take(5) {
+        println!("{line}");
+    }
+    let parsed = swf::parse(&text).expect("roundtrip");
+    assert_eq!(parsed.len(), workload.len());
+    println!("roundtrip ok: {} records\n", parsed.len());
+
+    // 2. Synthesize a small Grizzly-like dataset and summarise its weeks.
+    let ds = GrizzlyDataset::synthesize(GrizzlyConfig::small(11));
+    println!("--- Grizzly-like dataset ---");
+    for w in &ds.weeks {
+        println!(
+            "week {}: util {:>5.1}%  jobs {:>4}  max job {:>6.0} node-hours, {:>6} MB/node",
+            w.index,
+            100.0 * w.cpu_utilization,
+            w.jobs.len(),
+            w.max_node_hours(),
+            w.max_memory_mb()
+        );
+    }
+
+    // 3. RDP on a noisy memory curve: LDMS samples a job every 10 s, but
+    //    only the phase changes matter.
+    let noisy: Vec<(f64, f64)> = (0..1000)
+        .map(|i| {
+            let t = i as f64;
+            let phase = if i < 400 { 8_000.0 } else { 30_000.0 };
+            (t, phase + (i % 13) as f64 * 10.0)
+        })
+        .collect();
+    let reduced = rdp(&noisy, 200.0);
+    println!(
+        "\n--- RDP --- {} points -> {} points (max error {:.0} MB <= 200)",
+        noisy.len(),
+        reduced.len(),
+        max_polyline_error(&noisy, &reduced)
+    );
+}
