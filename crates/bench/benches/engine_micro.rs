@@ -8,7 +8,7 @@ use dmhpc_core::config::SystemConfig;
 use dmhpc_core::engine::{EventKind, EventQueue, SimTime};
 use dmhpc_core::job::JobId;
 use dmhpc_core::policy::{try_place, PolicyKind};
-use dmhpc_core::sim::Simulation;
+use dmhpc_core::sim::{SchedPassBench, Simulation};
 use dmhpc_experiments::scenario::{synthetic_system, synthetic_workload};
 use dmhpc_experiments::Scale;
 use dmhpc_metrics::ecdf::Ecdf;
@@ -61,6 +61,26 @@ fn bench_placement(c: &mut Criterion) {
         g.bench_function(format!("try_place_borrowing_{nodes}"), |b| {
             b.iter(|| black_box(try_place(&cluster, PolicyKind::Static, 4, 100 * 1024)))
         });
+    }
+    g.finish();
+}
+
+fn bench_sched_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched_pass");
+    // 1490 ≈ the paper's Grizzly cluster; 256/1024 are the synthetic
+    // scales. Each iteration replays one scheduling pass on a clone of
+    // the frozen high-pressure state (clone time excluded).
+    for &nodes in &[256u32, 1024, 1490] {
+        for (label, reference) in [("indexed", false), ("reference", true)] {
+            let fixture = SchedPassBench::new(nodes, 256, 0xBE7C, reference);
+            g.bench_function(format!("pass_{label}_{nodes}"), |b| {
+                b.iter_batched(
+                    || fixture.clone(),
+                    |mut f| black_box(f.run_pass()),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
     }
     g.finish();
 }
@@ -125,6 +145,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_placement,
+    bench_sched_pass,
     bench_ledger,
     bench_simulation,
     bench_metrics

@@ -23,19 +23,26 @@ fn config() -> Criterion {
 fn bench_fig2(c: &mut Criterion) {
     let f = fig2::run(S, 0);
     println!("\n== Figure 2: week sampling ==\n{}", f.table().render());
-    c.bench_function("fig2_week_sampling", |b| b.iter(|| black_box(fig2::run(S, 0))));
+    c.bench_function("fig2_week_sampling", |b| {
+        b.iter(|| black_box(fig2::run(S, 0)))
+    });
 }
 
 fn bench_fig4(c: &mut Criterion) {
     let f = fig4::run(S, 0);
     println!("== Figure 4a (avg) ==\n{}", f.avg_table().render());
     println!("== Figure 4b (max) ==\n{}", f.max_table().render());
-    c.bench_function("fig4_memory_heatmap", |b| b.iter(|| black_box(fig4::run(S, 0))));
+    c.bench_function("fig4_memory_heatmap", |b| {
+        b.iter(|| black_box(fig4::run(S, 0)))
+    });
 }
 
 fn bench_fig5(c: &mut Criterion) {
     let f = fig5::run(S, 0);
-    println!("== Figure 5: normalized throughput ==\n{}", f.table().render());
+    println!(
+        "== Figure 5: normalized throughput ==\n{}",
+        f.table().render()
+    );
     if let Some((trace, over, mem, gain)) = f.max_dynamic_gain() {
         println!(
             "max dynamic gain: +{:.1}% ({trace}, +{:.0}%, {mem}% mem)\n",
@@ -48,22 +55,37 @@ fn bench_fig5(c: &mut Criterion) {
 
 fn bench_fig6(c: &mut Criterion) {
     let f = fig6::run(S, 0);
-    println!("== Figure 6: response-time quantiles ==\n{}", f.table().render());
-    c.bench_function("fig6_response_time", |b| b.iter(|| black_box(fig6::run(S, 0))));
+    println!(
+        "== Figure 6: response-time quantiles ==\n{}",
+        f.table().render()
+    );
+    c.bench_function("fig6_response_time", |b| {
+        b.iter(|| black_box(fig6::run(S, 0)))
+    });
 }
 
 fn bench_fig7(c: &mut Criterion) {
     let f = fig7::run(S, 0);
-    println!("== Figure 7: throughput per dollar ==\n{}", f.table().render());
-    c.bench_function("fig7_cost_benefit", |b| b.iter(|| black_box(fig7::run(S, 0))));
+    println!(
+        "== Figure 7: throughput per dollar ==\n{}",
+        f.table().render()
+    );
+    c.bench_function("fig7_cost_benefit", |b| {
+        b.iter(|| black_box(fig7::run(S, 0)))
+    });
 }
 
 fn bench_fig8_and_9(c: &mut Criterion) {
     let f8 = fig8::run(S, 0);
-    println!("== Figure 8: overestimation sweep ==\n{}", f8.table().render());
+    println!(
+        "== Figure 8: overestimation sweep ==\n{}",
+        f8.table().render()
+    );
     let f9 = fig9::derive(&f8, "large 50%");
     println!("== Figure 9: min memory @95% ==\n{}", f9.table().render());
-    c.bench_function("fig8_overestimation", |b| b.iter(|| black_box(fig8::run(S, 0))));
+    c.bench_function("fig8_overestimation", |b| {
+        b.iter(|| black_box(fig8::run(S, 0)))
+    });
     c.bench_function("fig9_min_memory", |b| {
         b.iter(|| black_box(fig9::derive(&f8, "large 50%")))
     });

@@ -21,7 +21,10 @@ fn config() -> Criterion {
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("paper_tables");
 
-    println!("\n== Table 1: trace sources ==\n{}", tables::table1().render());
+    println!(
+        "\n== Table 1: trace sources ==\n{}",
+        tables::table1().render()
+    );
     g.bench_function("table1_trace_sources", |b| {
         b.iter(|| black_box(tables::table1()))
     });
@@ -42,7 +45,10 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| black_box(tables::table3(Scale::Small)))
     });
 
-    println!("== Table 4: system configurations ==\n{}", tables::table4().render());
+    println!(
+        "== Table 4: system configurations ==\n{}",
+        tables::table4().render()
+    );
     g.bench_function("table4_system_config", |b| {
         b.iter(|| black_box(tables::table4()))
     });

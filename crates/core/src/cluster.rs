@@ -15,10 +15,20 @@
 //!
 //! All mutations go through checked operations that preserve the ledger
 //! invariants; `debug_assert!`ed globally by [`Cluster::check_invariants`].
+//!
+//! To keep the scheduler hot path free of O(N) scans, the cluster
+//! maintains two persistent indexes updated incrementally by every
+//! mutation: a sorted set of schedulable nodes keyed by free memory
+//! (serving best-fit placement directly) and the lender pool of all
+//! nodes with free memory. Both store node ids ascending within each
+//! free-memory bucket, so forward iteration yields `(free asc, id asc)`
+//! and reverse bucket iteration yields `(free desc, id asc)` — exactly
+//! the two orders the placement policy sorts by, which keeps indexed
+//! placement bit-identical to the reference scan implementation.
 
 use crate::job::JobId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Index of a node in the cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -190,6 +200,20 @@ impl JobAlloc {
         }
     }
 
+    /// Collect the distinct lender nodes into `out` (cleared first), in
+    /// first-appearance order: the allocation-free twin of
+    /// [`Self::lenders`] for hot paths with a reusable buffer.
+    pub fn lenders_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        for e in &self.entries {
+            for &(l, _) in &e.remote {
+                if !out.contains(&l) {
+                    out.push(l);
+                }
+            }
+        }
+    }
+
     /// Iterate over the distinct lender nodes of this allocation.
     pub fn lenders(&self) -> impl Iterator<Item = NodeId> + '_ {
         // Lender lists are tiny (a few entries); a linear de-dup avoids a
@@ -226,6 +250,39 @@ pub struct Cluster {
     /// Running total of allocated memory (local + lent), maintained by
     /// every mutation so utilisation accounting is O(1) per event.
     total_alloc_mb: u64,
+    /// Schedulable nodes (idle, within lend cap) keyed by free MB, node
+    /// ids ascending per bucket. Serves best-fit placement directly.
+    sched_index: BTreeMap<u64, Vec<NodeId>>,
+    /// All nodes with free memory — the lender pool — keyed the same way.
+    free_index: BTreeMap<u64, Vec<NodeId>>,
+    /// Cached `sched_index` population for O(1) feasibility checks.
+    schedulable_count: usize,
+    /// Reusable buffers for mutation internals (per-lender aggregation,
+    /// lender-set snapshots); kept here so the hot path never allocates.
+    scratch_per_lender: Vec<(NodeId, u64)>,
+    scratch_lenders: Vec<NodeId>,
+    scratch_touched: Vec<NodeId>,
+}
+
+/// Insert `id` into the `key` bucket, keeping ids sorted ascending.
+fn index_insert(index: &mut BTreeMap<u64, Vec<NodeId>>, key: u64, id: NodeId) {
+    let ids = index.entry(key).or_default();
+    match ids.binary_search(&id) {
+        Ok(_) => debug_assert!(false, "{id:?} already indexed at {key}"),
+        Err(pos) => ids.insert(pos, id),
+    }
+}
+
+/// Remove `id` from the `key` bucket, dropping the bucket when empty.
+fn index_remove(index: &mut BTreeMap<u64, Vec<NodeId>>, key: u64, id: NodeId) {
+    let ids = index.get_mut(&key).expect("index bucket missing");
+    let pos = ids
+        .binary_search(&id)
+        .expect("node missing from index bucket");
+    ids.remove(pos);
+    if ids.is_empty() {
+        index.remove(&key);
+    }
 }
 
 impl Cluster {
@@ -245,7 +302,7 @@ impl Cluster {
                 remote_demand_gbs: 0.0,
             })
             .collect();
-        Self {
+        let mut cluster = Self {
             nodes,
             lend_cap_fraction,
             allocs: HashMap::new(),
@@ -254,6 +311,57 @@ impl Cluster {
             idle_nodes,
             total_capacity_mb,
             total_alloc_mb: 0,
+            sched_index: BTreeMap::new(),
+            free_index: BTreeMap::new(),
+            schedulable_count: 0,
+            scratch_per_lender: Vec::new(),
+            scratch_lenders: Vec::new(),
+            scratch_touched: Vec::new(),
+        };
+        // Every node starts idle with its full capacity free.
+        for i in 0..cluster.nodes.len() {
+            let id = NodeId(i as u32);
+            let free = cluster.nodes[i].free_mb();
+            if free > 0 {
+                index_insert(&mut cluster.free_index, free, id);
+            }
+            index_insert(&mut cluster.sched_index, free, id);
+        }
+        cluster.schedulable_count = cluster.nodes.len();
+        cluster
+    }
+
+    /// Apply a mutation to one node and resync the indexes from its
+    /// before/after `(free, schedulable)` state. Every node mutation
+    /// that can move free memory or schedulability goes through here.
+    #[inline]
+    fn touch<F: FnOnce(&mut Node)>(&mut self, id: NodeId, f: F) {
+        let i = id.0 as usize;
+        let old_free = self.nodes[i].free_mb();
+        let old_sched = self.schedulable(id);
+        f(&mut self.nodes[i]);
+        let new_free = self.nodes[i].free_mb();
+        let new_sched = self.schedulable(id);
+        if old_free != new_free {
+            if old_free > 0 {
+                index_remove(&mut self.free_index, old_free, id);
+            }
+            if new_free > 0 {
+                index_insert(&mut self.free_index, new_free, id);
+            }
+        }
+        if old_sched && (!new_sched || old_free != new_free) {
+            index_remove(&mut self.sched_index, old_free, id);
+        }
+        if new_sched && (!old_sched || old_free != new_free) {
+            index_insert(&mut self.sched_index, new_free, id);
+        }
+        if old_sched != new_sched {
+            if new_sched {
+                self.schedulable_count += 1;
+            } else {
+                self.schedulable_count -= 1;
+            }
         }
     }
 
@@ -307,8 +415,46 @@ impl Cluster {
     /// (otherwise it is temporarily a memory-only node).
     pub fn schedulable(&self, id: NodeId) -> bool {
         let n = self.node(id);
-        n.running.is_none()
-            && (n.lent_mb as f64) <= self.lend_cap_fraction * n.capacity_mb as f64
+        n.running.is_none() && (n.lent_mb as f64) <= self.lend_cap_fraction * n.capacity_mb as f64
+    }
+
+    /// Number of nodes currently able to accept a job. O(1).
+    pub fn schedulable_count(&self) -> usize {
+        self.schedulable_count
+    }
+
+    /// Total free memory across the cluster in MB. O(1).
+    pub fn free_pool_mb(&self) -> u64 {
+        self.total_capacity_mb - self.total_alloc_mb
+    }
+
+    /// Schedulable nodes with at least `min_free` MB free, ascending by
+    /// `(free, id)` — the phase-1 best-fit order.
+    pub fn schedulable_by_free_asc(
+        &self,
+        min_free: u64,
+    ) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.sched_index
+            .range(min_free..)
+            .flat_map(|(&f, ids)| ids.iter().map(move |&id| (f, id)))
+    }
+
+    /// All schedulable nodes, descending by free memory with ids
+    /// ascending within ties — the phase-2 compute-node order.
+    pub fn schedulable_by_free_desc(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.sched_index
+            .iter()
+            .rev()
+            .flat_map(|(&f, ids)| ids.iter().map(move |&id| (f, id)))
+    }
+
+    /// The lender pool: every node with free memory, descending by free
+    /// with ids ascending within ties.
+    pub fn free_by_free_desc(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.free_index
+            .iter()
+            .rev()
+            .flat_map(|(&f, ids)| ids.iter().map(move |&id| (f, id)))
     }
 
     /// The allocation of a running job, if any.
@@ -318,7 +464,10 @@ impl Cluster {
 
     /// Jobs currently borrowing memory from `lender`.
     pub fn borrowers_of(&self, lender: NodeId) -> &[JobId] {
-        self.borrowers.get(&lender).map(Vec::as_slice).unwrap_or(&[])
+        self.borrowers
+            .get(&lender)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Maximum remote-bandwidth demand across the lenders of `job`'s
@@ -341,10 +490,7 @@ impl Cluster {
     /// enough free memory on a compute node or lender, job already
     /// placed, self-borrow, duplicate lender within an entry).
     pub fn start_job(&mut self, job: JobId, alloc: JobAlloc, bandwidth_gbs: f64) {
-        assert!(
-            !self.allocs.contains_key(&job),
-            "{job} is already placed"
-        );
+        assert!(!self.allocs.contains_key(&job), "{job} is already placed");
         assert!(!alloc.entries.is_empty(), "empty allocation for {job}");
         // Validate first so a panic cannot leave a half-applied ledger.
         for e in &alloc.entries {
@@ -366,13 +512,19 @@ impl Cluster {
             }
         }
         // Aggregate borrows per lender across entries for the free check.
-        let mut per_lender: HashMap<NodeId, u64> = HashMap::new();
+        // A sorted scratch Vec instead of a HashMap: no allocation after
+        // warm-up, and a deterministic lender apply order.
+        let mut per_lender = std::mem::take(&mut self.scratch_per_lender);
+        per_lender.clear();
         for e in &alloc.entries {
             for &(lender, mb) in &e.remote {
-                *per_lender.entry(lender).or_insert(0) += mb;
+                match per_lender.binary_search_by_key(&lender, |&(l, _)| l) {
+                    Ok(pos) => per_lender[pos].1 += mb,
+                    Err(pos) => per_lender.insert(pos, (lender, mb)),
+                }
             }
         }
-        for (&lender, &mb) in &per_lender {
+        for &(lender, mb) in &per_lender {
             // If the lender is also one of the job's compute nodes, its
             // free memory shrinks by the local slice being placed there.
             let local_here: u64 = alloc
@@ -382,24 +534,23 @@ impl Cluster {
                 .map(|e| e.local_mb)
                 .sum();
             let free = self.node(lender).free_mb().saturating_sub(local_here);
-            assert!(
-                mb <= free,
-                "lender {lender:?}: borrow {mb} > free {free}"
-            );
+            assert!(mb <= free, "lender {lender:?}: borrow {mb} > free {free}");
         }
         // Apply.
         for e in &alloc.entries {
-            let n = &mut self.nodes[e.node.0 as usize];
-            n.running = Some(job);
-            n.local_alloc_mb += e.local_mb;
+            self.touch(e.node, |n| {
+                n.running = Some(job);
+                n.local_alloc_mb += e.local_mb;
+            });
             self.total_alloc_mb += e.local_mb;
             self.idle_nodes -= 1;
         }
-        for (&lender, &mb) in &per_lender {
-            self.nodes[lender.0 as usize].lent_mb += mb;
+        for &(lender, mb) in &per_lender {
+            self.touch(lender, |n| n.lent_mb += mb);
             self.total_alloc_mb += mb;
             self.borrowers.entry(lender).or_default().push(job);
         }
+        self.scratch_per_lender = per_lender;
         self.allocs.insert(job, alloc);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
@@ -413,14 +564,15 @@ impl Cluster {
     pub fn finish_job(&mut self, job: JobId) -> JobAlloc {
         let alloc = self.allocs.remove(&job).expect("finish of unplaced job");
         for e in &alloc.entries {
-            let n = &mut self.nodes[e.node.0 as usize];
-            debug_assert_eq!(n.running, Some(job));
-            n.running = None;
-            n.local_alloc_mb -= e.local_mb;
+            debug_assert_eq!(self.nodes[e.node.0 as usize].running, Some(job));
+            self.touch(e.node, |n| {
+                n.running = None;
+                n.local_alloc_mb -= e.local_mb;
+            });
             self.total_alloc_mb -= e.local_mb;
             self.idle_nodes += 1;
             for &(lender, mb) in &e.remote {
-                self.nodes[lender.0 as usize].lent_mb -= mb;
+                self.touch(lender, |n| n.lent_mb -= mb);
                 self.total_alloc_mb -= mb;
             }
         }
@@ -431,7 +583,9 @@ impl Cluster {
                 n.remote_demand_gbs = (n.remote_demand_gbs - gbs).max(0.0);
             }
         }
-        for lender in alloc.lenders() {
+        let mut lenders = std::mem::take(&mut self.scratch_lenders);
+        alloc.lenders_into(&mut lenders);
+        for &lender in &lenders {
             if let Some(bs) = self.borrowers.get_mut(&lender) {
                 bs.retain(|&j| j != job);
                 if bs.is_empty() {
@@ -439,6 +593,7 @@ impl Cluster {
                 }
             }
         }
+        self.scratch_lenders = lenders;
         self.debug_check();
         alloc
     }
@@ -454,7 +609,8 @@ impl Cluster {
     pub fn shrink_job(&mut self, job: JobId, target_mb: u64, bandwidth_gbs: f64) -> u64 {
         let mut alloc = self.allocs.remove(&job).expect("shrink of unplaced job");
         let mut released = 0u64;
-        let mut touched_lenders: Vec<NodeId> = Vec::new();
+        let mut touched_lenders = std::mem::take(&mut self.scratch_touched);
+        touched_lenders.clear();
         for e in &mut alloc.entries {
             let mut excess = e.total_mb().saturating_sub(target_mb);
             if excess == 0 {
@@ -471,7 +627,7 @@ impl Cluster {
                 let take = (*mb).min(excess);
                 *mb -= take;
                 excess -= take;
-                self.nodes[lender.0 as usize].lent_mb -= take;
+                self.touch(lender, |n| n.lent_mb -= take);
                 if !touched_lenders.contains(&lender) {
                     touched_lenders.push(lender);
                 }
@@ -483,12 +639,13 @@ impl Cluster {
             if excess > 0 {
                 debug_assert!(e.local_mb >= excess);
                 e.local_mb -= excess;
-                self.nodes[e.node.0 as usize].local_alloc_mb -= excess;
+                self.touch(e.node, |n| n.local_alloc_mb -= excess);
             }
         }
         // Drop reverse-index entries for lenders no longer used.
-        let still: Vec<NodeId> = alloc.lenders().collect();
-        for lender in touched_lenders {
+        let mut still = std::mem::take(&mut self.scratch_lenders);
+        alloc.lenders_into(&mut still);
+        for &lender in &touched_lenders {
             if !still.contains(&lender) {
                 if let Some(bs) = self.borrowers.get_mut(&lender) {
                     bs.retain(|&j| j != job);
@@ -498,6 +655,8 @@ impl Cluster {
                 }
             }
         }
+        self.scratch_lenders = still;
+        self.scratch_touched = touched_lenders;
         self.total_alloc_mb -= released;
         self.allocs.insert(job, alloc);
         self.refresh_demand(job, bandwidth_gbs);
@@ -538,6 +697,25 @@ impl Cluster {
                 "lender {lender:?} lacks {mb} MB"
             );
         }
+        {
+            let alloc = self.allocs.get(&job).expect("grow of unplaced job");
+            assert!(
+                alloc.entries.iter().any(|e| e.node == node),
+                "grow on a node outside the job's allocation"
+            );
+        }
+        // Apply to the node ledgers (through the index-tracking `touch`),
+        // then mirror into the job's allocation entry.
+        self.touch(node, |n| n.local_alloc_mb += add_local);
+        self.total_alloc_mb += add_local;
+        for &(lender, mb) in add_remote {
+            self.touch(lender, |n| n.lent_mb += mb);
+            self.total_alloc_mb += mb;
+            let bs = self.borrowers.entry(lender).or_default();
+            if !bs.contains(&job) {
+                bs.push(job);
+            }
+        }
         let alloc = self.allocs.get_mut(&job).expect("grow of unplaced job");
         let entry = alloc
             .entries
@@ -545,19 +723,11 @@ impl Cluster {
             .find(|e| e.node == node)
             .expect("grow on a node outside the job's allocation");
         entry.local_mb += add_local;
-        self.nodes[node.0 as usize].local_alloc_mb += add_local;
-        self.total_alloc_mb += add_local;
         for &(lender, mb) in add_remote {
-            self.nodes[lender.0 as usize].lent_mb += mb;
-            self.total_alloc_mb += mb;
             if let Some(slot) = entry.remote.iter_mut().find(|(l, _)| *l == lender) {
                 slot.1 += mb;
             } else {
                 entry.remote.push((lender, mb));
-            }
-            let bs = self.borrowers.entry(lender).or_default();
-            if !bs.contains(&job) {
-                bs.push(job);
             }
         }
         self.refresh_demand(job, bandwidth_gbs);
@@ -638,11 +808,40 @@ impl Cluster {
         if idle != self.idle_nodes {
             return Err("idle counter mismatch".into());
         }
-        let alloc_sum: u64 = self.nodes.iter().map(|n| n.local_alloc_mb + n.lent_mb).sum();
+        let alloc_sum: u64 = self
+            .nodes
+            .iter()
+            .map(|n| n.local_alloc_mb + n.lent_mb)
+            .sum();
         if alloc_sum != self.total_alloc_mb {
             return Err(format!(
                 "allocated counter mismatch: ledger {alloc_sum} vs counter {}",
                 self.total_alloc_mb
+            ));
+        }
+        // The incremental indexes must match a from-scratch rebuild.
+        let mut sched_expected: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+        let mut free_expected: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+        let mut sched_count = 0usize;
+        for (id, n) in self.iter() {
+            if n.free_mb() > 0 {
+                free_expected.entry(n.free_mb()).or_default().push(id);
+            }
+            if self.schedulable(id) {
+                sched_expected.entry(n.free_mb()).or_default().push(id);
+                sched_count += 1;
+            }
+        }
+        if free_expected != self.free_index {
+            return Err("free index out of sync with node ledgers".into());
+        }
+        if sched_expected != self.sched_index {
+            return Err("schedulable index out of sync with node ledgers".into());
+        }
+        if sched_count != self.schedulable_count {
+            return Err(format!(
+                "schedulable counter mismatch: rebuild {sched_count} vs counter {}",
+                self.schedulable_count
             ));
         }
         Ok(())

@@ -189,8 +189,11 @@ mod tests {
     #[test]
     fn cost_scales_with_memory() {
         let full = SystemConfig::synthetic_1024().with_memory_mix(MemoryMix::all_large());
-        let half = SystemConfig::synthetic_1024()
-            .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.0));
+        let half = SystemConfig::synthetic_1024().with_memory_mix(MemoryMix::new(
+            64 * 1024,
+            128 * 1024,
+            0.0,
+        ));
         assert!(full.total_cost_usd() > half.total_cost_usd());
         // Node cost dominates: $10,154 × 1024 vs memory $1,280 × 1024.
         let node_part = 1024.0 * 10_154.0;

@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn sample_demand_is_window_max() {
         let m = Monitor::new(300.0);
-        let usage =
-            MemoryUsageTrace::new(vec![(0.0, 100), (0.25, 800), (0.5, 200)]).unwrap();
+        let usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.25, 800), (0.5, 200)]).unwrap();
         // Window [0.2, 0.3] crosses the 800 MB phase.
         let d = m.sample_demand(&usage, 0.2, 1.0, 3000.0);
         assert_eq!(d, 800);

@@ -98,11 +98,30 @@ impl PartialOrd for Event {
 }
 
 /// Min-heap of events ordered by `(time, seq)`.
-#[derive(Debug, Default)]
+///
+/// Lazy deletion leaves stale `JobEnd`/`MemUpdate` events in the heap
+/// until they are popped. Under the dynamic policy a long-running
+/// borrower can be re-timed many times between pops, so the heap can
+/// grow well past the live event count. Callers report superseded
+/// events via [`note_stale`](Self::note_stale); once
+/// [`should_compact`](Self::should_compact) trips, a single
+/// [`compact`](Self::compact) sweep rebuilds the heap from the live
+/// events. Surviving events keep their original `(time, seq)` keys, so
+/// compaction never changes pop order — it is invisible to the
+/// simulation outcome.
+#[derive(Clone, Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
+    /// Events known to be stale (superseded by a newer epoch) but still
+    /// sitting in the heap. Decremented when a stale event pops.
+    stale: usize,
 }
+
+/// Compact once the heap holds at least this many events *and* stale
+/// events outnumber live ones. The floor keeps small runs (where a full
+/// rebuild costs more than it saves) on the pure lazy-deletion path.
+const COMPACT_MIN_LEN: usize = 1024;
 
 impl EventQueue {
     /// An empty queue.
@@ -135,6 +154,38 @@ impl EventQueue {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Record that `n` queued events just became stale (their job's
+    /// epoch advanced past them).
+    pub fn note_stale(&mut self, n: usize) {
+        self.stale += n;
+    }
+
+    /// Record that a popped event turned out to be stale.
+    pub fn note_stale_popped(&mut self) {
+        self.stale = self.stale.saturating_sub(1);
+    }
+
+    /// Number of events currently believed stale.
+    pub fn stale(&self) -> usize {
+        self.stale
+    }
+
+    /// Whether the stale fraction warrants a [`compact`](Self::compact)
+    /// sweep (heap at least [`COMPACT_MIN_LEN`] long and more than half
+    /// stale).
+    pub fn should_compact(&self) -> bool {
+        self.heap.len() >= COMPACT_MIN_LEN && self.stale * 2 > self.heap.len()
+    }
+
+    /// Drop every queued event for which `keep` returns `false`,
+    /// preserving the `(time, seq)` keys of survivors (pop order is
+    /// unchanged). Resets the stale counter.
+    pub fn compact<F: FnMut(&Event) -> bool>(&mut self, mut keep: F) {
+        let events = std::mem::take(&mut self.heap).into_vec();
+        self.heap = events.into_iter().filter(|Reverse(e)| keep(e)).collect();
+        self.stale = 0;
     }
 }
 
@@ -190,6 +241,60 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(3.0)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(7.0)));
+    }
+
+    #[test]
+    fn compact_preserves_pop_order_of_survivors() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..50 {
+            q.push(
+                t,
+                EventKind::JobEnd {
+                    job: JobId(i),
+                    epoch: 0,
+                },
+            );
+        }
+        // Mark odd jobs stale and compact them away.
+        q.note_stale(25);
+        assert_eq!(q.stale(), 25);
+        q.compact(|e| match e.kind {
+            EventKind::JobEnd { job, .. } => job.0 % 2 == 0,
+            _ => true,
+        });
+        assert_eq!(q.stale(), 0);
+        assert_eq!(q.len(), 25);
+        // Survivors pop in the original insertion (seq) order.
+        for i in (0..50).step_by(2) {
+            assert_eq!(
+                q.pop().unwrap().kind,
+                EventKind::JobEnd {
+                    job: JobId(i),
+                    epoch: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn should_compact_requires_size_and_stale_majority() {
+        let mut q = EventQueue::new();
+        for i in 0..600 {
+            q.push(SimTime::ZERO, EventKind::Submit(JobId(i)));
+        }
+        q.note_stale(400);
+        // Majority stale but below the size floor: no compaction.
+        assert!(!q.should_compact());
+        for i in 600..1200 {
+            q.push(SimTime::ZERO, EventKind::Submit(JobId(i)));
+        }
+        // Big enough but stale is now a minority.
+        assert!(!q.should_compact());
+        q.note_stale(300);
+        assert!(q.should_compact());
+        q.compact(|_| true);
+        assert!(!q.should_compact());
     }
 
     #[test]

@@ -117,11 +117,7 @@ impl MemoryUsageTrace {
     pub fn average(&self) -> f64 {
         let mut acc = 0.0;
         for (i, &(p, m)) in self.points.iter().enumerate() {
-            let next = self
-                .points
-                .get(i + 1)
-                .map(|&(q, _)| q)
-                .unwrap_or(1.0);
+            let next = self.points.get(i + 1).map(|&(q, _)| q).unwrap_or(1.0);
             acc += (next - p) * m as f64;
         }
         acc

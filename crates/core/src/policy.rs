@@ -15,9 +15,35 @@
 //! Placement functions are pure with respect to the cluster (they only
 //! read); the simulation applies the returned [`JobAlloc`] through
 //! [`Cluster::start_job`] / [`Cluster::grow_entry`].
+//!
+//! Placement runs off the cluster's persistent free-memory indexes
+//! ([`Cluster::schedulable_by_free_asc`] and friends), so a successful
+//! phase-1 placement costs O(log N + n) instead of an O(N log N) scan
+//! and sort. The original full-scan implementation is kept as
+//! [`try_place_reference`] / [`plan_growth_reference`]: property tests
+//! assert the two agree exactly, and the benchmark harness measures the
+//! speedup between them.
 
 use crate::cluster::{AllocEntry, Cluster, JobAlloc, NodeId};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`try_place_with`]; owning one across calls makes
+/// the placement hot path allocation-free apart from the returned
+/// [`JobAlloc`] itself.
+#[derive(Clone, Debug, Default)]
+pub struct PlacementScratch {
+    /// Baseline candidate list as `(capacity, id)`.
+    fit: Vec<(u64, NodeId)>,
+    /// Phase-2 compute-node selection as `(free, id)`.
+    compute: Vec<(u64, NodeId)>,
+}
+
+impl PlacementScratch {
+    /// Empty scratch; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Which allocation policy a simulation runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,7 +58,11 @@ pub enum PolicyKind {
 
 impl PolicyKind {
     /// All three policies, in the paper's presentation order.
-    pub const ALL: [PolicyKind; 3] = [PolicyKind::Baseline, PolicyKind::Static, PolicyKind::Dynamic];
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::Baseline,
+        PolicyKind::Static,
+        PolicyKind::Dynamic,
+    ];
 
     /// Whether the policy uses the disaggregated memory pool.
     pub fn disaggregated(self) -> bool {
@@ -63,7 +93,131 @@ impl std::fmt::Display for PolicyKind {
 /// Try to place a job needing `nodes` nodes with `request_mb` per node
 /// under the given policy. Returns the allocation to apply, or `None` if
 /// the job cannot start right now.
+///
+/// Convenience wrapper over [`try_place_with`] with throwaway scratch;
+/// hot paths should hold a [`PlacementScratch`] and call that directly.
 pub fn try_place(
+    cluster: &Cluster,
+    kind: PolicyKind,
+    nodes: u32,
+    request_mb: u64,
+) -> Option<JobAlloc> {
+    let mut scratch = PlacementScratch::new();
+    try_place_with(cluster, kind, nodes, request_mb, &mut scratch)
+}
+
+/// Index-backed placement: identical results to [`try_place_reference`],
+/// computed from the cluster's persistent free-memory indexes without
+/// scanning or sorting the node table.
+pub fn try_place_with(
+    cluster: &Cluster,
+    kind: PolicyKind,
+    nodes: u32,
+    request_mb: u64,
+    scratch: &mut PlacementScratch,
+) -> Option<JobAlloc> {
+    let n = nodes as usize;
+    if n == 0 {
+        return None;
+    }
+    if cluster.schedulable_count() < n {
+        return None;
+    }
+    match kind {
+        PolicyKind::Baseline => {
+            // Only nodes whose full DRAM covers the request; the job gets
+            // the whole node (exclusive access to all resources). Keyed
+            // by capacity, so this still needs a sort — but only over the
+            // schedulable subset, and into a reused buffer.
+            scratch.fit.clear();
+            scratch.fit.extend(
+                cluster
+                    .schedulable_by_free_asc(0)
+                    .map(|(_, id)| (cluster.node(id).capacity_mb, id))
+                    .filter(|&(cap, _)| cap >= request_mb),
+            );
+            if scratch.fit.len() < n {
+                return None;
+            }
+            // Best fit: smallest adequate node first, preserving large
+            // nodes for large jobs.
+            scratch.fit.sort_unstable();
+            Some(JobAlloc {
+                entries: scratch.fit[..n]
+                    .iter()
+                    .map(|&(cap, id)| AllocEntry {
+                        node: id,
+                        local_mb: cap,
+                        remote: vec![],
+                    })
+                    .collect(),
+            })
+        }
+        PolicyKind::Static | PolicyKind::Dynamic => {
+            // Phase 1: enough nodes can hold the request entirely
+            // locally. The index range walk yields best-fit order
+            // (least free first) directly.
+            let mut entries = Vec::with_capacity(n);
+            entries.extend(
+                cluster
+                    .schedulable_by_free_asc(request_mb)
+                    .take(n)
+                    .map(|(_, id)| AllocEntry {
+                        node: id,
+                        local_mb: request_mb,
+                        remote: vec![],
+                    }),
+            );
+            if entries.len() == n {
+                return Some(JobAlloc { entries });
+            }
+            entries.clear();
+            // Phase 2: the n nodes with the most free memory become
+            // compute nodes; the rest of the free pool lends.
+            scratch.compute.clear();
+            scratch
+                .compute
+                .extend(cluster.schedulable_by_free_desc().take(n));
+            let compute = &scratch.compute[..];
+            // Lenders stream straight off the free index (most free
+            // first), skipping the job's own compute nodes; `current`
+            // carries the partially drained lender across entries.
+            let mut lender_iter = cluster
+                .free_by_free_desc()
+                .filter(|(_, id)| !compute.iter().any(|&(_, c)| c == *id));
+            let mut current: Option<(u64, NodeId)> = None;
+            for &(free, id) in compute {
+                let local = free.min(request_mb);
+                let mut need = request_mb - local;
+                let mut remote = Vec::new();
+                while need > 0 {
+                    match current {
+                        Some((rem, lid)) if rem > 0 => {
+                            let take = rem.min(need);
+                            remote.push((lid, take));
+                            current = Some((rem - take, lid));
+                            need -= take;
+                        }
+                        _ => {
+                            current = Some(lender_iter.next()?); // pool exhausted
+                        }
+                    }
+                }
+                entries.push(AllocEntry {
+                    node: id,
+                    local_mb: local,
+                    remote,
+                });
+            }
+            Some(JobAlloc { entries })
+        }
+    }
+}
+
+/// The original full-scan placement: collects and sorts the schedulable
+/// and lender sets per call. Retained as the oracle for equivalence
+/// tests and as the baseline the benchmarks compare against.
+pub fn try_place_reference(
     cluster: &Cluster,
     kind: PolicyKind,
     nodes: u32,
@@ -195,6 +349,43 @@ pub fn plan_growth(
     if need == 0 {
         return Some((local, vec![]));
     }
+    // Lenders stream off the free index (most free first) instead of a
+    // collect-and-sort pass over every node.
+    let mut borrows = Vec::new();
+    for (free, id) in cluster.free_by_free_desc() {
+        if compute_ids.contains(&id) {
+            continue;
+        }
+        let take = free.min(need);
+        borrows.push((id, take));
+        need -= take;
+        if need == 0 {
+            break;
+        }
+    }
+    if need > 0 {
+        None
+    } else {
+        Some((local, borrows))
+    }
+}
+
+/// Full-scan twin of [`plan_growth`], kept as the equivalence-test
+/// oracle.
+pub fn plan_growth_reference(
+    cluster: &Cluster,
+    entry_node: NodeId,
+    compute_ids: &[NodeId],
+    need_mb: u64,
+) -> Option<(u64, Vec<(NodeId, u64)>)> {
+    if need_mb == 0 {
+        return Some((0, vec![]));
+    }
+    let local = cluster.node(entry_node).free_mb().min(need_mb);
+    let mut need = need_mb - local;
+    if need == 0 {
+        return Some((local, vec![]));
+    }
     let mut lenders: Vec<(u64, NodeId)> = cluster
         .iter()
         .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
@@ -220,12 +411,7 @@ pub fn plan_growth(
 /// Whether a job could ever be placed on an *empty* cluster under the
 /// policy — used to flag unschedulable jobs ("missing bars" in Figs. 5
 /// and 8: not enough large-memory nodes to run all jobs).
-pub fn feasible_on_empty(
-    cluster: &Cluster,
-    kind: PolicyKind,
-    nodes: u32,
-    request_mb: u64,
-) -> bool {
+pub fn feasible_on_empty(cluster: &Cluster, kind: PolicyKind, nodes: u32, request_mb: u64) -> bool {
     try_place(cluster, kind, nodes, request_mb).is_some()
 }
 
@@ -246,7 +432,10 @@ mod tests {
         let ids: Vec<u32> = a.entries.iter().map(|e| e.node.0).collect();
         assert_eq!(ids, vec![0, 2]);
         // Full node allocated (exclusive access).
-        assert!(a.entries.iter().all(|e| e.local_mb == 2000 && e.remote.is_empty()));
+        assert!(a
+            .entries
+            .iter()
+            .all(|e| e.local_mb == 2000 && e.remote.is_empty()));
         // Three such nodes don't exist.
         assert!(try_place(&c, PolicyKind::Baseline, 3, 1500).is_none());
     }
@@ -266,7 +455,10 @@ mod tests {
         // Best fit: the 1000-MB nodes take it, fully local.
         let ids: Vec<u32> = a.entries.iter().map(|e| e.node.0).collect();
         assert_eq!(ids, vec![1, 3]);
-        assert!(a.entries.iter().all(|e| e.local_mb == 900 && e.remote.is_empty()));
+        assert!(a
+            .entries
+            .iter()
+            .all(|e| e.local_mb == 900 && e.remote.is_empty()));
     }
 
     #[test]
@@ -363,7 +555,10 @@ mod tests {
     #[test]
     fn plan_growth_zero_need() {
         let c = Cluster::new(vec![1000; 2], 0.5);
-        assert_eq!(plan_growth(&c, NodeId(0), &[NodeId(0)], 0), Some((0, vec![])));
+        assert_eq!(
+            plan_growth(&c, NodeId(0), &[NodeId(0)], 0),
+            Some((0, vec![]))
+        );
     }
 
     #[test]

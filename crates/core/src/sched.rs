@@ -52,9 +52,21 @@ impl PendingQueue {
     }
 
     /// Remove a set of started jobs (preserving order of the rest).
+    ///
+    /// `started` sets are tiny most passes (a handful of jobs), so a
+    /// linear membership probe wins; for large batches a sorted copy
+    /// turns the O(queue × started) scan into O(queue × log started).
     pub fn remove_started(&mut self, started: &[JobId]) {
-        if !started.is_empty() {
+        const LINEAR_MAX: usize = 8;
+        if started.is_empty() {
+            return;
+        }
+        if started.len() <= LINEAR_MAX {
             self.queue.retain(|j| !started.contains(j));
+        } else {
+            let mut sorted: Vec<JobId> = started.to_vec();
+            sorted.sort_unstable();
+            self.queue.retain(|j| sorted.binary_search(j).is_err());
         }
     }
 
@@ -96,7 +108,9 @@ pub struct Reservation {
 /// * `now_s` — current time;
 /// * `need_nodes` / `need_mem_mb` — the head job's totals;
 /// * `idle_nodes` / `free_mem_mb` — current headroom;
-/// * `releases` — future releases, in any order.
+/// * `releases` — future releases, **sorted ascending by `at_s`**. The
+///   caller sorts once per scheduling pass instead of this function
+///   cloning and sorting per invocation.
 ///
 /// Returns `None` if the head can never fit even after every release
 /// (an unschedulable job — filtered out earlier, but kept safe here).
@@ -108,6 +122,10 @@ pub fn compute_reservation(
     free_mem_mb: u64,
     releases: &[Release],
 ) -> Option<Reservation> {
+    debug_assert!(
+        releases.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+        "releases must be sorted ascending by at_s"
+    );
     let mut idle = idle_nodes;
     let mut mem = free_mem_mb;
     if idle >= need_nodes && mem >= need_mem_mb {
@@ -117,9 +135,7 @@ pub fn compute_reservation(
             surplus_mem_mb: mem - need_mem_mb,
         });
     }
-    let mut sorted: Vec<Release> = releases.to_vec();
-    sorted.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
-    for r in &sorted {
+    for r in releases {
         idle += r.nodes;
         mem += r.mem_mb;
         if idle >= need_nodes && mem >= need_mem_mb {
@@ -143,7 +159,10 @@ mod tests {
         q.push(JobId(1));
         q.push(JobId(2));
         q.push_front(JobId(3));
-        assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(3), JobId(1), JobId(2)]);
+        assert_eq!(
+            q.iter().collect::<Vec<_>>(),
+            vec![JobId(3), JobId(1), JobId(2)]
+        );
     }
 
     #[test]
@@ -152,11 +171,27 @@ mod tests {
         q.push(JobId(1));
         q.push(JobId(2));
         q.push(JobId(3));
-        assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(1), JobId(2), JobId(3)]);
+        assert_eq!(
+            q.iter().collect::<Vec<_>>(),
+            vec![JobId(1), JobId(2), JobId(3)]
+        );
         q.remove_started(&[JobId(1), JobId(3)]);
         assert_eq!(q.iter().collect::<Vec<_>>(), vec![JobId(2)]);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn remove_started_large_batch_uses_sorted_path() {
+        let mut q = PendingQueue::new();
+        for i in 0..100 {
+            q.push(JobId(i));
+        }
+        // 20 started jobs (> the linear-probe cutoff), unsorted on purpose.
+        let started: Vec<JobId> = (0..20).map(|i| JobId(97 - i * 5)).collect();
+        q.remove_started(&started);
+        assert_eq!(q.len(), 80);
+        assert!(q.iter().all(|j| !started.contains(&j)));
     }
 
     #[test]
@@ -170,8 +205,16 @@ mod tests {
     #[test]
     fn reservation_waits_for_releases() {
         let releases = [
-            Release { at_s: 500.0, nodes: 1, mem_mb: 1000 },
-            Release { at_s: 200.0, nodes: 1, mem_mb: 500 },
+            Release {
+                at_s: 200.0,
+                nodes: 1,
+                mem_mb: 500,
+            },
+            Release {
+                at_s: 500.0,
+                nodes: 1,
+                mem_mb: 1000,
+            },
         ];
         // Need 3 nodes / 2000 MB, have 1 node / 800 MB.
         let r = compute_reservation(0.0, 3, 2000, 1, 800, &releases).unwrap();
@@ -184,8 +227,16 @@ mod tests {
     #[test]
     fn reservation_memory_can_be_the_binding_constraint() {
         let releases = [
-            Release { at_s: 100.0, nodes: 5, mem_mb: 0 },
-            Release { at_s: 300.0, nodes: 0, mem_mb: 4000 },
+            Release {
+                at_s: 100.0,
+                nodes: 5,
+                mem_mb: 0,
+            },
+            Release {
+                at_s: 300.0,
+                nodes: 0,
+                mem_mb: 4000,
+            },
         ];
         let r = compute_reservation(0.0, 2, 3000, 0, 0, &releases).unwrap();
         assert_eq!(r.at_s, 300.0);
@@ -198,7 +249,11 @@ mod tests {
 
     #[test]
     fn reservation_release_in_past_clamps_to_now() {
-        let releases = [Release { at_s: 5.0, nodes: 2, mem_mb: 100 }];
+        let releases = [Release {
+            at_s: 5.0,
+            nodes: 2,
+            mem_mb: 100,
+        }];
         let r = compute_reservation(50.0, 2, 50, 0, 0, &releases).unwrap();
         assert_eq!(r.at_s, 50.0);
     }

@@ -17,7 +17,10 @@ use crate::cluster::{Cluster, NodeId};
 use crate::config::{OomMitigation, RestartStrategy, SystemConfig};
 use crate::engine::{EventKind, EventQueue, SimTime};
 use crate::job::{Job, JobId};
-use crate::policy::{plan_growth, try_place, PolicyKind};
+use crate::policy::{
+    plan_growth, plan_growth_reference, try_place_reference, try_place_with, PlacementScratch,
+    PolicyKind,
+};
 use crate::sched::{compute_reservation, PendingQueue, Release};
 use dmhpc_model::rng::Rng64;
 use dmhpc_model::{ContentionModel, ProfilePool, RemoteAccess};
@@ -140,7 +143,7 @@ impl JobState {
 }
 
 /// Aggregate results of one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Stats {
     /// Jobs in the workload.
     pub total_jobs: u32,
@@ -215,7 +218,7 @@ impl JobRecord {
 }
 
 /// Everything a run produces: stats plus per-job timing distributions.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimulationOutcome {
     /// Aggregate statistics.
     pub stats: Stats,
@@ -237,6 +240,7 @@ pub struct Simulation {
     policy: PolicyKind,
     seed: u64,
     max_restarts: u32,
+    reference_scheduler: bool,
 }
 
 impl Simulation {
@@ -248,6 +252,7 @@ impl Simulation {
             policy,
             seed: 0x5EED,
             max_restarts: 64,
+            reference_scheduler: false,
         }
     }
 
@@ -263,12 +268,131 @@ impl Simulation {
         self
     }
 
+    /// Route placement through the full-scan reference implementation
+    /// instead of the cluster indexes. Outcomes must be bit-identical
+    /// either way; this switch exists so tests can prove it and so the
+    /// benchmarks can measure the speedup.
+    pub fn with_reference_scheduler(mut self, on: bool) -> Self {
+        self.reference_scheduler = on;
+        self
+    }
+
     /// Run the simulation to completion.
     pub fn run(self) -> SimulationOutcome {
         Runner::new(self).run()
     }
 }
 
+/// Benchmark fixture for the scheduling pass, used by the
+/// `engine_micro` benches and the `dmhpc bench-sched` subcommand.
+///
+/// Freezes a runner at steady-state queue pressure: ~70% of nodes busy
+/// with long-running jobs and a deep pending queue whose requests mix
+/// placeable and blocked shapes, so one pass exercises placement hits
+/// and misses, the EASY reservation, backfill, and dominance pruning.
+/// `schedule_pass` mutates scheduler state (jobs start), so callers
+/// clone the fixture per measured iteration: the clone replays the
+/// identical pass every time.
+#[derive(Clone)]
+pub struct SchedPassBench {
+    runner: Runner,
+}
+
+impl SchedPassBench {
+    /// Build the frozen state: `nodes` nodes (half 32 GB / half 128 GB),
+    /// ~70% started with long 48 GB jobs, and `queued` pending jobs with
+    /// seeded pseudo-random shapes (1–8 nodes, 4–96 GB, varied limits).
+    /// `reference` routes placement through the retained full-scan
+    /// implementation instead of the cluster indexes.
+    pub fn new(nodes: u32, queued: usize, seed: u64, reference: bool) -> Self {
+        use crate::cluster::MemoryMix;
+        use crate::job::MemoryUsageTrace;
+
+        let cfg = SystemConfig::with_nodes(nodes).with_memory_mix(MemoryMix::half_large());
+        let busy = (nodes as usize) * 7 / 10;
+        let mut rng = Rng64::stream(seed, 0xBE7C);
+        let mut jobs = Vec::with_capacity(busy + queued);
+        for i in 0..busy + queued {
+            let (n, req, limit) = if i < busy {
+                (1, 48 * 1024, 100_000.0)
+            } else {
+                (
+                    rng.range_u64(1, 9) as u32,
+                    rng.range_u64(4, 97) * 1024,
+                    rng.range_f64(600.0, 50_000.0),
+                )
+            };
+            jobs.push(Job {
+                id: JobId(i as u32),
+                submit_s: 0.0,
+                nodes: n,
+                base_runtime_s: limit * 0.9,
+                time_limit_s: limit,
+                mem_request_mb: req,
+                usage: MemoryUsageTrace::flat(req),
+                profile: dmhpc_model::ProfileId(0),
+            });
+        }
+        let workload = Workload::new(jobs, ProfilePool::synthetic(4, 1));
+        let sim = Simulation::new(cfg, workload, PolicyKind::Static)
+            .with_seed(seed)
+            .with_reference_scheduler(reference);
+        let mut runner = Runner::new(sim);
+        for i in 0..busy {
+            let jid = JobId(i as u32);
+            let alloc = runner.place(1, 48 * 1024).expect("busy job fits");
+            runner.start_job(jid, alloc);
+        }
+        for i in busy..busy + queued {
+            let jid = JobId(i as u32);
+            runner.st[i].status = Status::Pending;
+            runner.pending.push(jid);
+        }
+        debug_assert_eq!(runner.cluster.check_invariants(), Ok(()));
+        Self { runner }
+    }
+
+    /// Run one `schedule_pass` on this (mutable) state; returns how many
+    /// jobs started. Call on a fresh clone per iteration.
+    pub fn run_pass(&mut self) -> usize {
+        let before = self.runner.running.len();
+        self.runner.schedule_pass();
+        self.runner.running.len() - before
+    }
+}
+
+/// Reusable buffers for the scheduling hot path: one set per run, so a
+/// steady-state pass performs no heap allocation beyond the `JobAlloc`s
+/// it actually places.
+#[derive(Clone, Default)]
+struct SchedScratch {
+    /// Queue-window snapshot for the current pass.
+    window: Vec<JobId>,
+    /// Jobs started in the current pass.
+    started: Vec<JobId>,
+    /// Future releases for the EASY reservation, sorted once per pass.
+    releases: Vec<Release>,
+    /// `(nodes, mem)` requests that failed placement since the last job
+    /// start in this pass; dominated requests are pruned without a
+    /// placement attempt.
+    failed: Vec<(u32, u64)>,
+    /// Distinct lenders of an allocation being started or torn down.
+    lenders: Vec<NodeId>,
+    /// Jobs whose speed needs recomputing after a ledger change.
+    affected: Vec<JobId>,
+    /// Snapshot of one lender's borrower list.
+    borrowers: Vec<JobId>,
+    /// Lender set after a dynamic resize (merged into `lenders`).
+    touched: Vec<NodeId>,
+    /// Per-entry `(node, total_mb)` view for the Decider.
+    entries: Vec<(NodeId, u64)>,
+    /// Compute nodes of the job being resized.
+    compute_ids: Vec<NodeId>,
+    /// Placement working set.
+    place: PlacementScratch,
+}
+
+#[derive(Clone)]
 struct Runner {
     cfg: SystemConfig,
     policy: PolicyKind,
@@ -283,6 +407,8 @@ struct Runner {
     st: Vec<JobState>,
     running: Vec<JobId>,
     rng: Rng64,
+    scratch: SchedScratch,
+    reference_scheduler: bool,
 
     now: SimTime,
     tick_scheduled: bool,
@@ -315,9 +441,17 @@ impl Runner {
         // Feasibility screen on the empty cluster: unschedulable jobs are
         // excluded up front (they would pin the queue head forever).
         let mut submits = 0u32;
+        let mut screen_scratch = PlacementScratch::new();
         for job in &sim.workload.jobs {
             let ok = job.nodes as usize <= cluster.len()
-                && try_place(&cluster, sim.policy, job.nodes, job.mem_request_mb).is_some();
+                && try_place_with(
+                    &cluster,
+                    sim.policy,
+                    job.nodes,
+                    job.mem_request_mb,
+                    &mut screen_scratch,
+                )
+                .is_some();
             if ok {
                 queue.push(SimTime::from_secs(job.submit_s), EventKind::Submit(job.id));
                 submits += 1;
@@ -340,6 +474,8 @@ impl Runner {
             pending: PendingQueue::new(),
             st,
             running: Vec::new(),
+            scratch: SchedScratch::default(),
+            reference_scheduler: sim.reference_scheduler,
             now: SimTime::ZERO,
             tick_scheduled: true,
             change_counter: 1,
@@ -370,8 +506,31 @@ impl Runner {
                 EventKind::JobEnd { job, epoch } => self.on_job_end(job, epoch),
                 EventKind::MemUpdate { job, epoch } => self.on_mem_update(job, epoch),
             }
+            if self.queue.should_compact() {
+                self.compact_events();
+            }
         }
         self.finalize()
+    }
+
+    /// Rebuild the event heap without stale entries once lazy deletion
+    /// has let them outnumber live ones (see
+    /// [`EventQueue::should_compact`]). Survivors keep their
+    /// `(time, seq)` keys, so this never changes the pop order or the
+    /// simulation outcome — it only bounds heap growth.
+    fn compact_events(&mut self) {
+        let st = &self.st;
+        self.queue.compact(|e| match e.kind {
+            EventKind::JobEnd { job, epoch } => {
+                let s = &st[job.0 as usize];
+                s.status == Status::Running && s.end_epoch == epoch
+            }
+            EventKind::MemUpdate { job, epoch } => {
+                let s = &st[job.0 as usize];
+                s.status == Status::Running && s.life_epoch == epoch
+            }
+            EventKind::Submit(_) | EventKind::SchedTick => true,
+        });
     }
 
     fn advance_integrals(&mut self, to: SimTime) {
@@ -400,8 +559,10 @@ impl Runner {
 
     fn ensure_tick(&mut self) {
         if !self.tick_scheduled {
-            self.queue
-                .push(self.now.plus_secs(self.cfg.sched_interval_s), EventKind::SchedTick);
+            self.queue.push(
+                self.now.plus_secs(self.cfg.sched_interval_s),
+                EventKind::SchedTick,
+            );
             self.tick_scheduled = true;
         }
     }
@@ -417,24 +578,60 @@ impl Runner {
         }
     }
 
+    /// Place a job through the indexed policy, or through the full-scan
+    /// reference when the simulation was built with
+    /// [`Simulation::with_reference_scheduler`].
+    fn place(&mut self, nodes: u32, req: u64) -> Option<crate::cluster::JobAlloc> {
+        if self.reference_scheduler {
+            try_place_reference(&self.cluster, self.policy, nodes, req)
+        } else {
+            try_place_with(
+                &self.cluster,
+                self.policy,
+                nodes,
+                req,
+                &mut self.scratch.place,
+            )
+        }
+    }
+
     /// One FCFS + EASY-backfill scheduling pass.
     fn schedule_pass(&mut self) {
-        let window: Vec<JobId> = self.pending.iter().take(self.cfg.queue_depth).collect();
+        let mut window = std::mem::take(&mut self.scratch.window);
+        window.clear();
+        window.extend(self.pending.iter().take(self.cfg.queue_depth));
         if window.is_empty() {
+            self.scratch.window = window;
             return;
         }
-        let mut started: Vec<JobId> = Vec::new();
+        let mut started = std::mem::take(&mut self.scratch.started);
+        started.clear();
+        // Dominance pruning: placement failure at a *fixed* cluster state
+        // is monotone in (nodes, mem) — the policy's feasibility
+        // condition is `Σ max(mem, free_i) ≤ total free` over the top-n
+        // schedulable nodes, nondecreasing in both arguments — so a
+        // candidate needing at least as much of both as an
+        // already-failed request is skipped without a placement attempt.
+        // Starting a job does NOT merely tighten that condition (a busy
+        // node's leftover memory joins the lender pool, which can make a
+        // previously failed request feasible), so the failed set resets
+        // on every start.
+        let mut failed = std::mem::take(&mut self.scratch.failed);
+        failed.clear();
         let mut head_blocked: Option<(JobId, Option<crate::sched::Reservation>)> = None;
         let mut backfill_seen = 0usize;
         for &jid in &window {
             let job = &self.jobs[jid.0 as usize];
             let (nodes, req) = (job.nodes, job.mem_request_mb);
+            let time_limit_s = job.time_limit_s;
             match head_blocked {
                 None => {
-                    if let Some(alloc) = try_place(&self.cluster, self.policy, nodes, req) {
+                    if let Some(alloc) = self.place(nodes, req) {
                         self.start_job(jid, alloc);
                         started.push(jid);
+                        failed.clear();
                     } else {
+                        failed.push((nodes, req));
                         let res = self.head_reservation(jid);
                         head_blocked = Some((jid, res));
                     }
@@ -445,15 +642,20 @@ impl Runner {
                         break;
                     }
                     let Some(r) = res else { break };
-                    let Some(alloc) = try_place(&self.cluster, self.policy, nodes, req) else {
+                    if failed.iter().any(|&(fn_, fm)| nodes >= fn_ && req >= fm) {
+                        continue; // dominated by a fresher failure
+                    }
+                    let Some(alloc) = self.place(nodes, req) else {
+                        failed.push((nodes, req));
                         continue;
                     };
-                    let ends_before = self.now.as_secs() + job.time_limit_s <= r.at_s;
+                    let ends_before = self.now.as_secs() + time_limit_s <= r.at_s;
                     let total_req = nodes as u64 * req;
                     let within_surplus = nodes <= r.surplus_nodes && total_req <= r.surplus_mem_mb;
                     if ends_before {
                         self.start_job(jid, alloc);
                         started.push(jid);
+                        failed.clear();
                     } else if within_surplus {
                         // Consumes part of the projected surplus at the
                         // reservation time.
@@ -461,48 +663,51 @@ impl Runner {
                         r.surplus_mem_mb -= total_req;
                         self.start_job(jid, alloc);
                         started.push(jid);
+                        failed.clear();
                     }
                 }
             }
         }
         self.pending.remove_started(&started);
+        self.scratch.window = window;
+        self.scratch.started = started;
+        self.scratch.failed = failed;
     }
 
-    /// Aggregate EASY reservation for a blocked queue head.
-    fn head_reservation(&self, head: JobId) -> Option<crate::sched::Reservation> {
+    /// Aggregate EASY reservation for a blocked queue head. Builds and
+    /// sorts the release list once (at most once per pass — the head can
+    /// only block once).
+    fn head_reservation(&mut self, head: JobId) -> Option<crate::sched::Reservation> {
+        let mut releases = std::mem::take(&mut self.scratch.releases);
+        releases.clear();
+        releases.extend(self.running.iter().map(|&r| {
+            let s = &self.st[r.0 as usize];
+            let j = &self.jobs[r.0 as usize];
+            let est_end = (s.start.as_secs() + j.time_limit_s).max(self.now.as_secs());
+            let mem = self.cluster.alloc_of(r).map(|a| a.total_mb()).unwrap_or(0);
+            Release {
+                at_s: est_end,
+                nodes: j.nodes,
+                mem_mb: mem,
+            }
+        }));
+        releases.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
         let job = self.job(head);
-        let releases: Vec<Release> = self
-            .running
-            .iter()
-            .map(|&r| {
-                let s = &self.st[r.0 as usize];
-                let j = &self.jobs[r.0 as usize];
-                let est_end = (s.start.as_secs() + j.time_limit_s).max(self.now.as_secs());
-                let mem = self
-                    .cluster
-                    .alloc_of(r)
-                    .map(|a| a.total_mb())
-                    .unwrap_or(0);
-                Release {
-                    at_s: est_end,
-                    nodes: j.nodes,
-                    mem_mb: mem,
-                }
-            })
-            .collect();
-        let free_mem = self.cluster.total_capacity_mb() - self.cluster.total_allocated_mb();
-        compute_reservation(
+        let res = compute_reservation(
             self.now.as_secs(),
             job.nodes,
             job.nodes as u64 * job.mem_request_mb,
             self.cluster.idle_count() as u32,
-            free_mem,
+            self.cluster.free_pool_mb(),
             &releases,
-        )
+        );
+        self.scratch.releases = releases;
+        res
     }
 
     fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc) {
-        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
         let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
         self.cluster.start_job(jid, alloc, bw);
         let s = &mut self.st[jid.0 as usize];
@@ -519,6 +724,7 @@ impl Runner {
         self.change_counter += 1;
         // Contention changed for this job and everyone sharing its lenders.
         self.refresh_speeds(jid, &lenders);
+        self.scratch.lenders = lenders;
         // Dynamic policy: begin the monitor/update loop. Static/baseline:
         // schedule the exceeded-request kill probe if the trace will
         // overflow the request.
@@ -531,15 +737,19 @@ impl Runner {
             if self.job(jid).peak_mb() > self.job(jid).mem_request_mb {
                 if let Some(t) = self.time_to_exceed(jid) {
                     let epoch = self.st[jid.0 as usize].life_epoch;
-                    self.queue
-                        .push(self.now.plus_secs(t), EventKind::MemUpdate { job: jid, epoch });
+                    self.queue.push(
+                        self.now.plus_secs(t),
+                        EventKind::MemUpdate { job: jid, epoch },
+                    );
                 }
             }
         } else {
             let epoch = self.st[jid.0 as usize].life_epoch;
             let dt = self.next_update_interval();
-            self.queue
-                .push(self.now.plus_secs(dt), EventKind::MemUpdate { job: jid, epoch });
+            self.queue.push(
+                self.now.plus_secs(dt),
+                EventKind::MemUpdate { job: jid, epoch },
+            );
         }
     }
 
@@ -579,7 +789,9 @@ impl Runner {
     /// Recompute the slowdown of `jid` and of every job borrowing from
     /// any of `touched_lenders`, re-keying their end events.
     fn refresh_speeds(&mut self, jid: JobId, touched_lenders: &[NodeId]) {
-        let mut affected: Vec<JobId> = vec![jid];
+        let mut affected = std::mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.push(jid);
         for &l in touched_lenders {
             for &b in self.cluster.borrowers_of(l) {
                 if !affected.contains(&b) {
@@ -587,9 +799,10 @@ impl Runner {
                 }
             }
         }
-        for a in affected {
+        for &a in &affected {
             self.update_speed(a);
         }
+        self.scratch.affected = affected;
     }
 
     fn update_speed(&mut self, jid: JobId) {
@@ -615,20 +828,27 @@ impl Runner {
         s.end_epoch += 1;
         let remaining = (job_base - s.work_done_s).max(0.0) / new_speed;
         let epoch = s.end_epoch;
-        self.queue
-            .push(self.now.plus_secs(remaining), EventKind::JobEnd { job: jid, epoch });
+        // A running job always has exactly one pending JobEnd; bumping
+        // the epoch just orphaned it in the heap.
+        self.queue.note_stale(1);
+        self.queue.push(
+            self.now.plus_secs(remaining),
+            EventKind::JobEnd { job: jid, epoch },
+        );
     }
 
     fn on_job_end(&mut self, jid: JobId, epoch: u32) {
         {
             let s = &self.st[jid.0 as usize];
             if s.status != Status::Running || s.end_epoch != epoch {
+                self.queue.note_stale_popped();
                 return;
             }
         }
         self.advance_work(jid);
         let alloc = self.cluster.finish_job(jid);
-        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
         self.running.retain(|&r| r != jid);
         let job_submit = self.job(jid).submit_s;
         let base = self.job(jid).base_runtime_s;
@@ -651,18 +871,31 @@ impl Runner {
         self.change_counter += 1;
         // Freed memory may unblock queued jobs and eases pressure on the
         // lenders this job was borrowing from.
-        for &l in &lenders {
-            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
+        self.update_borrower_speeds(&lenders);
+        self.scratch.lenders = lenders;
+        self.ensure_tick();
+    }
+
+    /// Recompute the speed of every job borrowing from the given lenders
+    /// (snapshotting each borrower list into scratch, since
+    /// `update_speed` needs `&mut self`).
+    fn update_borrower_speeds(&mut self, lenders: &[NodeId]) {
+        let mut borrowers = std::mem::take(&mut self.scratch.borrowers);
+        for &l in lenders {
+            borrowers.clear();
+            borrowers.extend_from_slice(self.cluster.borrowers_of(l));
+            for &b in &borrowers {
                 self.update_speed(b);
             }
         }
-        self.ensure_tick();
+        self.scratch.borrowers = borrowers;
     }
 
     fn on_mem_update(&mut self, jid: JobId, epoch: u32) {
         {
             let s = &self.st[jid.0 as usize];
             if s.status != Status::Running || s.life_epoch != epoch {
+                self.queue.note_stale_popped();
                 return;
             }
         }
@@ -708,13 +941,14 @@ impl Runner {
         let bw = self.pool.get(job.profile).bandwidth_gbs;
 
         let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
-        let lenders_before: Vec<NodeId> = alloc.lenders().collect();
-        let entries: Vec<(NodeId, u64)> = alloc
-            .entries
-            .iter()
-            .map(|e| (e.node, e.total_mb()))
-            .collect();
-        let compute_ids: Vec<NodeId> = entries.iter().map(|&(n, _)| n).collect();
+        let mut lenders_before = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders_before);
+        let mut entries = std::mem::take(&mut self.scratch.entries);
+        entries.clear();
+        entries.extend(alloc.entries.iter().map(|e| (e.node, e.total_mb())));
+        let mut compute_ids = std::mem::take(&mut self.scratch.compute_ids);
+        compute_ids.clear();
+        compute_ids.extend(entries.iter().map(|&(n, _)| n));
 
         // Decider: compare usage against the allocation.
         let decision = crate::dynmem::decide(&entries, demand);
@@ -726,13 +960,21 @@ impl Runner {
         }
         // … and allocate (local first, then remote).
         for &(node, need) in &decision.grows {
-            match plan_growth(&self.cluster, node, &compute_ids, need) {
+            let plan = if self.reference_scheduler {
+                plan_growth_reference(&self.cluster, node, &compute_ids, need)
+            } else {
+                plan_growth(&self.cluster, node, &compute_ids, need)
+            };
+            match plan {
                 Some((local, borrows)) => {
                     self.cluster.grow_entry(jid, node, local, &borrows, bw);
                     changed = true;
                 }
                 None => {
                     // Out of memory: terminate and resubmit (§2.2).
+                    self.scratch.lenders = lenders_before;
+                    self.scratch.entries = entries;
+                    self.scratch.compute_ids = compute_ids;
                     self.oom_kill(jid);
                     return;
                 }
@@ -740,23 +982,32 @@ impl Runner {
         }
         if changed {
             self.change_counter += 1;
-            let alloc = self.cluster.alloc_of(jid).expect("alloc");
-            let mut touched: Vec<NodeId> = lenders_before;
-            for l in alloc.lenders() {
-                if !touched.contains(&l) {
-                    touched.push(l);
+            let mut after = std::mem::take(&mut self.scratch.touched);
+            self.cluster
+                .alloc_of(jid)
+                .expect("alloc")
+                .lenders_into(&mut after);
+            for &l in &after {
+                if !lenders_before.contains(&l) {
+                    lenders_before.push(l);
                 }
             }
-            self.refresh_speeds(jid, &touched);
+            self.scratch.touched = after;
+            self.refresh_speeds(jid, &lenders_before);
             self.ensure_tick();
         }
+        self.scratch.lenders = lenders_before;
+        self.scratch.entries = entries;
+        self.scratch.compute_ids = compute_ids;
         // Successful update doubles as the checkpoint instant.
         let s = &mut self.st[jid.0 as usize];
         s.checkpoint_s = s.work_done_s;
         let epoch = s.life_epoch;
         let dt = self.next_update_interval();
-        self.queue
-            .push(self.now.plus_secs(dt), EventKind::MemUpdate { job: jid, epoch });
+        self.queue.push(
+            self.now.plus_secs(dt),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
     }
 
     /// Dynamic OOM: kill, release, and resubmit (F/R from scratch, C/R
@@ -767,13 +1018,18 @@ impl Runner {
             self.stats.jobs_oom_killed += 1;
         }
         let alloc = self.cluster.finish_job(jid);
-        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
         self.running.retain(|&r| r != jid);
         let cap = self.max_restarts;
         let restart = self.cfg.restart;
         let s = &mut self.st[jid.0 as usize];
         s.life_epoch += 1;
         s.end_epoch += 1;
+        // The job's pending JobEnd event is now orphaned (a pending
+        // MemUpdate may be too, but that is not guaranteed — undercount
+        // rather than let the stale estimate drift high).
+        self.queue.note_stale(1);
         s.restarts += 1;
         match restart {
             RestartStrategy::FailRestart => s.checkpoint_s = 0.0,
@@ -797,30 +1053,27 @@ impl Runner {
             self.queue.push(self.now, EventKind::Submit(jid));
         }
         self.change_counter += 1;
-        for &l in &lenders {
-            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
-                self.update_speed(b);
-            }
-        }
+        self.update_borrower_speeds(&lenders);
+        self.scratch.lenders = lenders;
         self.ensure_tick();
     }
 
     /// Static/baseline kill for exceeding the request: permanent failure.
     fn kill_job(&mut self, jid: JobId, reason: FailReason) {
         let alloc = self.cluster.finish_job(jid);
-        let lenders: Vec<NodeId> = alloc.lenders().collect();
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
         self.running.retain(|&r| r != jid);
         let s = &mut self.st[jid.0 as usize];
         s.life_epoch += 1;
         s.end_epoch += 1;
+        // As in `oom_kill`: the pending JobEnd is definitely stale now.
+        self.queue.note_stale(1);
         s.status = Status::Failed(reason);
         self.stats.failed_exceeded += 1;
         self.change_counter += 1;
-        for &l in &lenders {
-            for &b in self.cluster.borrowers_of(l).to_vec().iter() {
-                self.update_speed(b);
-            }
-        }
+        self.update_borrower_speeds(&lenders);
+        self.scratch.lenders = lenders;
         self.ensure_tick();
     }
 
@@ -909,8 +1162,12 @@ mod tests {
     #[test]
     fn single_job_completes() {
         let jobs = vec![flat_job(0, 0.0, 2, 600.0, 500)];
-        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Dynamic)
-            .run();
+        let out = Simulation::new(
+            small_cfg(4),
+            Workload::new(jobs, pool()),
+            PolicyKind::Dynamic,
+        )
+        .run();
         assert_eq!(out.stats.completed, 1);
         assert!(out.feasible);
         assert_eq!(out.stats.oom_kills, 0);
@@ -939,8 +1196,12 @@ mod tests {
     #[test]
     fn baseline_rejects_oversized_jobs() {
         let jobs = vec![flat_job(0, 0.0, 1, 100.0, 5000)];
-        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Baseline)
-            .run();
+        let out = Simulation::new(
+            small_cfg(4),
+            Workload::new(jobs, pool()),
+            PolicyKind::Baseline,
+        )
+        .run();
         assert_eq!(out.stats.completed, 0);
         assert_eq!(out.stats.unschedulable, 1);
         assert!(!out.feasible);
@@ -950,8 +1211,12 @@ mod tests {
     fn disaggregated_runs_oversized_jobs() {
         // 3000 MB on one node: > any node, < total (4 nodes: 2×1000+2×2000).
         let jobs = vec![flat_job(0, 0.0, 1, 100.0, 3000)];
-        let out = Simulation::new(small_cfg(4), Workload::new(jobs, pool()), PolicyKind::Static)
-            .run();
+        let out = Simulation::new(
+            small_cfg(4),
+            Workload::new(jobs, pool()),
+            PolicyKind::Static,
+        )
+        .run();
         assert_eq!(out.stats.completed, 1);
         assert!(out.feasible);
         // Borrowing slows the job: runtime stretched.
@@ -965,8 +1230,7 @@ mod tests {
         let mut j0 = flat_job(0, 0.0, 1, 2000.0, 2000);
         j0.usage = MemoryUsageTrace::flat(200);
         let j1 = flat_job(1, 30.0, 1, 300.0, 1800);
-        let cfg = SystemConfig::with_nodes(2)
-            .with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
         let mk = |policy| {
             Simulation::new(
                 cfg.clone(),
@@ -992,8 +1256,7 @@ mod tests {
         let mut j0 = flat_job(0, 0.0, 1, 1200.0, 1000);
         j0.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 950)]).unwrap();
         let j1 = flat_job(1, 0.0, 1, 4000.0, 900);
-        let cfg = SystemConfig::with_nodes(2)
-            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
         let out = Simulation::new(
             cfg,
             Workload::new(vec![j0, j1], pool()),
@@ -1059,8 +1322,12 @@ mod tests {
     #[test]
     fn waits_and_responses_consistent() {
         let jobs = vec![flat_job(0, 100.0, 1, 300.0, 500)];
-        let out = Simulation::new(small_cfg(2), Workload::new(jobs, pool()), PolicyKind::Static)
-            .run();
+        let out = Simulation::new(
+            small_cfg(2),
+            Workload::new(jobs, pool()),
+            PolicyKind::Static,
+        )
+        .run();
         assert_eq!(out.wait_times_s.len(), 1);
         assert_eq!(out.response_times_s.len(), 1);
         // Response ≥ wait + base runtime.
@@ -1101,7 +1368,7 @@ mod tests {
         // among the queued pair.
         let r1 = out.response_times_s[1]; // second completion
         let r2 = out.response_times_s[2]; // third completion
-        // First completion is j2 (600 s), then j0 (5000 s), then j1.
+                                          // First completion is j2 (600 s), then j0 (5000 s), then j1.
         let first = out.response_times_s[0];
         assert!(first < 700.0, "backfilled job should finish first: {first}");
         assert!(r1 > first && r2 > first);
@@ -1172,8 +1439,7 @@ mod tests {
         let mut grower = flat_job(0, 0.0, 1, 1000.0, 100);
         grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.5, 2000)]).unwrap();
         let blocker = flat_job(1, 0.0, 1, 20_000.0, 1900);
-        let cfg = SystemConfig::with_nodes(2)
-            .with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(2000, 2000, 0.0));
         let out = Simulation::new(
             cfg,
             Workload::new(vec![grower, blocker], pool()),
@@ -1209,7 +1475,10 @@ mod tests {
         .run();
         assert_eq!(out.stats.completed, 1);
         assert_eq!(out.stats.oom_kills, 2, "fallback must stop the kills");
-        assert_eq!(out.stats.failed_exceeded, 1, "static rule applies after demotion");
+        assert_eq!(
+            out.stats.failed_exceeded, 1,
+            "static rule applies after demotion"
+        );
         assert_eq!(out.stats.failed_restarts, 0);
     }
 
@@ -1247,9 +1516,7 @@ mod tests {
         grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.4, 1000)]).unwrap();
         let blocker = flat_job(1, 0.0, 1, 5000.0, 950);
         // A queue of patient small jobs behind the grower.
-        let tail: Vec<Job> = (2..8)
-            .map(|i| flat_job(i, 50.0, 1, 3000.0, 800))
-            .collect();
+        let tail: Vec<Job> = (2..8).map(|i| flat_job(i, 50.0, 1, 3000.0, 800)).collect();
         let mut jobs = vec![grower, blocker];
         jobs.extend(tail);
         let cfg = SystemConfig::with_nodes(2)
@@ -1288,8 +1555,7 @@ mod tests {
         let mut grower = flat_job(0, 0.0, 1, 1000.0, 100);
         grower.usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.2, 1800)]).unwrap();
         let blocker = flat_job(1, 0.0, 1, 3_000_000.0, 1500);
-        let cfg = SystemConfig::with_nodes(2)
-            .with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
+        let cfg = SystemConfig::with_nodes(2).with_memory_mix(MemoryMix::new(1000, 1000, 0.0));
         let out = Simulation::new(
             cfg,
             Workload::new(vec![grower, blocker], pool()),
@@ -1299,6 +1565,10 @@ mod tests {
         .run();
         assert_eq!(out.stats.completed, 1, "only the blocker completes");
         assert_eq!(out.stats.failed_restarts, 1);
-        assert!(out.stats.oom_kills >= 4, "cap+1 kills, got {}", out.stats.oom_kills);
+        assert!(
+            out.stats.oom_kills >= 4,
+            "cap+1 kills, got {}",
+            out.stats.oom_kills
+        );
     }
 }

@@ -67,7 +67,10 @@ fn usage() -> String {
      \x20 export  --out DIR [--jobs N] [--large F] [--over O] [--seed S]\n\
      \x20                                        write workload.swf + usage.txt\n\
      \x20 simulate --swf FILE [--usage FILE] [--policy P] [--nodes N] [--large-nodes F]\n\
-     \x20                                        run an SWF trace through the simulator"
+     \x20                                        run an SWF trace through the simulator\n\
+     \x20 bench-sched [--out FILE] [--samples N] [--queued N]\n\
+     \x20                                        time schedule_pass (indexed vs reference scans)\n\
+     \x20                                        and write BENCH_sched.json"
         .to_string()
 }
 
@@ -90,10 +93,7 @@ fn cmd_export(
     opts: &std::collections::HashMap<String, String>,
 ) -> Result<(), String> {
     use dmhpc_core::config::SystemConfig;
-    let out = opts
-        .get("out")
-        .ok_or("export requires --out DIR")?
-        .clone();
+    let out = opts.get("out").ok_or("export requires --out DIR")?.clone();
     let jobs: usize = opt_parse(opts, "jobs", scale.synthetic_jobs())?;
     let large: f64 = opt_parse(opts, "large", 0.5)?;
     let over: f64 = opt_parse(opts, "over", 0.0)?;
@@ -111,9 +111,8 @@ fn cmd_export(
         .iter()
         .map(|j| dmhpc_traces::swf::from_job(j, system.cores_per_node))
         .collect();
-    let note = format!(
-        "dmhpc export: {jobs} jobs, large {large}, overestimation {over}, seed {seed}"
-    );
+    let note =
+        format!("dmhpc export: {jobs} jobs, large {large}, overestimation {over}, seed {seed}");
     std::fs::create_dir_all(&out).map_err(|e| format!("mkdir {out}: {e}"))?;
     let swf_path = format!("{out}/workload.swf");
     let usage_path = format!("{out}/usage.txt");
@@ -123,7 +122,10 @@ fn cmd_export(
     std::fs::write(&usage_path, dmhpc_traces::usagefile::write(&usage))
         .map_err(|e| format!("{usage_path}: {e}"))?;
     let stats = dmhpc_traces::WorkloadStats::of(&workload);
-    println!("wrote {} jobs to {swf_path} and {usage_path}", workload.len());
+    println!(
+        "wrote {} jobs to {swf_path} and {usage_path}",
+        workload.len()
+    );
     println!(
         "  large-memory jobs: {} | offered load vs {} nodes: {:.2} | \
          mean peak {:.0} MB (headroom ×{:.2}) | mean overestimation {:+.0}%",
@@ -147,8 +149,14 @@ fn cmd_chart(
     let large: f64 = opt_parse(opts, "large", 0.5)?;
     let over: f64 = opt_parse(opts, "over", 0.6)?;
     let width: usize = opt_parse(opts, "width", 40)?;
-    let trace = TraceSpec::Synthetic { large_fraction: large };
-    let overs = if over == 0.0 { vec![0.0] } else { vec![0.0, over] };
+    let trace = TraceSpec::Synthetic {
+        large_fraction: large,
+    };
+    let overs = if over == 0.0 {
+        vec![0.0]
+    } else {
+        vec![0.0, over]
+    };
     let sweep = ThroughputSweep::run(scale, &[trace], &overs, threads);
     print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
     Ok(())
@@ -163,8 +171,7 @@ fn cmd_simulate(
     use dmhpc_core::policy::PolicyKind;
     use dmhpc_core::sim::Simulation;
     let swf_path = opts.get("swf").ok_or("simulate requires --swf FILE")?;
-    let swf_text =
-        std::fs::read_to_string(swf_path).map_err(|e| format!("{swf_path}: {e}"))?;
+    let swf_text = std::fs::read_to_string(swf_path).map_err(|e| format!("{swf_path}: {e}"))?;
     let usage_text = match opts.get("usage") {
         Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
         None => None,
@@ -182,19 +189,37 @@ fn cmd_simulate(
         usage_text.as_deref(),
         &dmhpc_traces::ImportOptions::default(),
     )?;
-    let system = SystemConfig::with_nodes(nodes)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, large_nodes));
+    let system = SystemConfig::with_nodes(nodes).with_memory_mix(MemoryMix::new(
+        64 * 1024,
+        128 * 1024,
+        large_nodes,
+    ));
     let n_jobs = workload.len();
     let out = Simulation::new(system, workload, policy).run();
     let mut t = TextTable::new(vec!["metric", "value"]);
     t.row(vec!["jobs".to_string(), n_jobs.to_string()]);
     t.row(vec!["policy".to_string(), policy.to_string()]);
     t.row(vec!["feasible".to_string(), out.feasible.to_string()]);
-    t.row(vec!["completed".to_string(), out.stats.completed.to_string()]);
-    t.row(vec!["unschedulable".to_string(), out.stats.unschedulable.to_string()]);
-    t.row(vec!["oom kill events".to_string(), out.stats.oom_kills.to_string()]);
-    t.row(vec!["jobs OOM-killed".to_string(), out.stats.jobs_oom_killed.to_string()]);
-    t.row(vec!["makespan (s)".to_string(), format!("{:.0}", out.stats.makespan_s)]);
+    t.row(vec![
+        "completed".to_string(),
+        out.stats.completed.to_string(),
+    ]);
+    t.row(vec![
+        "unschedulable".to_string(),
+        out.stats.unschedulable.to_string(),
+    ]);
+    t.row(vec![
+        "oom kill events".to_string(),
+        out.stats.oom_kills.to_string(),
+    ]);
+    t.row(vec![
+        "jobs OOM-killed".to_string(),
+        out.stats.jobs_oom_killed.to_string(),
+    ]);
+    t.row(vec![
+        "makespan (s)".to_string(),
+        format!("{:.0}", out.stats.makespan_s),
+    ]);
     t.row(vec![
         "throughput (jobs/h)".to_string(),
         format!("{:.3}", out.stats.throughput_jps * 3600.0),
@@ -212,11 +237,91 @@ fn cmd_simulate(
         format!("{:.3}", out.stats.mean_slowdown),
     ]);
     if let Ok(e) = dmhpc_metrics::ecdf::Ecdf::new(out.response_times_s.clone()) {
-        t.row(vec!["median response (s)".to_string(), format!("{:.0}", e.median())]);
-        t.row(vec!["p95 response (s)".to_string(), format!("{:.0}", e.quantile(0.95))]);
+        t.row(vec![
+            "median response (s)".to_string(),
+            format!("{:.0}", e.median()),
+        ]);
+        t.row(vec![
+            "p95 response (s)".to_string(),
+            format!("{:.0}", e.quantile(0.95)),
+        ]);
     }
     emit("Simulation result", &t, false);
     Ok(())
+}
+
+/// Median time of one `schedule_pass` on a clone of `fixture`, in ns.
+/// Each sample times exactly one pass; the clone is not timed.
+fn time_pass(fixture: &dmhpc_core::sim::SchedPassBench, samples: usize) -> f64 {
+    let mut ns: Vec<f64> = Vec::with_capacity(samples);
+    // Warm-up: fault in code and caches.
+    for _ in 0..samples / 10 + 1 {
+        let mut f = fixture.clone();
+        std::hint::black_box(f.run_pass());
+    }
+    for _ in 0..samples {
+        let mut f = fixture.clone();
+        let start = std::time::Instant::now();
+        std::hint::black_box(f.run_pass());
+        ns.push(start.elapsed().as_nanos() as f64);
+    }
+    ns.sort_unstable_by(|a, b| a.total_cmp(b));
+    ns[ns.len() / 2]
+}
+
+/// Time the scheduling pass on the indexed hot path against the
+/// retained full-scan reference, at the synthetic scales plus the
+/// paper's 1490-node Grizzly scale, and record the speedups as JSON.
+fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    use dmhpc_core::sim::SchedPassBench;
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let samples: usize = opt_parse(opts, "samples", 200)?;
+    let queued: usize = opt_parse(opts, "queued", 256)?;
+    let seed: u64 = opt_parse(opts, "seed", 0xBE7C)?;
+    const ACCEPT_NODES: u32 = 1490;
+    const ACCEPT_SPEEDUP: f64 = 3.0;
+
+    let mut rows = String::new();
+    let mut accept_speedup = 0.0;
+    println!("schedule_pass, median of {samples} samples ({queued} queued jobs):");
+    for (i, &nodes) in [256u32, 1024, ACCEPT_NODES].iter().enumerate() {
+        let indexed = time_pass(&SchedPassBench::new(nodes, queued, seed, false), samples);
+        let reference = time_pass(&SchedPassBench::new(nodes, queued, seed, true), samples);
+        let speedup = reference / indexed;
+        if nodes == ACCEPT_NODES {
+            accept_speedup = speedup;
+        }
+        println!(
+            "  {nodes:>5} nodes: indexed {:>10.0} ns   reference {:>10.0} ns   speedup {speedup:.2}x",
+            indexed, reference
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"nodes\": {nodes}, \"indexed_ns\": {indexed:.0}, \"reference_ns\": {reference:.0}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+    let pass = accept_speedup >= ACCEPT_SPEEDUP;
+    let json = format!(
+        "{{\n  \"bench\": \"schedule_pass\",\n  \"queued_jobs\": {queued},\n  \"samples\": {samples},\n  \"seed\": {seed},\n  \"results\": [\n{rows}\n  ],\n  \"acceptance\": {{\"nodes\": {ACCEPT_NODES}, \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {accept_speedup:.3}, \"pass\": {pass}}}\n}}\n"
+    );
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "acceptance at {ACCEPT_NODES} nodes: {accept_speedup:.2}x (>= {ACCEPT_SPEEDUP}x required) -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!("wrote {out}");
+    if pass {
+        Ok(())
+    } else {
+        Err(format!(
+            "schedule_pass speedup {accept_speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
+        ))
+    }
 }
 
 fn emit(title: &str, t: &TextTable, csv: bool) {
@@ -242,7 +347,11 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
             &exp::tables::table3(scale),
             csv,
         ),
-        "table4" => emit("Table 4: simulated system configurations", &exp::tables::table4(), csv),
+        "table4" => emit(
+            "Table 4: simulated system configurations",
+            &exp::tables::table4(),
+            csv,
+        ),
         "fig2" => {
             let f = exp::fig2::run(scale, threads);
             emit("Figure 2: Grizzly week sampling", &f.table(), csv);
@@ -255,8 +364,16 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
         }
         "fig4" => {
             let f = exp::fig4::run(scale, threads);
-            emit("Figure 4a: average memory usage heatmap", &f.avg_table(), csv);
-            emit("Figure 4b: maximum memory usage heatmap", &f.max_table(), csv);
+            emit(
+                "Figure 4a: average memory usage heatmap",
+                &f.avg_table(),
+                csv,
+            );
+            emit(
+                "Figure 4b: maximum memory usage heatmap",
+                &f.max_table(),
+                csv,
+            );
             if !csv {
                 println!(
                     "mass below 12 GB: avg {:.1}% vs max {:.1}%",
@@ -282,9 +399,7 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
             let f = exp::fig6::run(scale, threads);
             emit("Figure 6: response-time quantiles", &f.table(), csv);
             if !csv {
-                if let Some(r) =
-                    f.median_reduction(exp::fig6::Provisioning::Under, 0.6)
-                {
+                if let Some(r) = f.median_reduction(exp::fig6::Provisioning::Under, 0.6) {
                     println!(
                         "median response reduction (underprovisioned, +60%): {:.0}%",
                         r * 100.0
@@ -319,7 +434,11 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
         }
         "ablate" => {
             let a = exp::ablations::run(scale, threads);
-            emit("Ablations (dynamic policy, stress scenario)", &a.table(), csv);
+            emit(
+                "Ablations (dynamic policy, stress scenario)",
+                &a.table(),
+                csv,
+            );
         }
         "validate" => {
             let v = exp::validate::run(scale, threads);
@@ -358,6 +477,7 @@ fn main() {
     let result = match args.command.as_str() {
         "export" => cmd_export(args.scale, &args.opts),
         "simulate" => cmd_simulate(args.scale, &args.opts),
+        "bench-sched" => cmd_bench_sched(&args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
         cmd => run_command(cmd, args.scale, args.threads, args.csv),
     };

@@ -12,7 +12,12 @@
 ///
 /// # Panics
 /// Panics if `width` is zero or `max_value` is not positive and finite.
-pub fn bar_panel(title: &str, rows: &[(String, Option<f64>)], max_value: f64, width: usize) -> String {
+pub fn bar_panel(
+    title: &str,
+    rows: &[(String, Option<f64>)],
+    max_value: f64,
+    width: usize,
+) -> String {
     assert!(width > 0, "bar width must be positive");
     assert!(
         max_value > 0.0 && max_value.is_finite(),

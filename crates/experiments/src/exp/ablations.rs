@@ -99,8 +99,14 @@ pub fn run(scale: Scale, threads: usize) -> Ablations {
     use dmhpc_core::config::OomMitigation;
     for (name, m) in [
         ("mitigation=none", OomMitigation::None),
-        ("mitigation=boost", OomMitigation::PriorityBoost { after: 1 }),
-        ("mitigation=static_fallback", OomMitigation::StaticFallback { after: 2 }),
+        (
+            "mitigation=boost",
+            OomMitigation::PriorityBoost { after: 1 },
+        ),
+        (
+            "mitigation=static_fallback",
+            OomMitigation::StaticFallback { after: 2 },
+        ),
     ] {
         tasks.push((name.to_string(), stress_system(scale).with_mitigation(m)));
     }
@@ -114,7 +120,11 @@ impl Ablations {
     /// Render the table.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(vec![
-            "variant", "throughput_jps", "median_resp_s", "oom_kills", "failed_restarts",
+            "variant",
+            "throughput_jps",
+            "median_resp_s",
+            "oom_kills",
+            "failed_restarts",
         ]);
         for r in &self.rows {
             t.row(vec![

@@ -67,11 +67,15 @@ impl Fig4 {
     /// than maximum usage — i.e. the bottom row holds more mass for
     /// averages than for maxima.
     pub fn avg_mass_below_12gb(&self) -> f64 {
-        (0..self.avg.x_bins()).map(|xi| self.avg.percent(xi, 0)).sum()
+        (0..self.avg.x_bins())
+            .map(|xi| self.avg.percent(xi, 0))
+            .sum()
     }
 
     /// Mass of the maximum-usage heatmap in the lowest bin.
     pub fn max_mass_below_12gb(&self) -> f64 {
-        (0..self.max.x_bins()).map(|xi| self.max.percent(xi, 0)).sum()
+        (0..self.max.x_bins())
+            .map(|xi| self.max.percent(xi, 0))
+            .sum()
     }
 }

@@ -35,7 +35,12 @@ impl Fig5 {
     /// Render as a long-format table: one row per simulated point.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(vec![
-            "trace", "overest", "mem%", "policy", "norm_throughput", "oom_kills",
+            "trace",
+            "overest",
+            "mem%",
+            "policy",
+            "norm_throughput",
+            "oom_kills",
         ]);
         for p in &self.sweep.points {
             t.row(vec![
@@ -93,13 +98,7 @@ mod tests {
     use super::*;
     use crate::sweep::{SweepPoint, ThroughputSweep};
 
-    fn point(
-        trace: &str,
-        over: f64,
-        mem: u32,
-        policy: PolicyKind,
-        jps: f64,
-    ) -> SweepPoint {
+    fn point(trace: &str, over: f64, mem: u32, policy: PolicyKind, jps: f64) -> SweepPoint {
         SweepPoint {
             trace: trace.into(),
             overest: over,

@@ -27,7 +27,8 @@ pub enum Provisioning {
 
 impl Provisioning {
     /// All three scenarios in the paper's order.
-    pub const ALL: [Provisioning; 3] = [Provisioning::Over, Provisioning::Match, Provisioning::Under];
+    pub const ALL: [Provisioning; 3] =
+        [Provisioning::Over, Provisioning::Match, Provisioning::Under];
 
     /// The memory mix realising the scenario for a 50% large-job mix.
     pub fn mix(self) -> MemoryMix {
@@ -101,7 +102,13 @@ impl Fig6 {
     /// Quantile table: one row per cell with p25/p50/p75/p95.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(vec![
-            "provisioning", "overest", "policy", "p25_s", "median_s", "p75_s", "p95_s",
+            "provisioning",
+            "overest",
+            "policy",
+            "p25_s",
+            "median_s",
+            "p75_s",
+            "p95_s",
         ]);
         for c in &self.cells {
             let q = |p: f64| {

@@ -93,7 +93,11 @@ impl Fig7 {
     /// matching the paper's axis).
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(vec![
-            "sys_mem%", "overest", "large_jobs%", "policy", "tput_per_usd_1e-8",
+            "sys_mem%",
+            "overest",
+            "large_jobs%",
+            "policy",
+            "tput_per_usd_1e-8",
         ]);
         for p in &self.points {
             t.row(vec![

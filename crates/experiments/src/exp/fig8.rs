@@ -19,7 +19,9 @@ pub struct Fig8 {
 /// Run the Figure 8 experiment.
 pub fn run(scale: Scale, threads: usize) -> Fig8 {
     let traces = [
-        TraceSpec::Synthetic { large_fraction: 0.5 },
+        TraceSpec::Synthetic {
+            large_fraction: 0.5,
+        },
         TraceSpec::Grizzly,
     ];
     Fig8 {
@@ -31,7 +33,11 @@ impl Fig8 {
     /// Long-format table.
     pub fn table(&self) -> TextTable {
         let mut t = TextTable::new(vec![
-            "trace", "overest", "mem%", "policy", "norm_throughput",
+            "trace",
+            "overest",
+            "mem%",
+            "policy",
+            "norm_throughput",
         ]);
         for p in &self.sweep.points {
             t.row(vec![
@@ -54,7 +60,10 @@ impl Fig8 {
                 .points
                 .iter()
                 .find(|p| {
-                    p.trace == trace && p.overest == overest && p.mem_pct == 37 && p.policy == policy
+                    p.trace == trace
+                        && p.overest == overest
+                        && p.mem_pct == 37
+                        && p.policy == policy
                 })
                 .and_then(|p| self.sweep.normalized(p))
         };

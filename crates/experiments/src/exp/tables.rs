@@ -16,11 +16,25 @@ use dmhpc_traces::pipeline::NORMAL_NODE_MB;
 /// Table 1: which fields each source trace provides.
 pub fn table1() -> TextTable {
     let mut t = TextTable::new(vec![
-        "trace", "domain", "submit_times", "mem_request", "num_nodes", "duration", "mem_trace",
+        "trace",
+        "domain",
+        "submit_times",
+        "mem_request",
+        "num_nodes",
+        "duration",
+        "mem_trace",
     ]);
     t.row(vec!["Grizzly", "HPC", "no", "no", "yes", "yes", "yes"]);
     t.row(vec!["CIRNE", "HPC", "yes", "yes", "yes", "yes", "no"]);
-    t.row(vec!["Google", "Cloud", "no", "partial", "yes", "yes", "normalized"]);
+    t.row(vec![
+        "Google",
+        "Cloud",
+        "no",
+        "partial",
+        "yes",
+        "yes",
+        "normalized",
+    ]);
     t
 }
 
@@ -99,9 +113,7 @@ pub fn table3(scale: Scale) -> TextTable {
             nh_n.push(j.node_hours());
         }
     }
-    let mut t = TextTable::new(vec![
-        "metric", "min", "q1", "median", "q3", "max",
-    ]);
+    let mut t = TextTable::new(vec!["metric", "min", "q1", "median", "q3", "max"]);
     let mut push = |name: &str, f: Option<FiveNumber>| {
         let cells = match f {
             Some(f) => vec![
@@ -112,15 +124,19 @@ pub fn table3(scale: Scale) -> TextTable {
                 format!("{:.0}", f.q3),
                 format!("{:.0}", f.max),
             ],
-            None => vec![name.to_string(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()],
+            None => vec![
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
         };
         t.row(cells);
     };
     push("normal_mem_MB", FiveNumber::of(&nm).ok());
-    push(
-        "normal_mem_MB_paper",
-        Some(five(&TABLE3_PAPER_NORMAL)),
-    );
+    push("normal_mem_MB_paper", Some(five(&TABLE3_PAPER_NORMAL)));
     push("large_mem_MB", FiveNumber::of(&lm).ok());
     push("large_mem_MB_paper", Some(five(&TABLE3_PAPER_LARGE)));
     push("normal_node_hours", FiveNumber::of(&nh_n).ok());
@@ -143,17 +159,61 @@ pub fn table4() -> TextTable {
     let synth = SystemConfig::synthetic_1024();
     let griz = SystemConfig::grizzly_1490();
     let mut t = TextTable::new(vec!["parameter", "synthetic", "grizzly"]);
-    t.row(vec!["system size (nodes)".to_string(), synth.nodes.to_string(), griz.nodes.to_string()]);
-    t.row(vec!["cores per node".to_string(), synth.cores_per_node.to_string(), griz.cores_per_node.to_string()]);
-    t.row(vec!["memory per node (GB)".to_string(), "32/64/128".into(), "32/64/128".into()]);
-    t.row(vec!["allocation policy".to_string(), "baseline/static/dynamic".into(), "baseline/static/dynamic".into()]);
-    t.row(vec!["scheduling policy".to_string(), "backfill".into(), "backfill".into()]);
-    t.row(vec!["queue & backfill size".to_string(), synth.queue_depth.to_string(), griz.queue_depth.to_string()]);
-    t.row(vec!["sched interval (s)".to_string(), format!("{:.0}", synth.sched_interval_s), format!("{:.0}", griz.sched_interval_s)]);
-    t.row(vec!["% large nodes".to_string(), "0/15/25/50/75/100".into(), "0/15/25/50/75/100".into()]);
-    t.row(vec!["cost per node (excl. mem)".to_string(), format!("${:.0}", synth.cost_per_node_usd), format!("${:.0}", griz.cost_per_node_usd)]);
-    t.row(vec!["cost per 128 GB".to_string(), format!("${:.0}", synth.cost_per_128gb_usd), format!("${:.0}", griz.cost_per_128gb_usd)]);
-    t.row(vec!["mem update interval (s)".to_string(), format!("{:.0}", synth.mem_update_interval_s), format!("{:.0}", griz.mem_update_interval_s)]);
+    t.row(vec![
+        "system size (nodes)".to_string(),
+        synth.nodes.to_string(),
+        griz.nodes.to_string(),
+    ]);
+    t.row(vec![
+        "cores per node".to_string(),
+        synth.cores_per_node.to_string(),
+        griz.cores_per_node.to_string(),
+    ]);
+    t.row(vec![
+        "memory per node (GB)".to_string(),
+        "32/64/128".into(),
+        "32/64/128".into(),
+    ]);
+    t.row(vec![
+        "allocation policy".to_string(),
+        "baseline/static/dynamic".into(),
+        "baseline/static/dynamic".into(),
+    ]);
+    t.row(vec![
+        "scheduling policy".to_string(),
+        "backfill".into(),
+        "backfill".into(),
+    ]);
+    t.row(vec![
+        "queue & backfill size".to_string(),
+        synth.queue_depth.to_string(),
+        griz.queue_depth.to_string(),
+    ]);
+    t.row(vec![
+        "sched interval (s)".to_string(),
+        format!("{:.0}", synth.sched_interval_s),
+        format!("{:.0}", griz.sched_interval_s),
+    ]);
+    t.row(vec![
+        "% large nodes".to_string(),
+        "0/15/25/50/75/100".into(),
+        "0/15/25/50/75/100".into(),
+    ]);
+    t.row(vec![
+        "cost per node (excl. mem)".to_string(),
+        format!("${:.0}", synth.cost_per_node_usd),
+        format!("${:.0}", griz.cost_per_node_usd),
+    ]);
+    t.row(vec![
+        "cost per 128 GB".to_string(),
+        format!("${:.0}", synth.cost_per_128gb_usd),
+        format!("${:.0}", griz.cost_per_128gb_usd),
+    ]);
+    t.row(vec![
+        "mem update interval (s)".to_string(),
+        format!("{:.0}", synth.mem_update_interval_s),
+        format!("{:.0}", griz.mem_update_interval_s),
+    ]);
     t
 }
 

@@ -136,7 +136,10 @@ pub fn run(scale: Scale, threads: usize) -> Validation {
     claims.push(Claim {
         name: "oom_rarity",
         paper: "<1% of jobs fail on OOM in the most extreme scenario",
-        measured: format!("worst case {:.1}% of jobs killed at least once", oom_frac * 100.0),
+        measured: format!(
+            "worst case {:.1}% of jobs killed at least once",
+            oom_frac * 100.0
+        ),
         pass: oom_frac < 0.10,
     });
 

@@ -90,7 +90,9 @@ pub fn simulate(
     policy: PolicyKind,
     seed: u64,
 ) -> SimulationOutcome {
-    Simulation::new(system, workload, policy).with_seed(seed).run()
+    Simulation::new(system, workload, policy)
+        .with_seed(seed)
+        .run()
 }
 
 /// Normalised throughput: `outcome / reference`, or `None` when the

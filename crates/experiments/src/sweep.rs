@@ -5,8 +5,8 @@
 use crate::runner::run_parallel;
 use crate::scale::Scale;
 use crate::scenario::{
-    grizzly_bundle, grizzly_rep_workload, grizzly_system, memory_axis, norm_throughput,
-    simulate, synthetic_system, synthetic_workload, BASE_SEED,
+    grizzly_bundle, grizzly_rep_workload, grizzly_system, memory_axis, norm_throughput, simulate,
+    synthetic_system, synthetic_workload, BASE_SEED,
 };
 use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::policy::PolicyKind;
@@ -179,8 +179,7 @@ impl ThroughputSweep {
                 let q = &mut points[i];
                 let k = counts[i] as f64;
                 q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
-                q.median_response_s =
-                    (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
                 q.feasible &= p.feasible;
                 q.completed += p.completed;
                 q.oom_kills += p.oom_kills;
@@ -215,10 +214,7 @@ impl ThroughputSweep {
         if !p.feasible {
             return None;
         }
-        norm_throughput(
-            &fake_outcome(p.throughput_jps, p.feasible),
-            reference,
-        )
+        norm_throughput(&fake_outcome(p.throughput_jps, p.feasible), reference)
     }
 
     /// Points matching a `(trace, overest)` leg, in memory-axis order.
@@ -252,7 +248,9 @@ mod tests {
     fn small_sweep_has_reference_and_ordering() {
         let sweep = ThroughputSweep::run(
             Scale::Small,
-            &[TraceSpec::Synthetic { large_fraction: 0.5 }],
+            &[TraceSpec::Synthetic {
+                large_fraction: 0.5,
+            }],
             &[0.0],
             0,
         );
@@ -274,7 +272,9 @@ mod tests {
     fn sweep_requires_zero_leg() {
         ThroughputSweep::run(
             Scale::Small,
-            &[TraceSpec::Synthetic { large_fraction: 0.0 }],
+            &[TraceSpec::Synthetic {
+                large_fraction: 0.0,
+            }],
             &[0.6],
             1,
         );
@@ -283,7 +283,10 @@ mod tests {
     #[test]
     fn trace_labels() {
         assert_eq!(
-            TraceSpec::Synthetic { large_fraction: 0.25 }.label(),
+            TraceSpec::Synthetic {
+                large_fraction: 0.25
+            }
+            .label(),
             "large 25%"
         );
         assert_eq!(TraceSpec::Grizzly.label(), "grizzly");

@@ -116,7 +116,7 @@ pub fn ratio_interval<F: Fn(&[f64]) -> f64 + Copy>(
 ) -> Interval {
     assert!(!a.is_empty() && !b.is_empty());
     assert!(resamples > 0);
-    let mut rng = Rng64::stream(seed, 0x4A7_10);
+    let mut rng = Rng64::stream(seed, 0x0004_A710);
     let point = stat(a) / stat(b);
     let mut stats = Vec::with_capacity(resamples);
     let mut buf_a = vec![0.0f64; a.len()];

@@ -37,12 +37,7 @@ impl CostModel {
     ///
     /// # Panics
     /// Panics if the system cost is zero (no nodes and no memory).
-    pub fn throughput_per_dollar(
-        &self,
-        throughput_jps: f64,
-        nodes: u32,
-        total_mem_mb: u64,
-    ) -> f64 {
+    pub fn throughput_per_dollar(&self, throughput_jps: f64, nodes: u32, total_mem_mb: u64) -> f64 {
         let cost = self.system_cost_usd(nodes, total_mem_mb);
         assert!(cost > 0.0, "system cost must be positive");
         throughput_jps / cost

@@ -62,10 +62,7 @@ impl Heatmap2D {
 
     fn bin(edges: &[f64], v: f64) -> usize {
         let inner = &edges[1..edges.len() - 1];
-        inner
-            .iter()
-            .position(|&e| v < e)
-            .unwrap_or(edges.len() - 2)
+        inner.iter().position(|&e| v < e).unwrap_or(edges.len() - 2)
     }
 
     /// Record one sample (out-of-range values clamp to the edge bins).

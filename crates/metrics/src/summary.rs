@@ -86,7 +86,13 @@ mod tests {
         let f = FiveNumber::of(&[7.0]).unwrap();
         assert_eq!(
             f,
-            FiveNumber { min: 7.0, q1: 7.0, median: 7.0, q3: 7.0, max: 7.0 }
+            FiveNumber {
+                min: 7.0,
+                q1: 7.0,
+                median: 7.0,
+                q3: 7.0,
+                max: 7.0
+            }
         );
     }
 

@@ -42,7 +42,10 @@ impl ProfilePool {
             .iter()
             .map(|p| p.nodes_hint as f64)
             .fold(1.0, f64::max);
-        let runtime_scale = profiles.iter().map(|p| p.runtime_hint_s).fold(1.0, f64::max);
+        let runtime_scale = profiles
+            .iter()
+            .map(|p| p.runtime_hint_s)
+            .fold(1.0, f64::max);
         Self {
             profiles,
             node_scale,

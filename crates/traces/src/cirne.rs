@@ -162,8 +162,8 @@ impl CirneModel {
         let mut arrivals = Vec::with_capacity(count);
         while arrivals.len() < count {
             t += rng.exponential(max_rate);
-            let rate =
-                base_rate * (1.0 + self.daily_amplitude * (2.0 * std::f64::consts::PI * t / day).sin());
+            let rate = base_rate
+                * (1.0 + self.daily_amplitude * (2.0 * std::f64::consts::PI * t / day).sin());
             if rng.f64() < rate / max_rate {
                 arrivals.push(t);
             }
@@ -212,7 +212,10 @@ mod tests {
         let m = CirneModel::default();
         let mut rng = Rng64::new(3);
         let avg = |nodes: u32, rng: &mut Rng64| {
-            (0..20_000).map(|_| m.sample_runtime(rng, nodes)).sum::<f64>() / 20_000.0
+            (0..20_000)
+                .map(|_| m.sample_runtime(rng, nodes))
+                .sum::<f64>()
+                / 20_000.0
         };
         assert!(avg(128, &mut rng) > avg(1, &mut rng));
     }

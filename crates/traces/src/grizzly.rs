@@ -98,7 +98,10 @@ pub struct GrizzlyWeek {
 impl GrizzlyWeek {
     /// Largest single-job node-hours in the week (Fig. 2, left panel).
     pub fn max_node_hours(&self) -> f64 {
-        self.jobs.iter().map(GrizzlyJob::node_hours).fold(0.0, f64::max)
+        self.jobs
+            .iter()
+            .map(GrizzlyJob::node_hours)
+            .fold(0.0, f64::max)
     }
 
     /// Largest single-job per-node memory in the week (Fig. 2, right).
@@ -171,8 +174,7 @@ impl GrizzlyDataset {
         let nodes = 1u32 << rng.range_u64(0, max_pow);
         // Durations: tens of minutes to several days, capped at the week.
         let duration_s = rng.lognormal(9.3, 1.2).clamp(600.0, WEEK_S);
-        let peak_mb = sample_table2_peak_mb(rng, Dataset::Grizzly, nodes)
-            .min(cfg.node_memory_mb);
+        let peak_mb = sample_table2_peak_mb(rng, Dataset::Grizzly, nodes).min(cfg.node_memory_mb);
         // LDMS samples every 10 s; cap raw points and reduce with RDP.
         let raw_n = ((duration_s / 10.0) as usize).clamp(4, cfg.raw_samples_cap);
         let raw = Self::gen_usage_curve(rng, raw_n, peak_mb);
@@ -204,7 +206,7 @@ impl GrizzlyDataset {
             .map(|i| {
                 let t = i as f64 / (n - 1).max(1) as f64;
                 let frac: f64 = match family {
-                    0 => base + (1.0 - base) * t,                       // ramp
+                    0 => base + (1.0 - base) * t, // ramp
                     1 => base + (1.0 - base) * (std::f64::consts::PI * t).sin(),
                     2 => {
                         if t < 0.6 {
@@ -324,8 +326,7 @@ mod tests {
             .flat_map(|w| &w.jobs)
             .map(|j| j.peak_mb as f64 / 1024.0)
             .collect();
-        let below_24: f64 =
-            peaks.iter().filter(|&&g| g < 24.0).count() as f64 / peaks.len() as f64;
+        let below_24: f64 = peaks.iter().filter(|&&g| g < 24.0).count() as f64 / peaks.len() as f64;
         // Table 2 Grizzly: 73.3% + 12.4% ≈ 86% below 24 GB.
         assert!(
             (below_24 - 0.857).abs() < 0.08,

@@ -110,7 +110,10 @@ fn select_large(rng: &mut Rng64, weights: &[f64], k: usize) -> Vec<bool> {
 pub fn build_synthetic(cfg: &PipelineConfig, system: &SystemConfig) -> Workload {
     assert!(cfg.job_count > 0, "job_count must be positive");
     assert!((0.0..=1.0).contains(&cfg.large_fraction));
-    assert!(cfg.overestimation > -1.0, "overestimation must exceed -100%");
+    assert!(
+        cfg.overestimation > -1.0,
+        "overestimation must exceed -100%"
+    );
     let mut rng = Rng64::stream(cfg.seed, 0xF163);
 
     // Step 1: CIRNE skeleton (sorted by arrival — step 4).
@@ -150,7 +153,9 @@ pub fn build_synthetic(cfg: &PipelineConfig, system: &SystemConfig) -> Workload 
         }
         // Step 6: usage shape from the nearest Google job, scaled to the
         // peak.
-        let shape = google.match_job(sk.nodes, sk.runtime_s, peak as f64).shape();
+        let shape = google
+            .match_job(sk.nodes, sk.runtime_s, peak as f64)
+            .shape();
         let raw: Vec<(f64, f64)> = shape
             .iter()
             .map(|&(p, f)| (p, (f * peak as f64).max(1.0)))
@@ -240,8 +245,8 @@ pub fn build_grizzly_week(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmhpc_core::cluster::MemoryMix;
     use crate::grizzly::GrizzlyConfig;
+    use dmhpc_core::cluster::MemoryMix;
 
     fn system() -> SystemConfig {
         SystemConfig::with_nodes(128).with_memory_mix(MemoryMix::half_large())

@@ -157,7 +157,10 @@ mod tests {
     fn short_inputs_pass_through() {
         assert_eq!(rdp(&[], 1.0), vec![]);
         assert_eq!(rdp(&[(1.0, 2.0)], 1.0), vec![(1.0, 2.0)]);
-        assert_eq!(rdp(&[(1.0, 2.0), (3.0, 4.0)], 1.0), vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert_eq!(
+            rdp(&[(1.0, 2.0), (3.0, 4.0)], 1.0),
+            vec![(1.0, 2.0), (3.0, 4.0)]
+        );
     }
 
     #[test]
@@ -184,7 +187,11 @@ mod tests {
         let pts: Vec<(f64, f64)> = (0..200)
             .map(|i| {
                 let p = i as f64 / 199.0;
-                let m = if i == 120 { 1000.0 } else { 100.0 + (i % 7) as f64 };
+                let m = if i == 120 {
+                    1000.0
+                } else {
+                    100.0 + (i % 7) as f64
+                };
                 (p, m)
             })
             .collect();

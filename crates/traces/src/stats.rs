@@ -1,8 +1,8 @@
 //! Workload characterisation: the summary numbers §3.3 reports about a
 //! trace before simulating it.
 
-use dmhpc_core::sim::Workload;
 use crate::pipeline::NORMAL_NODE_MB;
+use dmhpc_core::sim::Workload;
 
 /// Aggregate statistics of a workload.
 #[derive(Clone, Debug, PartialEq)]
@@ -34,7 +34,10 @@ impl WorkloadStats {
     /// # Panics
     /// Panics on an empty workload.
     pub fn of(workload: &Workload) -> Self {
-        assert!(!workload.is_empty(), "cannot characterise an empty workload");
+        assert!(
+            !workload.is_empty(),
+            "cannot characterise an empty workload"
+        );
         let jobs = workload.len();
         let mut large = 0usize;
         let mut node_seconds = 0.0;

@@ -172,8 +172,12 @@ mod tests {
         let mut bad = record(1, 0.0, 32, 1000.0, 1024);
         bad.status = 0;
         let good = record(2, 10.0, 32, 1000.0, 1024 * 512);
-        let w = workload_from_swf(&[bad.clone(), good.clone()], None, &ImportOptions::default())
-            .unwrap();
+        let w = workload_from_swf(
+            &[bad.clone(), good.clone()],
+            None,
+            &ImportOptions::default(),
+        )
+        .unwrap();
         assert_eq!(w.len(), 1);
         let all = workload_from_swf(
             &[bad, good],

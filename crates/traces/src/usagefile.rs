@@ -52,8 +52,10 @@ pub fn parse(text: &str) -> Result<BTreeMap<JobId, MemoryUsageTrace>, String> {
         Some((_, l)) if l.trim() == HEADER => {}
         _ => return Err(format!("missing header line '{HEADER}'")),
     }
+    // Trace being accumulated: id, declared point count, points so far.
+    type Partial = (JobId, usize, Vec<(f64, u64)>);
     let mut out = BTreeMap::new();
-    let mut current: Option<(JobId, usize, Vec<(f64, u64)>)> = None;
+    let mut current: Option<Partial> = None;
     for (lineno, raw) in lines {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -170,8 +172,8 @@ mod tests {
             JobId(1),
             MemoryUsageTrace::new(vec![
                 (0.0, 1),
-                (0.333_333_333_333_333_31, 2),
-                (0.666_666_666_666_666_63, 3),
+                (0.333_333_333_333_333_3, 2),
+                (0.666_666_666_666_666_6, 3),
             ])
             .unwrap(),
         );

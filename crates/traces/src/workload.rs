@@ -17,8 +17,8 @@
 //! ```
 
 use crate::cirne::CirneModel;
-use crate::pipeline::{build_grizzly_week, build_synthetic, PipelineConfig};
 use crate::grizzly::GrizzlyDataset;
+use crate::pipeline::{build_grizzly_week, build_synthetic, PipelineConfig};
 use dmhpc_core::config::SystemConfig;
 use dmhpc_core::sim::Workload;
 

@@ -54,7 +54,10 @@ fn main() {
         let system = SystemConfig::with_nodes(nodes).with_memory_mix(mix);
         let usd = cost.system_cost_usd(nodes, system.total_memory_mb());
         let mut norms = [0.0f64; 2];
-        for (i, policy) in [PolicyKind::Static, PolicyKind::Dynamic].into_iter().enumerate() {
+        for (i, policy) in [PolicyKind::Static, PolicyKind::Dynamic]
+            .into_iter()
+            .enumerate()
+        {
             let out = Simulation::new(system.clone(), workload.clone(), policy).run();
             norms[i] = if out.feasible {
                 out.stats.throughput_jps / ref_jps

@@ -21,8 +21,8 @@ use dmhpc::traces::workload::WorkloadBuilder;
 fn main() {
     // An underprovisioned system: only a quarter of the nodes are large,
     // while half the jobs have large-memory demands.
-    let system = SystemConfig::with_nodes(128)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
+    let system =
+        SystemConfig::with_nodes(128).with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
 
     println!(
         "{:>7} {:>16} {:>16} {:>14} {:>14}",

@@ -36,7 +36,11 @@ fn main() {
         "\n{:<10} {:>9} {:>11} {:>12} {:>10} {:>9}",
         "policy", "completed", "tput(j/h)", "median_rt(s)", "mem_util", "oom_kills"
     );
-    for policy in [PolicyKind::Baseline, PolicyKind::Static, PolicyKind::Dynamic] {
+    for policy in [
+        PolicyKind::Baseline,
+        PolicyKind::Static,
+        PolicyKind::Dynamic,
+    ] {
         let out = Simulation::new(system.clone(), workload.clone(), policy).run();
         if !out.feasible {
             println!(

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification flow: tier-1 (build + root tests), the complete
+# workspace suite, lints as errors, and formatting. CI and pre-commit
+# both call this; keep it in sync with ROADMAP.md's tier-1 definition.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --check
+
+echo "verify: all green"

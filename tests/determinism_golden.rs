@@ -1,0 +1,122 @@
+//! Golden determinism tests for the indexed scheduling hot path.
+//!
+//! The cluster keeps incremental free-memory indexes and the scheduler
+//! runs on reusable scratch buffers; the original full-scan
+//! implementations are retained as `*_reference`. These tests prove the
+//! two produce **bit-identical** `SimulationOutcome`s on realistic
+//! workloads, and that a fixed seed reproduces a run exactly — the
+//! acceptance bar for every optimisation in this module.
+
+use dmhpc::core::cluster::{Cluster, MemoryMix};
+use dmhpc::core::job::JobId;
+use dmhpc::core::policy::{
+    plan_growth, plan_growth_reference, try_place_reference, try_place_with, PlacementScratch,
+    PolicyKind,
+};
+use dmhpc::core::sim::{Simulation, SimulationOutcome};
+use dmhpc::experiments::scenario::{synthetic_system, synthetic_workload};
+use dmhpc::experiments::Scale;
+use proptest::prelude::*;
+
+fn run_synthetic(policy: PolicyKind, seed: u64, reference: bool) -> SimulationOutcome {
+    let mix = MemoryMix::new(4096, 16384, 0.5);
+    let cfg = synthetic_system(Scale::Small, mix);
+    let workload = synthetic_workload(Scale::Small, 0.5, 1.2, seed);
+    Simulation::new(cfg, workload, policy)
+        .with_seed(seed)
+        .with_reference_scheduler(reference)
+        .run()
+}
+
+/// Same seed, same configuration → the same outcome, field for field.
+#[test]
+fn seeded_run_is_reproducible() {
+    for policy in PolicyKind::ALL {
+        let a = run_synthetic(policy, 0xD15A_66E6, false);
+        let b = run_synthetic(policy, 0xD15A_66E6, false);
+        assert_eq!(a, b, "{policy:?}: same seed must reproduce the run exactly");
+        assert!(
+            a.stats.completed > 0,
+            "{policy:?}: workload must exercise the scheduler"
+        );
+    }
+}
+
+/// The incremental indexes and scratch-buffer hot path must be
+/// outcome-invisible: a full run under the indexed scheduler equals a
+/// full run under the retained reference scans, bit for bit.
+#[test]
+fn indexed_and_reference_schedulers_agree() {
+    for policy in PolicyKind::ALL {
+        let indexed = run_synthetic(policy, 0xBEEF, false);
+        let reference = run_synthetic(policy, 0xBEEF, true);
+        assert_eq!(
+            indexed, reference,
+            "{policy:?}: indexed scheduler diverged from the reference scans"
+        );
+    }
+}
+
+/// Drive a cluster into a random occupied state by replaying a sequence
+/// of placements/releases, mirroring `tests/property_invariants.rs`.
+fn occupy(cluster: &mut Cluster, ops: &[(u32, u64, u8)], policy: PolicyKind) {
+    let mut placed: Vec<JobId> = Vec::new();
+    let mut next_id = 0u32;
+    for &(nodes, req, action) in ops {
+        if action == 0 && !placed.is_empty() {
+            let id = placed.remove(0);
+            cluster.finish_job(id);
+        } else if let Some(alloc) = try_place_reference(cluster, policy, nodes, req) {
+            let id = JobId(next_id);
+            next_id += 1;
+            cluster.start_job(id, alloc, 3.0);
+            placed.push(id);
+        }
+    }
+}
+
+proptest! {
+    /// On arbitrary cluster states, indexed placement returns exactly
+    /// the allocation the reference scan would have chosen (including
+    /// `None`s), for every policy.
+    #[test]
+    fn try_place_matches_reference(
+        caps in prop::collection::vec(512u64..8192, 4..16),
+        ops in prop::collection::vec((1u32..4, 64u64..6000, 0u8..4), 0..40),
+        nodes in 1u32..6,
+        req in 1u64..10_000,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let mut cluster = Cluster::new(caps, 0.5);
+        occupy(&mut cluster, &ops, policy);
+        prop_assert_eq!(cluster.check_invariants(), Ok(()));
+        let mut scratch = PlacementScratch::new();
+        let indexed = try_place_with(&cluster, policy, nodes, req, &mut scratch);
+        let reference = try_place_reference(&cluster, policy, nodes, req);
+        prop_assert_eq!(indexed, reference);
+    }
+
+    /// Growth planning streams the lender index in the same order the
+    /// reference sort produced, so the borrow plans are identical.
+    #[test]
+    fn plan_growth_matches_reference(
+        caps in prop::collection::vec(512u64..8192, 4..16),
+        ops in prop::collection::vec((1u32..4, 64u64..6000, 0u8..4), 0..40),
+        need in 1u64..8_000,
+    ) {
+        let mut cluster = Cluster::new(caps, 0.5);
+        occupy(&mut cluster, &ops, PolicyKind::Dynamic);
+        // Grow on behalf of the busiest surviving allocation, if any.
+        let Some(id) = (0..40).map(JobId).find(|&j| cluster.alloc_of(j).is_some()) else {
+            return Ok(());
+        };
+        let alloc = cluster.alloc_of(id).unwrap().clone();
+        let computes: Vec<_> = alloc.entries.iter().map(|e| e.node).collect();
+        for e in &alloc.entries {
+            let indexed = plan_growth(&cluster, e.node, &computes, need);
+            let reference = plan_growth_reference(&cluster, e.node, &computes, need);
+            prop_assert_eq!(indexed, reference);
+        }
+    }
+}

@@ -26,8 +26,8 @@ fn run(system: &SystemConfig, w: &Workload, policy: PolicyKind) -> SimulationOut
 /// scenario. Dynamic must beat static on throughput and response time.
 #[test]
 fn dynamic_beats_static_when_stressed() {
-    let system = SystemConfig::with_nodes(96)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
+    let system =
+        SystemConfig::with_nodes(96).with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
     let w = workload(&system, 0.5, 0.6, 11);
     let stat = run(&system, &w, PolicyKind::Static);
     let dynm = run(&system, &w, PolicyKind::Dynamic);
@@ -93,8 +93,8 @@ fn memory_utilization_ordering() {
 /// normal stress, and all jobs complete.
 #[test]
 fn oom_kills_are_rare_and_jobs_complete() {
-    let system = SystemConfig::with_nodes(96)
-        .with_memory_mix(MemoryMix::new(32 * 1024, 64 * 1024, 0.5));
+    let system =
+        SystemConfig::with_nodes(96).with_memory_mix(MemoryMix::new(32 * 1024, 64 * 1024, 0.5));
     let w = workload(&system, 0.5, 1.0, 19);
     let dynm = run(&system, &w, PolicyKind::Dynamic);
     assert!(dynm.feasible);
@@ -117,18 +117,15 @@ fn oom_kills_are_rare_and_jobs_complete() {
 /// (Fig. 8).
 #[test]
 fn dynamic_immune_to_overestimation() {
-    let system = SystemConfig::with_nodes(96)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
+    let system =
+        SystemConfig::with_nodes(96).with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
     let tput = |over: f64, policy: PolicyKind| {
         let w = workload(&system, 0.5, over, 23);
         run(&system, &w, policy).stats.throughput_jps
     };
     let d0 = tput(0.0, PolicyKind::Dynamic);
     let d1 = tput(1.0, PolicyKind::Dynamic);
-    assert!(
-        d1 > 0.93 * d0,
-        "dynamic dropped too much: {d1} vs {d0}"
-    );
+    assert!(d1 > 0.93 * d0, "dynamic dropped too much: {d1} vs {d0}");
     let s0 = tput(0.0, PolicyKind::Static);
     let s1 = tput(1.0, PolicyKind::Static);
     assert!(s1 < 0.97 * s0, "static should degrade: {s1} vs {s0}");
@@ -139,8 +136,8 @@ fn dynamic_immune_to_overestimation() {
 /// disaggregated policies can (missing-bars semantics).
 #[test]
 fn baseline_missing_bars() {
-    let system = SystemConfig::with_nodes(96)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.5));
+    let system =
+        SystemConfig::with_nodes(96).with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.5));
     // +60% overestimation pushes the biggest requests past 128 GB.
     let w = workload(&system, 0.5, 0.6, 29);
     let has_oversized = w.jobs.iter().any(|j| j.mem_request_mb > 128 * 1024);
@@ -158,8 +155,8 @@ fn baseline_missing_bars() {
 #[test]
 fn dynamic_advantage_is_significant() {
     use dmhpc::metrics::bootstrap::ratio_interval;
-    let system = SystemConfig::with_nodes(96)
-        .with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
+    let system =
+        SystemConfig::with_nodes(96).with_memory_mix(MemoryMix::new(64 * 1024, 128 * 1024, 0.25));
     let w = workload(&system, 0.5, 0.6, 37);
     let stat = run(&system, &w, PolicyKind::Static);
     let dynm = run(&system, &w, PolicyKind::Dynamic);

@@ -1,0 +1,307 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of criterion's API this workspace's benches use
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `BatchSize`, the `criterion_group!`/`criterion_main!`
+//! macros) on top of a plain wall-clock harness: per benchmark it warms
+//! up, auto-scales the iteration count to the configured measurement
+//! budget, takes `sample_size` samples, and prints min/median/mean
+//! nanoseconds per iteration. No statistics beyond that — it is a
+//! trend-tracking harness, not a rigorous one — but the numbers are
+//! comparable across runs on the same machine.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration (printed next to the
+/// timing so elements/second can be derived).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the stand-in runs one
+/// routine call per setup call regardless, so this is advisory.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Measurement settings shared by `Criterion` and groups.
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One completed measurement, in nanoseconds per iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/name` when run in a group).
+    pub id: String,
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings_override: None,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let settings = self.settings;
+        let m = run_bench(id.into(), settings, None, &mut f);
+        self.results.push(m);
+        self
+    }
+
+    /// Measurements collected so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        eprintln!(
+            "[criterion-lite] {} benchmarks measured",
+            self.results.len()
+        );
+    }
+}
+
+/// A named group of benchmarks sharing throughput/settings tweaks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings_override: Option<Settings>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings(&self) -> Settings {
+        self.settings_override.unwrap_or(self.criterion.settings)
+    }
+
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let mut s = self.settings();
+        s.sample_size = n.max(2);
+        self.settings_override = Some(s);
+        self
+    }
+
+    /// Override the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.settings();
+        s.warm_up = d;
+        self.settings_override = Some(s);
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let mut s = self.settings();
+        s.measurement = d;
+        self.settings_override = Some(s);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let m = run_bench(full, self.settings(), self.throughput, &mut f);
+        self.criterion.results.push(m);
+        self
+    }
+
+    /// End the group (kept for API compatibility; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` input per call.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            hint_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) -> Measurement {
+    // Warm-up doubles as iteration-count calibration.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_secs(1);
+    while warm_start.elapsed() < settings.warm_up {
+        let d = time_once(f, iters);
+        per_iter = d / iters.max(1) as u32;
+        if d >= settings.warm_up {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let budget_per_sample = settings.measurement / settings.sample_size as u32;
+    let iters_per_sample = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+    let mut samples_ns: Vec<f64> = (0..settings.sample_size)
+        .map(|_| time_once(f, iters_per_sample).as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns[0];
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.2} Melem/s)", n as f64 * 1e3 / median),
+        Some(Throughput::Bytes(n)) => format!("  ({:.2} MB/s)", n as f64 * 1e3 / median),
+        None => String::new(),
+    };
+    println!(
+        "{id:<50} time: [min {min:>12.1} ns  median {median:>12.1} ns  mean {mean:>12.1} ns]{rate}"
+    );
+    Measurement {
+        id,
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+    }
+}
+
+/// Source-compatible subset of criterion's `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )*
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),*);
+    };
+}
+
+/// Source-compatible subset of criterion's `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand`'s API it actually consumes: the
+//! [`RngCore`] trait (implemented by `dmhpc_model::rng::Rng64`) and the
+//! [`Error`] type referenced by `try_fill_bytes`. Nothing here generates
+//! randomness itself; the simulator's own xoshiro256** generator does.
+
+use std::fmt;
+
+/// Error type for fallible RNG operations. The workspace's generators are
+/// infallible, so this is never constructed; it exists to keep the
+/// `RngCore` signature source-compatible with the real crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

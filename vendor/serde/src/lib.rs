@@ -1,0 +1,37 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies
+//! the minimal surface the workspace compiles against: the `Serialize`
+//! and `Deserialize` traits (as inert markers — nothing in-tree performs
+//! serialisation) and the derive macros re-exported under the `derive`
+//! feature. Swapping back to real serde is a one-line change in the
+//! workspace `Cargo.toml` once a registry is available.
+
+/// Marker form of `serde::Serialize`. Intentionally method-free: the
+/// workspace only tags types as serialisable, it never drives a
+/// serialiser in-tree.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`. See [`Serialize`].
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

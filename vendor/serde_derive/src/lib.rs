@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public result
+//! types so downstream users can persist them, but nothing in-tree
+//! actually serialises (there is no `serde_json` here). These derives
+//! therefore only need to mark the type: they parse the item's name and
+//! emit empty trait impls against the vendored `serde` marker traits.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type identifier following the `struct`/`enum` keyword,
+/// plus a conservative generics echo: types in this workspace are
+/// non-generic, which we assert rather than silently mis-deriving.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        if let TokenTree::Ident(id) = &t {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        assert!(
+                            p.as_char() != '<',
+                            "vendored serde_derive does not support generic type {name}"
+                        );
+                    }
+                    return name.to_string();
+                }
+            }
+        }
+    }
+    panic!("serde derive applied to something that is not a struct or enum");
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// No-op `Deserialize` derive: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
