@@ -26,9 +26,26 @@
 //! the two orders the placement policy sorts by, which keeps indexed
 //! placement bit-identical to the reference scan implementation.
 
+use crate::error::CoreError;
 use crate::job::JobId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+
+/// Checked ledger addition: MB counters must never wrap, even under
+/// fault-driven churn (crash evacuation, degrade/restore cycles).
+#[inline]
+fn mb_add(a: u64, b: u64) -> u64 {
+    a.checked_add(b)
+        .unwrap_or_else(|| panic!("MB ledger overflow: {a} + {b}"))
+}
+
+/// Checked ledger subtraction: an underflow means a release without a
+/// matching reservation — fail loudly instead of wrapping to ~2^64 MB.
+#[inline]
+fn mb_sub(a: u64, b: u64) -> u64 {
+    a.checked_sub(b)
+        .unwrap_or_else(|| panic!("MB ledger underflow: {a} - {b}"))
+}
 
 /// Index of a node in the cluster.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -137,13 +154,23 @@ pub struct Node {
     pub running: Option<JobId>,
     /// Aggregate remote-bandwidth demand from borrowers, GB/s.
     pub remote_demand_gbs: f64,
+    /// Whether the node has crashed and is awaiting repair. A down node
+    /// has zero free memory and is never schedulable.
+    pub down: bool,
+    /// Capacity currently lost to pool-blade degradation, MB. Degraded
+    /// memory is neither free nor allocatable until restored.
+    pub degraded_mb: u64,
 }
 
 impl Node {
-    /// Free memory: capacity minus local allocation minus lent memory.
+    /// Free memory: capacity minus local allocation, lent memory, and
+    /// degraded capacity. Zero while the node is down.
     #[inline]
     pub fn free_mb(&self) -> u64 {
-        self.capacity_mb - self.local_alloc_mb - self.lent_mb
+        if self.down {
+            return 0;
+        }
+        self.capacity_mb - self.local_alloc_mb - self.lent_mb - self.degraded_mb
     }
 }
 
@@ -250,6 +277,12 @@ pub struct Cluster {
     /// Running total of allocated memory (local + lent), maintained by
     /// every mutation so utilisation accounting is O(1) per event.
     total_alloc_mb: u64,
+    /// Capacity currently unavailable to the pool: the full capacity of
+    /// down nodes plus the degraded slices of up nodes. Maintained
+    /// incrementally so pool-availability accounting is O(1) per event.
+    total_offline_mb: u64,
+    /// Number of nodes currently down.
+    down_count: usize,
     /// Schedulable nodes (idle, within lend cap) keyed by free MB, node
     /// ids ascending per bucket. Serves best-fit placement directly.
     sched_index: BTreeMap<u64, Vec<NodeId>>,
@@ -300,6 +333,8 @@ impl Cluster {
                 lent_mb: 0,
                 running: None,
                 remote_demand_gbs: 0.0,
+                down: false,
+                degraded_mb: 0,
             })
             .collect();
         let mut cluster = Self {
@@ -311,6 +346,8 @@ impl Cluster {
             idle_nodes,
             total_capacity_mb,
             total_alloc_mb: 0,
+            total_offline_mb: 0,
+            down_count: 0,
             sched_index: BTreeMap::new(),
             free_index: BTreeMap::new(),
             schedulable_count: 0,
@@ -411,11 +448,13 @@ impl Cluster {
         self.total_alloc_mb
     }
 
-    /// Whether a node may accept a new job: idle, and within its lend cap
-    /// (otherwise it is temporarily a memory-only node).
+    /// Whether a node may accept a new job: up, idle, and within its lend
+    /// cap (otherwise it is temporarily a memory-only node).
     pub fn schedulable(&self, id: NodeId) -> bool {
         let n = self.node(id);
-        n.running.is_none() && (n.lent_mb as f64) <= self.lend_cap_fraction * n.capacity_mb as f64
+        !n.down
+            && n.running.is_none()
+            && (n.lent_mb as f64) <= self.lend_cap_fraction * n.capacity_mb as f64
     }
 
     /// Number of nodes currently able to accept a job. O(1).
@@ -423,9 +462,26 @@ impl Cluster {
         self.schedulable_count
     }
 
-    /// Total free memory across the cluster in MB. O(1).
+    /// Total free memory across the cluster in MB, excluding down-node
+    /// and degraded capacity. O(1).
     pub fn free_pool_mb(&self) -> u64 {
-        self.total_capacity_mb - self.total_alloc_mb
+        self.total_capacity_mb - self.total_alloc_mb - self.total_offline_mb
+    }
+
+    /// Capacity currently unavailable to the pool (down nodes plus
+    /// degraded slices), MB. O(1).
+    pub fn total_offline_mb(&self) -> u64 {
+        self.total_offline_mb
+    }
+
+    /// Whether the node is down.
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.node(id).down
+    }
+
+    /// Number of nodes currently down. O(1).
+    pub fn down_count(&self) -> usize {
+        self.down_count
     }
 
     /// Schedulable nodes with at least `min_free` MB free, ascending by
@@ -540,14 +596,14 @@ impl Cluster {
         for e in &alloc.entries {
             self.touch(e.node, |n| {
                 n.running = Some(job);
-                n.local_alloc_mb += e.local_mb;
+                n.local_alloc_mb = mb_add(n.local_alloc_mb, e.local_mb);
             });
-            self.total_alloc_mb += e.local_mb;
+            self.total_alloc_mb = mb_add(self.total_alloc_mb, e.local_mb);
             self.idle_nodes -= 1;
         }
         for &(lender, mb) in &per_lender {
-            self.touch(lender, |n| n.lent_mb += mb);
-            self.total_alloc_mb += mb;
+            self.touch(lender, |n| n.lent_mb = mb_add(n.lent_mb, mb));
+            self.total_alloc_mb = mb_add(self.total_alloc_mb, mb);
             self.borrowers.entry(lender).or_default().push(job);
         }
         self.scratch_per_lender = per_lender;
@@ -567,13 +623,13 @@ impl Cluster {
             debug_assert_eq!(self.nodes[e.node.0 as usize].running, Some(job));
             self.touch(e.node, |n| {
                 n.running = None;
-                n.local_alloc_mb -= e.local_mb;
+                n.local_alloc_mb = mb_sub(n.local_alloc_mb, e.local_mb);
             });
-            self.total_alloc_mb -= e.local_mb;
+            self.total_alloc_mb = mb_sub(self.total_alloc_mb, e.local_mb);
             self.idle_nodes += 1;
             for &(lender, mb) in &e.remote {
-                self.touch(lender, |n| n.lent_mb -= mb);
-                self.total_alloc_mb -= mb;
+                self.touch(lender, |n| n.lent_mb = mb_sub(n.lent_mb, mb));
+                self.total_alloc_mb = mb_sub(self.total_alloc_mb, mb);
             }
         }
         // Clear contention contributions and the reverse index.
@@ -627,7 +683,7 @@ impl Cluster {
                 let take = (*mb).min(excess);
                 *mb -= take;
                 excess -= take;
-                self.touch(lender, |n| n.lent_mb -= take);
+                self.touch(lender, |n| n.lent_mb = mb_sub(n.lent_mb, take));
                 if !touched_lenders.contains(&lender) {
                     touched_lenders.push(lender);
                 }
@@ -637,9 +693,10 @@ impl Cluster {
             }
             // Then local.
             if excess > 0 {
-                debug_assert!(e.local_mb >= excess);
-                e.local_mb -= excess;
-                self.touch(e.node, |n| n.local_alloc_mb -= excess);
+                e.local_mb = mb_sub(e.local_mb, excess);
+                self.touch(e.node, |n| {
+                    n.local_alloc_mb = mb_sub(n.local_alloc_mb, excess)
+                });
             }
         }
         // Drop reverse-index entries for lenders no longer used.
@@ -657,7 +714,7 @@ impl Cluster {
         }
         self.scratch_lenders = still;
         self.scratch_touched = touched_lenders;
-        self.total_alloc_mb -= released;
+        self.total_alloc_mb = mb_sub(self.total_alloc_mb, released);
         self.allocs.insert(job, alloc);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
@@ -706,11 +763,13 @@ impl Cluster {
         }
         // Apply to the node ledgers (through the index-tracking `touch`),
         // then mirror into the job's allocation entry.
-        self.touch(node, |n| n.local_alloc_mb += add_local);
-        self.total_alloc_mb += add_local;
+        self.touch(node, |n| {
+            n.local_alloc_mb = mb_add(n.local_alloc_mb, add_local)
+        });
+        self.total_alloc_mb = mb_add(self.total_alloc_mb, add_local);
         for &(lender, mb) in add_remote {
-            self.touch(lender, |n| n.lent_mb += mb);
-            self.total_alloc_mb += mb;
+            self.touch(lender, |n| n.lent_mb = mb_add(n.lent_mb, mb));
+            self.total_alloc_mb = mb_add(self.total_alloc_mb, mb);
             let bs = self.borrowers.entry(lender).or_default();
             if !bs.contains(&job) {
                 bs.push(job);
@@ -722,16 +781,145 @@ impl Cluster {
             .iter_mut()
             .find(|e| e.node == node)
             .expect("grow on a node outside the job's allocation");
-        entry.local_mb += add_local;
+        entry.local_mb = mb_add(entry.local_mb, add_local);
         for &(lender, mb) in add_remote {
             if let Some(slot) = entry.remote.iter_mut().find(|(l, _)| *l == lender) {
-                slot.1 += mb;
+                slot.1 = mb_add(slot.1, mb);
             } else {
                 entry.remote.push((lender, mb));
             }
         }
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
+    }
+
+    /// Mark a node as crashed. The caller (the simulation's fault
+    /// handler) is responsible for evacuating the resident job and
+    /// revoking borrows — this only flips the node out of the free and
+    /// schedulable indexes and into the offline accounting.
+    ///
+    /// # Panics
+    /// Panics if the node is already down.
+    pub fn set_node_down(&mut self, id: NodeId) {
+        let (down, cap, degraded) = {
+            let n = self.node(id);
+            (n.down, n.capacity_mb, n.degraded_mb)
+        };
+        assert!(!down, "{id:?} is already down");
+        self.total_offline_mb = mb_add(self.total_offline_mb, cap - degraded);
+        self.down_count += 1;
+        self.touch(id, |n| n.down = true);
+        self.debug_check();
+    }
+
+    /// Complete a node's repair: it rejoins the pool with whatever
+    /// capacity is not still degraded.
+    ///
+    /// # Panics
+    /// Panics if the node is not down.
+    pub fn repair_node(&mut self, id: NodeId) {
+        let (down, cap, degraded) = {
+            let n = self.node(id);
+            (n.down, n.capacity_mb, n.degraded_mb)
+        };
+        assert!(down, "{id:?} is not down");
+        self.total_offline_mb = mb_sub(self.total_offline_mb, cap - degraded);
+        self.down_count -= 1;
+        self.touch(id, |n| n.down = false);
+        self.debug_check();
+    }
+
+    /// Take `mb` of a node's capacity out of the pool (blade
+    /// degradation). The caller must have reclaimed enough memory first:
+    /// the node's allocation must fit in the remaining capacity.
+    ///
+    /// # Panics
+    /// Panics if the degraded slice would not fit the capacity or would
+    /// overlap allocated memory.
+    pub fn apply_degrade(&mut self, id: NodeId, mb: u64) {
+        assert!(mb > 0, "zero-size degrade");
+        let (down, degraded) = {
+            let n = self.node(id);
+            let degraded = mb_add(n.degraded_mb, mb);
+            assert!(
+                degraded <= n.capacity_mb,
+                "{id:?}: degrade {degraded} exceeds capacity {}",
+                n.capacity_mb
+            );
+            assert!(
+                n.local_alloc_mb + n.lent_mb <= n.capacity_mb - degraded,
+                "{id:?}: degrade overlaps allocated memory"
+            );
+            (n.down, degraded)
+        };
+        if !down {
+            self.total_offline_mb = mb_add(self.total_offline_mb, mb);
+        }
+        self.touch(id, |n| n.degraded_mb = degraded);
+        self.debug_check();
+    }
+
+    /// Return a previously degraded slice to the pool.
+    ///
+    /// # Panics
+    /// Panics if `mb` exceeds the node's outstanding degradation.
+    pub fn restore_degrade(&mut self, id: NodeId, mb: u64) {
+        let (down, degraded) = {
+            let n = self.node(id);
+            (n.down, mb_sub(n.degraded_mb, mb))
+        };
+        if !down {
+            self.total_offline_mb = mb_sub(self.total_offline_mb, mb);
+        }
+        self.touch(id, |n| n.degraded_mb = degraded);
+        self.debug_check();
+    }
+
+    /// Revoke every slice `job` borrows from `lender`, returning the
+    /// lost MB per compute node so the fault handler can try to re-grow
+    /// the allocation elsewhere. Used when a lender crashes or loses
+    /// blade capacity.
+    ///
+    /// # Panics
+    /// Panics if the job is not placed.
+    pub fn revoke_lender(
+        &mut self,
+        job: JobId,
+        lender: NodeId,
+        bandwidth_gbs: f64,
+    ) -> Vec<(NodeId, u64)> {
+        let mut alloc = self.allocs.remove(&job).expect("revoke of unplaced job");
+        let mut lost: Vec<(NodeId, u64)> = Vec::new();
+        let mut total = 0u64;
+        for e in &mut alloc.entries {
+            let mut here = 0u64;
+            e.remote.retain(|&(l, mb)| {
+                if l == lender {
+                    here = mb_add(here, mb);
+                    false
+                } else {
+                    true
+                }
+            });
+            if here > 0 {
+                lost.push((e.node, here));
+                total = mb_add(total, here);
+            }
+        }
+        if total > 0 {
+            self.touch(lender, |n| n.lent_mb = mb_sub(n.lent_mb, total));
+            self.total_alloc_mb = mb_sub(self.total_alloc_mb, total);
+            if let Some(bs) = self.borrowers.get_mut(&lender) {
+                bs.retain(|&j| j != job);
+                if bs.is_empty() {
+                    self.borrowers.remove(&lender);
+                }
+            }
+        }
+        self.allocs.insert(job, alloc);
+        self.refresh_demand(job, bandwidth_gbs);
+        self.debug_check();
+        lost
     }
 
     /// Recompute the job's bandwidth contributions to its lenders from its
@@ -772,14 +960,15 @@ impl Cluster {
 
     /// Full invariant check; `debug_assert!`ed after every mutation and
     /// callable from tests.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), CoreError> {
+        let err = |msg: String| Err(CoreError::Ledger(msg));
         let mut lent_expected: HashMap<NodeId, u64> = HashMap::new();
         let mut local_expected: HashMap<NodeId, u64> = HashMap::new();
         for (job, alloc) in &self.allocs {
             for e in &alloc.entries {
                 let n = self.node(e.node);
                 if n.running != Some(*job) {
-                    return Err(format!("{job} allocated on {:?} but not running", e.node));
+                    return err(format!("{job} allocated on {:?} but not running", e.node));
                 }
                 *local_expected.entry(e.node).or_insert(0) += e.local_mb;
                 for &(lender, mb) in &e.remote {
@@ -788,25 +977,43 @@ impl Cluster {
             }
         }
         for (id, n) in self.iter() {
-            if n.local_alloc_mb + n.lent_mb > n.capacity_mb {
-                return Err(format!("{id:?} over capacity"));
+            if n.local_alloc_mb + n.lent_mb + n.degraded_mb > n.capacity_mb {
+                return err(format!("{id:?} over capacity"));
             }
             if n.local_alloc_mb != local_expected.get(&id).copied().unwrap_or(0) {
-                return Err(format!("{id:?} local ledger mismatch"));
+                return err(format!("{id:?} local ledger mismatch"));
             }
             if n.lent_mb != lent_expected.get(&id).copied().unwrap_or(0) {
-                return Err(format!("{id:?} lent ledger mismatch"));
+                return err(format!("{id:?} lent ledger mismatch"));
             }
             if n.running.is_none() && n.local_alloc_mb != 0 {
-                return Err(format!("{id:?} idle but has local allocation"));
+                return err(format!("{id:?} idle but has local allocation"));
             }
             if n.remote_demand_gbs < -1e-9 {
-                return Err(format!("{id:?} negative demand"));
+                return err(format!("{id:?} negative demand"));
             }
         }
         let idle = self.nodes.iter().filter(|n| n.running.is_none()).count();
         if idle != self.idle_nodes {
-            return Err("idle counter mismatch".into());
+            return err("idle counter mismatch".to_string());
+        }
+        let down = self.nodes.iter().filter(|n| n.down).count();
+        if down != self.down_count {
+            return err(format!(
+                "down counter mismatch: rebuild {down} vs counter {}",
+                self.down_count
+            ));
+        }
+        let offline_sum: u64 = self
+            .nodes
+            .iter()
+            .map(|n| if n.down { n.capacity_mb } else { n.degraded_mb })
+            .sum();
+        if offline_sum != self.total_offline_mb {
+            return err(format!(
+                "offline counter mismatch: rebuild {offline_sum} vs counter {}",
+                self.total_offline_mb
+            ));
         }
         let alloc_sum: u64 = self
             .nodes
@@ -814,7 +1021,7 @@ impl Cluster {
             .map(|n| n.local_alloc_mb + n.lent_mb)
             .sum();
         if alloc_sum != self.total_alloc_mb {
-            return Err(format!(
+            return err(format!(
                 "allocated counter mismatch: ledger {alloc_sum} vs counter {}",
                 self.total_alloc_mb
             ));
@@ -833,13 +1040,13 @@ impl Cluster {
             }
         }
         if free_expected != self.free_index {
-            return Err("free index out of sync with node ledgers".into());
+            return err("free index out of sync with node ledgers".to_string());
         }
         if sched_expected != self.sched_index {
-            return Err("schedulable index out of sync with node ledgers".into());
+            return err("schedulable index out of sync with node ledgers".to_string());
         }
         if sched_count != self.schedulable_count {
-            return Err(format!(
+            return err(format!(
                 "schedulable counter mismatch: rebuild {sched_count} vs counter {}",
                 self.schedulable_count
             ));
@@ -1109,6 +1316,98 @@ mod tests {
         c.start_job(JobId(1), local_alloc(&[0], 500), 9.0);
         assert_eq!(c.hottest_lender_demand_gbs(JobId(1)), 0.0);
         assert_eq!(c.hottest_lender_demand_gbs(JobId(99)), 0.0);
+    }
+
+    #[test]
+    fn down_node_leaves_pool_and_indexes() {
+        let mut c = cluster4();
+        assert_eq!(c.free_pool_mb(), 4000);
+        c.set_node_down(NodeId(1));
+        assert!(c.is_down(NodeId(1)));
+        assert_eq!(c.down_count(), 1);
+        assert_eq!(c.total_offline_mb(), 1000);
+        assert_eq!(c.free_pool_mb(), 3000);
+        assert_eq!(c.node(NodeId(1)).free_mb(), 0);
+        assert!(!c.schedulable(NodeId(1)));
+        assert_eq!(c.schedulable_count(), 3);
+        // The free/sched indexes must not offer the down node.
+        assert!(c.free_by_free_desc().all(|(_, id)| id != NodeId(1)));
+        assert!(c.schedulable_by_free_asc(0).all(|(_, id)| id != NodeId(1)));
+        c.repair_node(NodeId(1));
+        assert_eq!(c.total_offline_mb(), 0);
+        assert_eq!(c.schedulable_count(), 4);
+        assert_eq!(c.node(NodeId(1)).free_mb(), 1000);
+        assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn degrade_and_restore_roundtrip() {
+        let mut c = cluster4();
+        c.apply_degrade(NodeId(2), 400);
+        assert_eq!(c.node(NodeId(2)).free_mb(), 600);
+        assert_eq!(c.total_offline_mb(), 400);
+        assert_eq!(c.free_pool_mb(), 3600);
+        // Degraded slices accumulate.
+        c.apply_degrade(NodeId(2), 100);
+        assert_eq!(c.node(NodeId(2)).degraded_mb, 500);
+        c.restore_degrade(NodeId(2), 500);
+        assert_eq!(c.node(NodeId(2)).free_mb(), 1000);
+        assert_eq!(c.total_offline_mb(), 0);
+        assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn degrade_on_down_node_does_not_double_count() {
+        let mut c = cluster4();
+        c.set_node_down(NodeId(0));
+        c.apply_degrade(NodeId(0), 300);
+        // The whole node is already offline; degradation adds nothing.
+        assert_eq!(c.total_offline_mb(), 1000);
+        c.repair_node(NodeId(0));
+        // Back up, but still missing the degraded slice.
+        assert_eq!(c.total_offline_mb(), 300);
+        assert_eq!(c.node(NodeId(0)).free_mb(), 700);
+        c.restore_degrade(NodeId(0), 300);
+        assert_eq!(c.total_offline_mb(), 0);
+        assert_eq!(c.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps allocated")]
+    fn degrade_cannot_overlap_allocation() {
+        let mut c = cluster4();
+        c.start_job(JobId(1), local_alloc(&[0], 800), 1.0);
+        c.apply_degrade(NodeId(0), 300);
+    }
+
+    #[test]
+    fn revoke_lender_strips_borrows_and_reports_loss() {
+        let mut c = cluster4();
+        let alloc = JobAlloc {
+            entries: vec![
+                AllocEntry {
+                    node: NodeId(0),
+                    local_mb: 1000,
+                    remote: vec![(NodeId(2), 300)],
+                },
+                AllocEntry {
+                    node: NodeId(1),
+                    local_mb: 1000,
+                    remote: vec![(NodeId(2), 200), (NodeId(3), 100)],
+                },
+            ],
+        };
+        c.start_job(JobId(5), alloc, 6.0);
+        let lost = c.revoke_lender(JobId(5), NodeId(2), 6.0);
+        assert_eq!(lost, vec![(NodeId(0), 300), (NodeId(1), 200)]);
+        assert_eq!(c.node(NodeId(2)).lent_mb, 0);
+        assert!(c.borrowers_of(NodeId(2)).is_empty());
+        assert_eq!(c.borrowers_of(NodeId(3)), &[JobId(5)]);
+        let a = c.alloc_of(JobId(5)).unwrap();
+        assert_eq!(a.remote_mb(), 100);
+        assert_eq!(c.check_invariants(), Ok(()));
+        // Revoking a lender the job does not use is a no-op.
+        assert!(c.revoke_lender(JobId(5), NodeId(2), 6.0).is_empty());
     }
 
     #[test]

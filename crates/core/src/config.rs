@@ -1,6 +1,8 @@
 //! Simulated system configurations (paper Table 4).
 
 use crate::cluster::MemoryMix;
+use crate::error::CoreError;
+use crate::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
 
 /// How jobs that run out of memory under the dynamic policy are handled
@@ -79,6 +81,9 @@ pub struct SystemConfig {
     pub cost_per_128gb_usd: f64,
     /// Remote link capacity for the contention model, GB/s.
     pub link_capacity_gbs: f64,
+    /// Fault-injection configuration; all rates zero by default
+    /// (fault-free runs are bit-identical to pre-fault-model builds).
+    pub faults: FaultConfig,
 }
 
 impl SystemConfig {
@@ -109,6 +114,7 @@ impl SystemConfig {
             cost_per_node_usd: 10_154.0,
             cost_per_128gb_usd: 1_280.0,
             link_capacity_gbs: 12.5,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -140,6 +146,54 @@ impl SystemConfig {
     pub fn with_lend_cap(mut self, fraction: f64) -> Self {
         self.lend_cap_fraction = fraction;
         self
+    }
+
+    /// Replace the fault-injection configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Validate the configuration, returning the first violation found.
+    /// The simulator asserts this on construction; callers building
+    /// configs from user input (CLI flags, config files) should call it
+    /// to surface errors instead of panics.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |msg: String| Err(CoreError::InvalidConfig(msg));
+        if self.nodes == 0 {
+            return bad("nodes must be > 0".to_string());
+        }
+        if self.cores_per_node == 0 {
+            return bad("cores_per_node must be > 0".to_string());
+        }
+        if !(self.sched_interval_s > 0.0 && self.sched_interval_s.is_finite()) {
+            return bad(format!(
+                "sched_interval_s must be positive, got {}",
+                self.sched_interval_s
+            ));
+        }
+        if !(self.mem_update_interval_s > 0.0 && self.mem_update_interval_s.is_finite()) {
+            return bad(format!(
+                "mem_update_interval_s must be positive, got {}",
+                self.mem_update_interval_s
+            ));
+        }
+        if self.queue_depth == 0 {
+            return bad("queue_depth must be > 0".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.lend_cap_fraction) {
+            return bad(format!(
+                "lend_cap_fraction must be within [0, 1], got {}",
+                self.lend_cap_fraction
+            ));
+        }
+        if !(self.link_capacity_gbs > 0.0 && self.link_capacity_gbs.is_finite()) {
+            return bad(format!(
+                "link_capacity_gbs must be positive, got {}",
+                self.link_capacity_gbs
+            ));
+        }
+        self.faults.validate()
     }
 
     /// Total system memory in MB under this mix.
@@ -177,7 +231,25 @@ mod tests {
         assert_eq!(c.lend_cap_fraction, 0.5);
         assert_eq!(c.cost_per_node_usd, 10_154.0);
         assert_eq!(c.cost_per_128gb_usd, 1_280.0);
+        assert!(!c.faults.enabled(), "defaults must be fault-free");
         assert_eq!(SystemConfig::grizzly_1490().nodes, 1490);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_fields() {
+        SystemConfig::synthetic_1024().validate().unwrap();
+        SystemConfig::synthetic_1024()
+            .with_faults(FaultConfig::heavy())
+            .validate()
+            .unwrap();
+        let mut c = SystemConfig::with_nodes(0);
+        assert!(c.validate().is_err());
+        c.nodes = 8;
+        c.lend_cap_fraction = 1.5;
+        assert!(c.validate().is_err());
+        c.lend_cap_fraction = 0.5;
+        c.faults.monitor_loss_prob = 2.0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

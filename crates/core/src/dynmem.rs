@@ -24,6 +24,7 @@
 //! cluster ledger.
 
 use crate::cluster::NodeId;
+use crate::error::CoreError;
 use crate::job::MemoryUsageTrace;
 
 /// The Monitor's sampling parameters.
@@ -35,13 +36,15 @@ pub struct Monitor {
 }
 
 impl Monitor {
-    /// Create a monitor with the given nominal interval.
-    ///
-    /// # Panics
-    /// Panics unless the interval is strictly positive.
-    pub fn new(interval_s: f64) -> Self {
-        assert!(interval_s > 0.0, "update interval must be positive");
-        Self { interval_s }
+    /// Create a monitor with the given nominal interval. Errors unless
+    /// the interval is strictly positive and finite.
+    pub fn new(interval_s: f64) -> Result<Self, CoreError> {
+        if !(interval_s > 0.0 && interval_s.is_finite()) {
+            return Err(CoreError::invalid_config(format!(
+                "update interval must be positive, got {interval_s}"
+            )));
+        }
+        Ok(Self { interval_s })
     }
 
     /// The progress the job will reach by the next nominal update, given
@@ -117,12 +120,15 @@ mod tests {
 
     #[test]
     fn monitor_rejects_bad_interval() {
-        assert!(std::panic::catch_unwind(|| Monitor::new(0.0)).is_err());
+        assert!(Monitor::new(0.0).is_err());
+        assert!(Monitor::new(-5.0).is_err());
+        assert!(Monitor::new(f64::NAN).is_err());
+        assert!(Monitor::new(f64::INFINITY).is_err());
     }
 
     #[test]
     fn horizon_scales_with_speed() {
-        let m = Monitor::new(300.0);
+        let m = Monitor::new(300.0).unwrap();
         // Full speed on a 3000 s job: 300 s = 10% progress.
         assert!((m.horizon(0.2, 1.0, 3000.0) - 0.3).abs() < 1e-12);
         // Half speed: 5%.
@@ -131,7 +137,7 @@ mod tests {
 
     #[test]
     fn sample_demand_is_window_max() {
-        let m = Monitor::new(300.0);
+        let m = Monitor::new(300.0).unwrap();
         let usage = MemoryUsageTrace::new(vec![(0.0, 100), (0.25, 800), (0.5, 200)]).unwrap();
         // Window [0.2, 0.3] crosses the 800 MB phase.
         let d = m.sample_demand(&usage, 0.2, 1.0, 3000.0);

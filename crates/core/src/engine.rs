@@ -10,6 +10,7 @@
 //! bumps the job's epoch and pushes a fresh event, and stale pops are
 //! discarded (standard lazy deletion).
 
+use crate::cluster::NodeId;
 use crate::job::JobId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -70,6 +71,31 @@ pub enum EventKind {
         job: JobId,
         /// Epoch at scheduling time.
         epoch: u32,
+    },
+    /// Fault injection: the node crashes (resident job killed, borrows
+    /// revoked, node out of the pool until repair).
+    NodeFail {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// Fault injection: the node's repair completes.
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// Fault injection: `mb` of the node's DRAM leaves the lending pool.
+    PoolDegrade {
+        /// The degrading node.
+        node: NodeId,
+        /// Capacity lost, MB.
+        mb: u64,
+    },
+    /// Fault injection: a previously degraded slice comes back.
+    PoolRestore {
+        /// The restored node.
+        node: NodeId,
+        /// Capacity restored, MB.
+        mb: u64,
     },
 }
 

@@ -1,0 +1,116 @@
+//! Typed errors for the core crate.
+//!
+//! Hand-rolled `thiserror`-style enum: the build is offline (vendored
+//! stub dependencies only), so the derive macro is written out by hand.
+//! Core APIs return [`CoreError`]; crate boundaries that still speak
+//! `Result<_, String>` (the CLI, older callers) convert through the
+//! [`From`] impl, which preserves the full display message.
+
+/// Error type for core simulation APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A memory-usage trace violated its construction contract.
+    InvalidTrace(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// The cluster ledger or its incremental indexes are inconsistent.
+    Ledger(String),
+    /// A text input (SWF trace, usage sidecar) failed to parse.
+    /// `line` is 1-based; 0 means the error is not tied to a line.
+    Parse {
+        /// 1-based input line, or 0 when the error spans the whole input.
+        line: usize,
+        /// Human-readable description of the failure.
+        msg: String,
+    },
+}
+
+impl CoreError {
+    /// Shorthand for [`CoreError::InvalidTrace`].
+    pub fn invalid_trace(msg: impl Into<String>) -> Self {
+        CoreError::InvalidTrace(msg.into())
+    }
+
+    /// Shorthand for [`CoreError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        CoreError::InvalidConfig(msg.into())
+    }
+
+    /// Shorthand for [`CoreError::Ledger`].
+    pub fn ledger(msg: impl Into<String>) -> Self {
+        CoreError::Ledger(msg.into())
+    }
+
+    /// Parse error pinned to a 1-based input line.
+    pub fn parse_at(line: usize, msg: impl Into<String>) -> Self {
+        CoreError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Parse error that is not tied to a specific line.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        CoreError::Parse {
+            line: 0,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::InvalidTrace(msg)
+            | CoreError::InvalidConfig(msg)
+            | CoreError::Ledger(msg) => f.write_str(msg),
+            CoreError::Parse { line: 0, msg } => f.write_str(msg),
+            CoreError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<CoreError> for String {
+    fn from(e: CoreError) -> Self {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_passes_message_through() {
+        assert_eq!(
+            CoreError::invalid_trace("bad trace").to_string(),
+            "bad trace"
+        );
+        assert_eq!(CoreError::ledger("drift").to_string(), "drift");
+        assert_eq!(
+            CoreError::parse_at(3, "expected 18 fields").to_string(),
+            "line 3: expected 18 fields"
+        );
+        assert_eq!(
+            CoreError::parse("missing header").to_string(),
+            "missing header"
+        );
+    }
+
+    #[test]
+    fn converts_to_string_at_boundaries() {
+        fn boundary() -> Result<(), String> {
+            Err(CoreError::invalid_config("nodes must be > 0"))?;
+            Ok(())
+        }
+        assert_eq!(boundary().unwrap_err(), "nodes must be > 0");
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::parse("x"));
+        assert_eq!(e.to_string(), "x");
+    }
+}

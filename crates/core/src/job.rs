@@ -2,6 +2,7 @@
 //! simulator replays (paper §2.3 — the Decider receives memory usage from
 //! the offline trace rather than from live nodes).
 
+use crate::error::CoreError;
 use dmhpc_model::ProfileId;
 use serde::{Deserialize, Serialize};
 
@@ -50,26 +51,30 @@ impl MemoryUsageTrace {
     /// # Errors
     /// Returns an error if points are empty, unsorted, out of `[0,1]`, or
     /// do not start at progress 0.
-    pub fn new(points: Vec<(f64, u64)>) -> Result<Self, String> {
+    pub fn new(points: Vec<(f64, u64)>) -> Result<Self, CoreError> {
         if points.is_empty() {
-            return Err("usage trace needs at least one point".into());
+            return Err(CoreError::invalid_trace(
+                "usage trace needs at least one point",
+            ));
         }
         if points[0].0 != 0.0 {
-            return Err(format!(
+            return Err(CoreError::invalid_trace(format!(
                 "usage trace must start at progress 0, starts at {}",
                 points[0].0
-            ));
+            )));
         }
         for w in points.windows(2) {
             if w[1].0 <= w[0].0 {
-                return Err(format!(
+                return Err(CoreError::invalid_trace(format!(
                     "usage trace progress must be strictly increasing: {} then {}",
                     w[0].0, w[1].0
-                ));
+                )));
             }
         }
         if let Some(&(p, _)) = points.iter().find(|&&(p, _)| !(0.0..=1.0).contains(&p)) {
-            return Err(format!("usage trace progress {p} outside [0,1]"));
+            return Err(CoreError::invalid_trace(format!(
+                "usage trace progress {p} outside [0,1]"
+            )));
         }
         Ok(Self { points })
     }

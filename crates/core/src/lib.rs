@@ -14,7 +14,10 @@
 //!   Monitor→Decider→Actuator→Executor dynamic loop, out-of-memory
 //!   Fail/Restart & Checkpoint/Restart handling, metrics;
 //! * [`job`] — the job model with progress-keyed memory usage traces;
-//! * [`config`] — the simulated system configurations of Table 4.
+//! * [`config`] — the simulated system configurations of Table 4;
+//! * [`faults`] — seeded deterministic fault injection (node crashes,
+//!   pool-blade degradation, Monitor sample loss, Actuator failures);
+//! * [`error`] — the crate-wide [`CoreError`] type.
 //!
 //! ## Example
 //!
@@ -49,6 +52,8 @@ pub mod cluster;
 pub mod config;
 pub mod dynmem;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod job;
 pub mod policy;
 pub mod sched;
@@ -57,6 +62,8 @@ pub mod sim;
 pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId};
 pub use config::{OomMitigation, RestartStrategy, SystemConfig};
 pub use engine::SimTime;
+pub use error::CoreError;
+pub use faults::{FaultConfig, FaultEvent, FaultSchedule};
 pub use job::{Job, JobId, MemoryUsageTrace};
 pub use policy::PolicyKind;
 pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};

@@ -125,16 +125,18 @@ pub fn try_place_with(
     }
     match kind {
         PolicyKind::Baseline => {
-            // Only nodes whose full DRAM covers the request; the job gets
-            // the whole node (exclusive access to all resources). Keyed
-            // by capacity, so this still needs a sort — but only over the
+            // Only nodes whose full usable DRAM covers the request; the
+            // job gets the whole node (exclusive access to all
+            // resources). An idle baseline node never lends, so its free
+            // memory IS its usable capacity — minus any degraded blade
+            // slice, which exclusive allocation must not touch. Keyed by
+            // free, so this still needs a sort — but only over the
             // schedulable subset, and into a reused buffer.
             scratch.fit.clear();
             scratch.fit.extend(
                 cluster
                     .schedulable_by_free_asc(0)
-                    .map(|(_, id)| (cluster.node(id).capacity_mb, id))
-                    .filter(|&(cap, _)| cap >= request_mb),
+                    .filter(|&(free, _)| free >= request_mb),
             );
             if scratch.fit.len() < n {
                 return None;
@@ -145,9 +147,9 @@ pub fn try_place_with(
             Some(JobAlloc {
                 entries: scratch.fit[..n]
                     .iter()
-                    .map(|&(cap, id)| AllocEntry {
+                    .map(|&(free, id)| AllocEntry {
                         node: id,
-                        local_mb: cap,
+                        local_mb: free,
                         remote: vec![],
                     })
                     .collect(),
@@ -238,25 +240,27 @@ pub fn try_place_reference(
     }
     match kind {
         PolicyKind::Baseline => {
-            // Only nodes whose full DRAM covers the request; the job gets
-            // the whole node (exclusive access to all resources).
+            // Only nodes whose full usable DRAM covers the request; the
+            // job gets the whole node (exclusive access to all
+            // resources). Free equals usable capacity on an idle
+            // baseline node and excludes degraded blade slices.
             let mut fit: Vec<(u64, NodeId)> = sched
                 .iter()
                 .copied()
-                .filter(|&(_, id)| cluster.node(id).capacity_mb >= request_mb)
+                .filter(|&(free, _)| free >= request_mb)
                 .collect();
             if fit.len() < n {
                 return None;
             }
             // Best fit: smallest adequate node first, preserving large
             // nodes for large jobs.
-            fit.sort_unstable_by_key(|&(_, id)| (cluster.node(id).capacity_mb, id));
+            fit.sort_unstable();
             Some(JobAlloc {
                 entries: fit[..n]
                     .iter()
-                    .map(|&(_, id)| AllocEntry {
+                    .map(|&(free, id)| AllocEntry {
                         node: id,
-                        local_mb: cluster.node(id).capacity_mb,
+                        local_mb: free,
                         remote: vec![],
                     })
                     .collect(),

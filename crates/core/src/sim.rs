@@ -16,6 +16,8 @@
 use crate::cluster::{Cluster, NodeId};
 use crate::config::{OomMitigation, RestartStrategy, SystemConfig};
 use crate::engine::{EventKind, EventQueue, SimTime};
+use crate::error::CoreError;
+use crate::faults::{FaultConfig, FaultEvent, FaultSchedule};
 use crate::job::{Job, JobId};
 use crate::policy::{
     plan_growth, plan_growth_reference, try_place_reference, try_place_with, PlacementScratch,
@@ -25,6 +27,11 @@ use crate::sched::{compute_reservation, PendingQueue, Release};
 use dmhpc_model::rng::Rng64;
 use dmhpc_model::{ContentionModel, ProfilePool, RemoteAccess};
 use serde::{Deserialize, Serialize};
+
+/// RNG stream for the runtime fault draws (Monitor sample loss and
+/// Actuator transient failures), derived from the *fault* seed so fault
+/// realisations are independent of the scheduler jitter stream.
+const STREAM_SIM_FAULTS: u64 = 0xFA57_0001;
 
 /// A workload: the jobs to simulate plus the profile pool their slowdown
 /// model draws from. Jobs must be indexed by their [`JobId`]
@@ -44,16 +51,32 @@ impl Workload {
     /// Panics if `jobs[i].id != JobId(i)` for some `i`, or if a job
     /// references a profile outside the pool.
     pub fn new(jobs: Vec<Job>, pool: ProfilePool) -> Self {
+        Self::try_new(jobs, pool).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor for workloads built from external input
+    /// (trace files, CLI): same checks as [`Workload::new`], surfaced as
+    /// a [`CoreError`] instead of a panic.
+    ///
+    /// # Errors
+    /// Returns an error if `jobs[i].id != JobId(i)` for some `i`, or if
+    /// a job references a profile outside the pool.
+    pub fn try_new(jobs: Vec<Job>, pool: ProfilePool) -> Result<Self, CoreError> {
         for (i, j) in jobs.iter().enumerate() {
-            assert_eq!(j.id, JobId(i as u32), "jobs must be indexed by id");
-            assert!(
-                (j.profile.0 as usize) < pool.len(),
-                "{} references missing profile {:?}",
-                j.id,
-                j.profile
-            );
+            if j.id != JobId(i as u32) {
+                return Err(CoreError::invalid_trace(format!(
+                    "jobs must be indexed by id: slot {i} holds {}",
+                    j.id
+                )));
+            }
+            if (j.profile.0 as usize) >= pool.len() {
+                return Err(CoreError::invalid_trace(format!(
+                    "{} references missing profile {:?}",
+                    j.id, j.profile
+                )));
+            }
         }
-        Self { jobs, pool }
+        Ok(Self { jobs, pool })
     }
 
     /// Number of jobs.
@@ -119,6 +142,11 @@ struct JobState {
     boosted: bool,
     /// §2.2 fairness: the job now runs with a pinned static allocation.
     static_mode: bool,
+    /// The job has been killed by an injected fault at least once.
+    fault_killed: bool,
+    /// Consecutive Actuator failures on the current resize; reset to
+    /// zero by every successful update.
+    actuator_attempts: u32,
 }
 
 impl JobState {
@@ -138,6 +166,8 @@ impl JobState {
             finish: None,
             boosted: false,
             static_mode: false,
+            fault_killed: false,
+            actuator_attempts: 0,
         }
     }
 }
@@ -173,6 +203,31 @@ pub struct Stats {
     /// Mean slowdown experienced by completed jobs (wallclock runtime of
     /// the final attempt ÷ base runtime).
     pub mean_slowdown: f64,
+    /// Injected node crashes that actually took a node down.
+    pub fault_node_crashes: u32,
+    /// Injected pool-blade degradations that removed capacity.
+    pub fault_pool_degrades: u32,
+    /// Kill events caused by faults (crash evacuations, irrecoverable
+    /// degradations, Actuator escalations); each may be followed by a
+    /// restart.
+    pub fault_job_kills: u32,
+    /// Distinct jobs killed at least once by a fault.
+    pub jobs_fault_killed: u32,
+    /// Work seconds discarded by fault kills (work done minus checkpoint
+    /// credit, summed over kills).
+    pub fault_work_lost_s: f64,
+    /// Work seconds preserved across fault kills by Checkpoint/Restart.
+    pub fault_checkpoint_credit_s: f64,
+    /// Monitor samples dropped by injected sample loss.
+    pub monitor_samples_lost: u32,
+    /// Actuator operations retried after a transient injected failure.
+    pub actuator_retries: u32,
+    /// Actuator failures that exhausted their retry budget and escalated
+    /// to kill-and-resubmit.
+    pub actuator_escalations: u32,
+    /// Mean fraction of total memory capacity online over the makespan
+    /// (1.0 in fault-free runs).
+    pub avg_pool_availability: f64,
 }
 
 /// How one job ended.
@@ -241,6 +296,7 @@ pub struct Simulation {
     seed: u64,
     max_restarts: u32,
     reference_scheduler: bool,
+    fault_schedule: Option<FaultSchedule>,
 }
 
 impl Simulation {
@@ -253,6 +309,7 @@ impl Simulation {
             seed: 0x5EED,
             max_restarts: 64,
             reference_scheduler: false,
+            fault_schedule: None,
         }
     }
 
@@ -274,6 +331,15 @@ impl Simulation {
     /// benchmarks can measure the speedup.
     pub fn with_reference_scheduler(mut self, on: bool) -> Self {
         self.reference_scheduler = on;
+        self
+    }
+
+    /// Inject an explicit fault schedule instead of generating one from
+    /// `cfg.faults`. Used by tests that need a crash or degradation at
+    /// an exact instant; the Monitor-loss and Actuator-failure
+    /// probabilities of `cfg.faults` still apply.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = Some(schedule);
         self
     }
 
@@ -409,6 +475,15 @@ struct Runner {
     rng: Rng64,
     scratch: SchedScratch,
     reference_scheduler: bool,
+    monitor: crate::dynmem::Monitor,
+
+    // Fault injection.
+    faults: FaultConfig,
+    faults_enabled: bool,
+    fault_rng: Rng64,
+    /// Jobs not yet in a terminal state; lets a faulted run stop once
+    /// the outcome is decided instead of draining the fault schedule.
+    live_jobs: u32,
 
     now: SimTime,
     tick_scheduled: bool,
@@ -425,6 +500,7 @@ struct Runner {
     util_last: SimTime,
     busy_integral: f64,
     mem_integral: f64,
+    offline_integral: f64,
 }
 
 impl Runner {
@@ -461,8 +537,42 @@ impl Runner {
             }
         }
         queue.push(SimTime::ZERO, EventKind::SchedTick);
+        // Fault schedule: pre-generated from the fault seed before the
+        // run starts, so injection is deterministic and never consults
+        // the wallclock. Zero-rate configs generate nothing and take no
+        // draw — fault-free runs are bit-identical to pre-fault builds.
+        let faults = sim.cfg.faults;
+        let schedule = match sim.fault_schedule {
+            Some(s) => s,
+            None if faults.enabled() => {
+                let capacities: Vec<u64> = (0..cluster.len())
+                    .map(|i| cluster.node(NodeId(i as u32)).capacity_mb)
+                    .collect();
+                FaultSchedule::generate(&faults, &capacities)
+            }
+            None => FaultSchedule::default(),
+        };
+        let faults_enabled = !schedule.is_empty()
+            || faults.monitor_loss_prob > 0.0
+            || faults.actuator_fail_prob > 0.0;
+        for &(t, fe) in &schedule.events {
+            let kind = match fe {
+                FaultEvent::NodeFail { node } => EventKind::NodeFail { node },
+                FaultEvent::NodeRepair { node } => EventKind::NodeRepair { node },
+                FaultEvent::PoolDegrade { node, mb } => EventKind::PoolDegrade { node, mb },
+                FaultEvent::PoolRestore { node, mb } => EventKind::PoolRestore { node, mb },
+            };
+            queue.push(t, kind);
+        }
+        let monitor = crate::dynmem::Monitor::new(sim.cfg.mem_update_interval_s)
+            .expect("SystemConfig carries a positive update interval");
         Self {
             rng: Rng64::stream(sim.seed, 0xD15A),
+            fault_rng: Rng64::stream(faults.seed, STREAM_SIM_FAULTS),
+            faults,
+            faults_enabled,
+            live_jobs: submits,
+            monitor,
             cfg: sim.cfg,
             policy: sim.policy,
             jobs: sim.workload.jobs,
@@ -489,6 +599,7 @@ impl Runner {
             util_last: SimTime::ZERO,
             busy_integral: 0.0,
             mem_integral: 0.0,
+            offline_integral: 0.0,
         }
     }
 
@@ -505,6 +616,15 @@ impl Runner {
                 EventKind::SchedTick => self.on_tick(),
                 EventKind::JobEnd { job, epoch } => self.on_job_end(job, epoch),
                 EventKind::MemUpdate { job, epoch } => self.on_mem_update(job, epoch),
+                EventKind::NodeFail { node } => self.on_node_fail(node),
+                EventKind::NodeRepair { node } => self.on_node_repair(node),
+                EventKind::PoolDegrade { node, mb } => self.on_pool_degrade(node, mb),
+                EventKind::PoolRestore { node, mb } => self.on_pool_restore(node, mb),
+            }
+            // Under fault injection the schedule can extend far past the
+            // last job; stop once every job reached a terminal state.
+            if self.faults_enabled && self.live_jobs == 0 {
+                break;
             }
             if self.queue.should_compact() {
                 self.compact_events();
@@ -529,7 +649,12 @@ impl Runner {
                 let s = &st[job.0 as usize];
                 s.status == Status::Running && s.life_epoch == epoch
             }
-            EventKind::Submit(_) | EventKind::SchedTick => true,
+            EventKind::Submit(_)
+            | EventKind::SchedTick
+            | EventKind::NodeFail { .. }
+            | EventKind::NodeRepair { .. }
+            | EventKind::PoolDegrade { .. }
+            | EventKind::PoolRestore { .. } => true,
         });
     }
 
@@ -539,6 +664,7 @@ impl Runner {
             let busy = self.cluster.len() - self.cluster.idle_count();
             self.busy_integral += dt * busy as f64;
             self.mem_integral += dt * self.cluster.total_allocated_mb() as f64;
+            self.offline_integral += dt * self.cluster.total_offline_mb() as f64;
             self.util_last = to;
         }
     }
@@ -693,11 +819,17 @@ impl Runner {
         }));
         releases.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
         let job = self.job(head);
+        // Down nodes count as idle (nothing runs on them) but are not
+        // available to a reservation.
+        let available = self
+            .cluster
+            .idle_count()
+            .saturating_sub(self.cluster.down_count());
         let res = compute_reservation(
             self.now.as_secs(),
             job.nodes,
             job.nodes as u64 * job.mem_request_mb,
-            self.cluster.idle_count() as u32,
+            available as u32,
             self.cluster.free_pool_mb(),
             &releases,
         );
@@ -864,6 +996,7 @@ impl Runner {
             self.slowdown_sum += 1.0;
         }
         self.stats.completed += 1;
+        self.live_jobs = self.live_jobs.saturating_sub(1);
         self.resp.push(self.now.as_secs() - job_submit);
         let first = s.first_start.unwrap_or(s.start);
         self.waits.push(first.as_secs() - job_submit);
@@ -900,6 +1033,16 @@ impl Runner {
             }
         }
         if self.policy == PolicyKind::Dynamic && !self.st[jid.0 as usize].static_mode {
+            // Fault injection: the Monitor sample may be lost, in which
+            // case the Decider acts on the last-known demand (i.e. the
+            // allocation stays put) and the job OOMs if its true usage
+            // outgrew it.
+            if self.faults.monitor_loss_prob > 0.0
+                && self.fault_rng.chance(self.faults.monitor_loss_prob)
+            {
+                self.on_monitor_loss(jid);
+                return;
+            }
             self.dynamic_update(jid);
         } else {
             // For static/baseline (and static-fallback) jobs this event
@@ -936,8 +1079,9 @@ impl Runner {
         let s = &self.st[jid.0 as usize];
         let progress = (s.work_done_s / base).min(1.0);
         // Monitor: demand for the period until the next nominal update.
-        let monitor = crate::dynmem::Monitor::new(self.cfg.mem_update_interval_s);
-        let demand = monitor.sample_demand(&job.usage, progress, s.speed, base);
+        let demand = self
+            .monitor
+            .sample_demand(&job.usage, progress, s.speed, base);
         let bw = self.pool.get(job.profile).bandwidth_gbs;
 
         let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
@@ -952,6 +1096,20 @@ impl Runner {
 
         // Decider: compare usage against the allocation.
         let decision = crate::dynmem::decide(&entries, demand);
+        // Fault injection: the Actuator's resize fails with probability
+        // p; retry with bounded deterministic backoff before escalating
+        // to kill-and-resubmit. Hold decisions actuate nothing and
+        // cannot fail.
+        if !decision.is_hold()
+            && self.faults.actuator_fail_prob > 0.0
+            && self.fault_rng.chance(self.faults.actuator_fail_prob)
+        {
+            self.scratch.lenders = lenders_before;
+            self.scratch.entries = entries;
+            self.scratch.compute_ids = compute_ids;
+            self.on_actuator_failure(jid);
+            return;
+        }
         let mut changed = false;
         // Actuator: deallocate (remote first) …
         if let Some(target) = decision.shrink_to_mb {
@@ -999,15 +1157,312 @@ impl Runner {
         self.scratch.lenders = lenders_before;
         self.scratch.entries = entries;
         self.scratch.compute_ids = compute_ids;
-        // Successful update doubles as the checkpoint instant.
+        // Successful update doubles as the checkpoint instant and clears
+        // any Actuator retry streak.
         let s = &mut self.st[jid.0 as usize];
         s.checkpoint_s = s.work_done_s;
+        s.actuator_attempts = 0;
         let epoch = s.life_epoch;
         let dt = self.next_update_interval();
         self.queue.push(
             self.now.plus_secs(dt),
             EventKind::MemUpdate { job: jid, epoch },
         );
+    }
+
+    /// A Monitor sample was lost: the Decider sees nothing and the
+    /// allocation stays at its last-known level. If the job's true usage
+    /// outgrew that level on any of its nodes, it OOMs; otherwise the
+    /// loop re-arms for the next update. The checkpoint does NOT advance
+    /// — only successful updates checkpoint.
+    fn on_monitor_loss(&mut self, jid: JobId) {
+        self.stats.monitor_samples_lost += 1;
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / job.base_runtime_s).min(1.0);
+        let usage = job.usage.usage_at(progress);
+        let min_alloc = self
+            .cluster
+            .alloc_of(jid)
+            .expect("running job has alloc")
+            .entries
+            .iter()
+            .map(|e| e.total_mb())
+            .min()
+            .unwrap_or(0);
+        if usage > min_alloc {
+            self.oom_kill(jid);
+            return;
+        }
+        let epoch = self.st[jid.0 as usize].life_epoch;
+        let dt = self.next_update_interval();
+        self.queue.push(
+            self.now.plus_secs(dt),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
+    }
+
+    /// The Actuator's resize failed transiently. Retry the update after
+    /// a deterministic exponential backoff; once the retry budget is
+    /// exhausted, escalate to kill-and-resubmit.
+    fn on_actuator_failure(&mut self, jid: JobId) {
+        let max_retries = self.faults.actuator_max_retries;
+        let s = &mut self.st[jid.0 as usize];
+        s.actuator_attempts += 1;
+        if s.actuator_attempts > max_retries {
+            s.actuator_attempts = 0;
+            self.stats.actuator_escalations += 1;
+            // Retry budget exhausted: kill-and-resubmit, escalating down
+            // the §2.2 fairness ladder (static-guaranteed allocation
+            // first) so a persistently failing Actuator cannot livelock
+            // the job through endless dynamic retry cycles.
+            self.fault_kill(jid, true);
+            return;
+        }
+        self.stats.actuator_retries += 1;
+        let exp = (s.actuator_attempts - 1).min(16);
+        let backoff = self.faults.actuator_backoff_s * (1u64 << exp) as f64;
+        let epoch = s.life_epoch;
+        self.queue.push(
+            self.now.plus_secs(backoff),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
+    }
+
+    /// Injected node crash: revoke everything other jobs borrowed from
+    /// the node, evacuate (kill) the resident job, and take the node out
+    /// of the pool until its repair completes. Revoked borrowers re-grow
+    /// their lost slices elsewhere or are killed-and-resubmitted.
+    fn on_node_fail(&mut self, node: NodeId) {
+        if self.cluster.is_down(node) {
+            return;
+        }
+        self.stats.fault_node_crashes += 1;
+        let resident = self.cluster.node(node).running;
+        // Strip borrows first so the node's ledger empties, then kill
+        // the resident (its own alloc, including borrows from *other*
+        // lenders, leaves with it), then flip the node down.
+        let revoked = self.reclaim_from_lender(node, 0);
+        if let Some(jid) = resident {
+            self.fault_kill(jid, false);
+        }
+        self.cluster.set_node_down(node);
+        self.regrow_or_demote(revoked, node);
+        self.change_counter += 1;
+        self.ensure_tick();
+        debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+    }
+
+    /// A crashed node's repair completed: it rejoins the free and
+    /// schedulable pools (minus any still-degraded capacity).
+    fn on_node_repair(&mut self, node: NodeId) {
+        if !self.cluster.is_down(node) {
+            return;
+        }
+        self.cluster.repair_node(node);
+        self.change_counter += 1;
+        self.ensure_tick();
+        debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+    }
+
+    /// Injected pool-blade degradation: `mb` of the node's memory leaves
+    /// the pool mid-run. The Actuator reclaims remote MB first (revoking
+    /// borrowers lender-side); if the resident job's own allocation
+    /// still overlaps the failed blade it is killed and resubmitted with
+    /// escalation (§2.2 static-fallback, then priority boost). Revoked
+    /// borrowers re-grow elsewhere or are killed as a last resort.
+    fn on_pool_degrade(&mut self, node: NodeId, mb: u64) {
+        let (cap, degraded) = {
+            let n = self.cluster.node(node);
+            (n.capacity_mb, n.degraded_mb)
+        };
+        if mb == 0 || degraded + mb > cap {
+            return;
+        }
+        self.stats.fault_pool_degrades += 1;
+        let allowed = cap - degraded - mb;
+        let revoked = self.reclaim_from_lender(node, allowed);
+        let (still_over, resident) = {
+            let n = self.cluster.node(node);
+            (n.local_alloc_mb + n.lent_mb > allowed, n.running)
+        };
+        if still_over {
+            if let Some(jid) = resident {
+                self.fault_kill(jid, true);
+            }
+        }
+        // Degrade BEFORE re-growing the revoked slices, so the planner
+        // cannot hand the reclaimed memory right back to a borrower.
+        {
+            let n = self.cluster.node(node);
+            if n.local_alloc_mb + n.lent_mb <= allowed {
+                self.cluster.apply_degrade(node, mb);
+            }
+        }
+        self.regrow_or_demote(revoked, node);
+        self.change_counter += 1;
+        self.ensure_tick();
+        debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+    }
+
+    /// A previously degraded slice returns to the pool (clamped to the
+    /// node's outstanding degradation, since a crash handler may have
+    /// skipped part of the original degrade).
+    fn on_pool_restore(&mut self, node: NodeId, mb: u64) {
+        let mb = mb.min(self.cluster.node(node).degraded_mb);
+        if mb == 0 {
+            return;
+        }
+        self.cluster.restore_degrade(node, mb);
+        self.change_counter += 1;
+        self.ensure_tick();
+        debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+    }
+
+    /// Revoke borrowed slices from `lender`, borrower by borrower, until
+    /// its allocation (local + lent) fits within `allowed_mb`. Returns
+    /// the per-job lost slices so the caller can try to re-grow them.
+    fn reclaim_from_lender(
+        &mut self,
+        lender: NodeId,
+        allowed_mb: u64,
+    ) -> Vec<(JobId, Vec<(NodeId, u64)>)> {
+        let mut revoked = Vec::new();
+        let mut borrowers = std::mem::take(&mut self.scratch.borrowers);
+        borrowers.clear();
+        borrowers.extend_from_slice(self.cluster.borrowers_of(lender));
+        for &b in &borrowers {
+            {
+                let n = self.cluster.node(lender);
+                if n.local_alloc_mb + n.lent_mb <= allowed_mb {
+                    break;
+                }
+            }
+            let bw = self.pool.get(self.job(b).profile).bandwidth_gbs;
+            let lost = self.cluster.revoke_lender(b, lender, bw);
+            if !lost.is_empty() {
+                revoked.push((b, lost));
+            }
+        }
+        self.scratch.borrowers = borrowers;
+        revoked
+    }
+
+    /// Try to re-grow each revoked slice somewhere else (local-first,
+    /// then remote — the normal growth planner, which now excludes the
+    /// faulted capacity). Jobs whose slices cannot be re-grown are
+    /// killed and resubmitted with escalation.
+    fn regrow_or_demote(&mut self, revoked: Vec<(JobId, Vec<(NodeId, u64)>)>, eased: NodeId) {
+        for (jid, lost) in revoked {
+            if self.st[jid.0 as usize].status != Status::Running
+                || self.cluster.alloc_of(jid).is_none()
+            {
+                continue; // already killed earlier in this handler
+            }
+            let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
+            let mut compute_ids = std::mem::take(&mut self.scratch.compute_ids);
+            compute_ids.clear();
+            compute_ids.extend(
+                self.cluster
+                    .alloc_of(jid)
+                    .expect("checked above")
+                    .entries
+                    .iter()
+                    .map(|e| e.node),
+            );
+            let mut ok = true;
+            for &(node, need) in &lost {
+                let plan = if self.reference_scheduler {
+                    plan_growth_reference(&self.cluster, node, &compute_ids, need)
+                } else {
+                    plan_growth(&self.cluster, node, &compute_ids, need)
+                };
+                match plan {
+                    Some((local, borrows)) => {
+                        self.cluster.grow_entry(jid, node, local, &borrows, bw);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            self.scratch.compute_ids = compute_ids;
+            if ok {
+                let mut lenders = std::mem::take(&mut self.scratch.lenders);
+                self.cluster
+                    .alloc_of(jid)
+                    .expect("alloc")
+                    .lenders_into(&mut lenders);
+                if !lenders.contains(&eased) {
+                    lenders.push(eased);
+                }
+                self.refresh_speeds(jid, &lenders);
+                self.scratch.lenders = lenders;
+            } else {
+                self.fault_kill(jid, true);
+            }
+        }
+        // Pressure on the eased lender dropped for surviving borrowers.
+        self.update_borrower_speeds(&[eased]);
+    }
+
+    /// Kill a running job because of an injected fault and resubmit it
+    /// (F/R from scratch, C/R from the last checkpoint — the same §2.2
+    /// machinery as an OOM kill). `escalate` requests the §2.2 fairness
+    /// ladder directly: demote the job to a static-guaranteed allocation
+    /// if it is dynamic, otherwise boost its queue priority.
+    fn fault_kill(&mut self, jid: JobId, escalate: bool) {
+        self.advance_work(jid);
+        self.stats.fault_job_kills += 1;
+        let alloc = self.cluster.finish_job(jid);
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
+        self.running.retain(|&r| r != jid);
+        let cap = self.max_restarts;
+        let restart = self.cfg.restart;
+        let dynamic = self.policy == PolicyKind::Dynamic;
+        let s = &mut self.st[jid.0 as usize];
+        if !s.fault_killed {
+            s.fault_killed = true;
+            self.stats.jobs_fault_killed += 1;
+        }
+        s.life_epoch += 1;
+        s.end_epoch += 1;
+        // The pending JobEnd is orphaned (as in `oom_kill`).
+        self.queue.note_stale(1);
+        let credit = match restart {
+            RestartStrategy::FailRestart => {
+                s.checkpoint_s = 0.0;
+                0.0
+            }
+            RestartStrategy::CheckpointRestart => s.checkpoint_s,
+        };
+        self.stats.fault_work_lost_s += (s.work_done_s - credit).max(0.0);
+        self.stats.fault_checkpoint_credit_s += credit;
+        s.restarts += 1;
+        s.actuator_attempts = 0;
+        if escalate {
+            if dynamic && !s.static_mode {
+                s.static_mode = true;
+            } else {
+                s.boosted = true;
+            }
+        }
+        if s.restarts > cap {
+            s.status = Status::Failed(FailReason::TooManyRestarts);
+            self.stats.failed_restarts += 1;
+            self.live_jobs = self.live_jobs.saturating_sub(1);
+        } else {
+            s.status = Status::Waiting;
+            self.submits_remaining += 1;
+            self.queue.push(self.now, EventKind::Submit(jid));
+        }
+        self.change_counter += 1;
+        self.update_borrower_speeds(&lenders);
+        self.scratch.lenders = lenders;
+        self.ensure_tick();
     }
 
     /// Dynamic OOM: kill, release, and resubmit (F/R from scratch, C/R
@@ -1047,6 +1502,7 @@ impl Runner {
         if s.restarts > cap {
             s.status = Status::Failed(FailReason::TooManyRestarts);
             self.stats.failed_restarts += 1;
+            self.live_jobs = self.live_jobs.saturating_sub(1);
         } else {
             s.status = Status::Waiting;
             self.submits_remaining += 1;
@@ -1071,6 +1527,7 @@ impl Runner {
         self.queue.note_stale(1);
         s.status = Status::Failed(reason);
         self.stats.failed_exceeded += 1;
+        self.live_jobs = self.live_jobs.saturating_sub(1);
         self.change_counter += 1;
         self.update_borrower_speeds(&lenders);
         self.scratch.lenders = lenders;
@@ -1092,6 +1549,10 @@ impl Runner {
                 self.busy_integral / (makespan * self.cluster.len() as f64);
             self.stats.avg_mem_utilization =
                 self.mem_integral / (makespan * self.cluster.total_capacity_mb() as f64);
+            self.stats.avg_pool_availability =
+                1.0 - self.offline_integral / (makespan * self.cluster.total_capacity_mb() as f64);
+        } else {
+            self.stats.avg_pool_availability = 1.0;
         }
         self.stats.mean_slowdown = if self.stats.completed > 0 {
             self.slowdown_sum / self.stats.completed as f64

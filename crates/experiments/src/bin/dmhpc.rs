@@ -6,7 +6,7 @@
 //!
 //! commands: table1 table2 table3 table4
 //!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
-//!           ablate all
+//!           ablate fault-sweep all
 //! ```
 
 use dmhpc_experiments::exp;
@@ -62,6 +62,8 @@ fn usage() -> String {
      \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
      \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
      \x20 ablate                                 design-choice ablations\n\
+     \x20 fault-sweep [--fault-seed S] [--fault-profile none|light|heavy]\n\
+     \x20                                        resilience under injected faults\n\
      \x20 validate                               PASS/FAIL the headline claims\n\
      \x20 all                                    everything above\n\
      \x20 export  --out DIR [--jobs N] [--large F] [--over O] [--seed S]\n\
@@ -324,6 +326,35 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
     }
 }
 
+fn cmd_fault_sweep(
+    scale: Scale,
+    threads: usize,
+    csv: bool,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    let seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
+    let profile = opts.get("fault-profile").map(String::as_str);
+    let sweep = exp::faults::run_opts(scale, threads, seed, profile)
+        .map_err(|e| format!("fault-sweep: {e}"))?;
+    emit(
+        "Fault sweep: resilience under injected faults (stress scenario, C/R)",
+        &sweep.table(),
+        csv,
+    );
+    if !csv {
+        for prof in exp::faults::PROFILES {
+            if let Some(s) = sweep.summary(prof) {
+                println!(
+                    "{prof}: pool availability {:.2}%, checkpoints saved {:.0}% of destroyed work",
+                    s.mean_pool_availability * 100.0,
+                    s.checkpoint_save_ratio() * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 fn emit(title: &str, t: &TextTable, csv: bool) {
     if csv {
         print!("{}", t.to_csv());
@@ -476,6 +507,7 @@ fn main() {
     let start = std::time::Instant::now();
     let result = match args.command.as_str() {
         "export" => cmd_export(args.scale, &args.opts),
+        "fault-sweep" => cmd_fault_sweep(args.scale, args.threads, args.csv, &args.opts),
         "simulate" => cmd_simulate(args.scale, &args.opts),
         "bench-sched" => cmd_bench_sched(&args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),

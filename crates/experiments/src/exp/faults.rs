@@ -1,0 +1,197 @@
+//! Fault-injection resilience sweep (ours, beyond the paper).
+//!
+//! The paper evaluates the dynamic-memory loop on a fault-free cluster.
+//! This experiment injects the deterministic fault model of
+//! `dmhpc_core::faults` — node crashes, pool-blade degradation, Monitor
+//! sample loss and Actuator transient failures — into the stress
+//! scenario (underprovisioned system, 50% large jobs, +60%
+//! overestimation) and compares how the three policies degrade. All
+//! runs use Checkpoint/Restart so the work-lost vs checkpoint-credit
+//! split is visible; the `none` profile doubles as a control that must
+//! match the fault-free simulator bit for bit.
+
+use crate::runner::run_parallel;
+use crate::scale::Scale;
+use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
+use crate::table::TextTable;
+use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::config::{RestartStrategy, SystemConfig};
+use dmhpc_core::error::CoreError;
+use dmhpc_core::faults::FaultConfig;
+use dmhpc_core::policy::PolicyKind;
+use dmhpc_metrics::resilience::{ResilienceSample, ResilienceSummary};
+
+/// Default fault-schedule seed (override with `--fault-seed`).
+pub const FAULT_SEED: u64 = 0xFA57_5EED;
+
+/// The fault profiles swept by default, mildest first.
+pub const PROFILES: [&str; 3] = ["none", "light", "heavy"];
+
+/// One `(profile, policy)` point of the sweep.
+#[derive(Clone, Debug)]
+pub struct FaultRow {
+    /// Fault profile name (`none`, `light`, `heavy`).
+    pub profile: String,
+    /// Allocation policy simulated.
+    pub policy: PolicyKind,
+    /// Throughput in jobs/s.
+    pub throughput_jps: f64,
+    /// Resilience counters extracted from the run.
+    pub sample: ResilienceSample,
+}
+
+/// All sweep rows, profile-major in [`PROFILES`] order.
+pub struct FaultSweep {
+    /// One row per `(profile, policy)`.
+    pub rows: Vec<FaultRow>,
+}
+
+/// The stress system under Checkpoint/Restart (so fault kills preserve
+/// checkpointed progress and the credit column is meaningful).
+fn stress_system(scale: Scale) -> SystemConfig {
+    synthetic_system(scale, MemoryMix::new(64 * 1024, 128 * 1024, 0.25))
+        .with_restart(RestartStrategy::CheckpointRestart)
+}
+
+/// Run the default sweep: every profile × every policy.
+pub fn run(scale: Scale, threads: usize) -> FaultSweep {
+    run_opts(scale, threads, FAULT_SEED, None).expect("built-in fault profiles are valid")
+}
+
+/// Run the sweep with an explicit fault seed, optionally restricted to
+/// one profile (the CLI's `--fault-seed` / `--fault-profile`).
+pub fn run_opts(
+    scale: Scale,
+    threads: usize,
+    fault_seed: u64,
+    profile: Option<&str>,
+) -> Result<FaultSweep, CoreError> {
+    let profiles: Vec<&str> = match profile {
+        Some(p) => {
+            FaultConfig::profile(p)?; // validate the name up front
+            vec![p]
+        }
+        None => PROFILES.to_vec(),
+    };
+    let workload = synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA);
+    let total_jobs = workload.len() as u32;
+    let mut tasks: Vec<(String, PolicyKind, SystemConfig)> = Vec::new();
+    for prof in profiles {
+        let faults = FaultConfig::profile(prof)?.with_seed(fault_seed);
+        for policy in [
+            PolicyKind::Baseline,
+            PolicyKind::Static,
+            PolicyKind::Dynamic,
+        ] {
+            tasks.push((
+                prof.to_string(),
+                policy,
+                stress_system(scale).with_faults(faults),
+            ));
+        }
+    }
+    let rows = run_parallel(tasks, threads, |(prof, policy, sys)| {
+        let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
+        FaultRow {
+            profile: prof.clone(),
+            policy: *policy,
+            throughput_jps: out.stats.throughput_jps,
+            sample: ResilienceSample {
+                total_jobs,
+                completed: out.stats.completed,
+                fault_kills: out.stats.fault_job_kills,
+                jobs_fault_killed: out.stats.jobs_fault_killed,
+                work_lost_s: out.stats.fault_work_lost_s,
+                checkpoint_credit_s: out.stats.fault_checkpoint_credit_s,
+                pool_availability: out.stats.avg_pool_availability,
+                actuator_retries: out.stats.actuator_retries,
+                actuator_escalations: out.stats.actuator_escalations,
+            },
+        }
+    });
+    Ok(FaultSweep { rows })
+}
+
+impl FaultSweep {
+    /// Aggregate the rows of one profile across policies.
+    pub fn summary(&self, profile: &str) -> Option<ResilienceSummary> {
+        let samples: Vec<ResilienceSample> = self
+            .rows
+            .iter()
+            .filter(|r| r.profile == profile)
+            .map(|r| r.sample)
+            .collect();
+        ResilienceSummary::of(&samples)
+    }
+
+    /// Render the sweep table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(vec![
+            "profile",
+            "policy",
+            "completed",
+            "throughput_jps",
+            "fault_kills",
+            "work_lost_h",
+            "ckpt_saved",
+            "pool_avail",
+            "act_retries",
+            "act_escal",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.profile.clone(),
+                r.policy.to_string(),
+                format!("{}/{}", r.sample.completed, r.sample.total_jobs),
+                format!("{:.5}", r.throughput_jps),
+                r.sample.fault_kills.to_string(),
+                format!("{:.2}", r.sample.work_lost_s / 3600.0),
+                format!("{:.0}%", r.sample.checkpoint_save_ratio() * 100.0),
+                format!("{:.2}%", r.sample.pool_availability * 100.0),
+                r.sample.actuator_retries.to_string(),
+                r.sample.actuator_escalations.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_profile_is_a_clean_control() {
+        let sweep = run_opts(Scale::Small, 0, FAULT_SEED, Some("none")).unwrap();
+        assert_eq!(sweep.rows.len(), 3);
+        for r in &sweep.rows {
+            assert_eq!(r.sample.fault_kills, 0, "{}", r.policy);
+            assert_eq!(r.sample.actuator_retries, 0, "{}", r.policy);
+            assert_eq!(r.sample.pool_availability, 1.0, "{}", r.policy);
+        }
+        let s = sweep.summary("none").unwrap();
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.total_fault_kills, 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_renders() {
+        let a = run_opts(Scale::Small, 0, 7, Some("heavy")).unwrap();
+        let b = run_opts(Scale::Small, 2, 7, Some("heavy")).unwrap();
+        assert_eq!(a.rows.len(), 3);
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.sample, y.sample, "{} {}", x.profile, x.policy);
+        }
+        // Faults cost availability: the pool cannot be more available
+        // than the fault-free ideal.
+        for r in &a.rows {
+            assert!(r.sample.pool_availability <= 1.0);
+        }
+        assert!(a.table().render().contains("heavy"));
+    }
+
+    #[test]
+    fn unknown_profile_rejected() {
+        assert!(run_opts(Scale::Small, 1, 1, Some("apocalyptic")).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure, plus the ablation suite.
 
 pub mod ablations;
+pub mod faults;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;

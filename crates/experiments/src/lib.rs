@@ -17,6 +17,7 @@
 //! | Fig. 8 (overestimation) | [`exp::fig8`] | `dmhpc fig8` |
 //! | Fig. 9 (min memory @95%) | [`exp::fig9`] | `dmhpc fig9` |
 //! | Ablations (ours) | [`exp::ablations`] | `dmhpc ablate` |
+//! | Fault sweep (ours) | [`exp::faults`] | `dmhpc fault-sweep` |
 //!
 //! Scales: `small` (tests/benches), `medium` (default), `full` (the
 //! paper's 1024/1490-node configuration).

@@ -10,7 +10,9 @@
 //! * [`heatmap`] — 2-D binned job-size × memory heatmaps (Fig. 4);
 //! * [`cost`] — the throughput-per-dollar cost model (Fig. 7, §4.3);
 //! * [`bootstrap`] — percentile-bootstrap confidence intervals for
-//!   comparing close policies robustly.
+//!   comparing close policies robustly;
+//! * [`resilience`] — fault-sweep aggregates (work lost vs checkpoint
+//!   credit, pool availability, Actuator retry pressure).
 
 #![warn(missing_docs)]
 
@@ -18,10 +20,12 @@ pub mod bootstrap;
 pub mod cost;
 pub mod ecdf;
 pub mod heatmap;
+pub mod resilience;
 pub mod summary;
 
 pub use bootstrap::{bootstrap, mean_interval, median_interval, ratio_interval, Interval};
 pub use cost::CostModel;
 pub use ecdf::Ecdf;
 pub use heatmap::Heatmap2D;
+pub use resilience::{ResilienceSample, ResilienceSummary};
 pub use summary::{binned_percentages, FiveNumber};

@@ -13,6 +13,7 @@
 
 use crate::swf::SwfRecord;
 use crate::usagefile;
+use dmhpc_core::error::CoreError;
 use dmhpc_core::job::{Job, JobId, MemoryUsageTrace};
 use dmhpc_core::sim::Workload;
 use dmhpc_model::ProfilePool;
@@ -51,8 +52,10 @@ pub fn workload_from_swf(
     records: &[SwfRecord],
     usage: Option<&BTreeMap<JobId, MemoryUsageTrace>>,
     opts: &ImportOptions,
-) -> Result<Workload, String> {
-    assert!(opts.cores_per_node > 0);
+) -> Result<Workload, CoreError> {
+    if opts.cores_per_node == 0 {
+        return Err(CoreError::invalid_config("cores_per_node must be > 0"));
+    }
     let pool = ProfilePool::synthetic(opts.profile_pool_size, opts.seed);
     let mut jobs: Vec<Job> = Vec::with_capacity(records.len());
     let mut kept: Vec<&SwfRecord> = records
@@ -63,7 +66,10 @@ pub fn workload_from_swf(
     kept.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
     for r in kept {
         if r.run_time <= 0.0 {
-            return Err(format!("job {}: non-positive run time", r.job_number));
+            return Err(CoreError::invalid_trace(format!(
+                "job {}: non-positive run time",
+                r.job_number
+            )));
         }
         let procs = if r.requested_processors > 0 {
             r.requested_processors
@@ -71,7 +77,10 @@ pub fn workload_from_swf(
             r.allocated_processors
         };
         if procs <= 0 {
-            return Err(format!("job {}: no processor count", r.job_number));
+            return Err(CoreError::invalid_trace(format!(
+                "job {}: no processor count",
+                r.job_number
+            )));
         }
         let nodes = (procs as u64).div_ceil(opts.cores_per_node as u64).max(1) as u32;
         let kb_to_node_mb = |kb: i64| -> Option<u64> {
@@ -79,9 +88,9 @@ pub fn workload_from_swf(
         };
         let used_mb = kb_to_node_mb(r.used_memory_kb);
         let requested_mb = kb_to_node_mb(r.requested_memory_kb);
-        let request = requested_mb
-            .or(used_mb)
-            .ok_or_else(|| format!("job {}: no memory information", r.job_number))?;
+        let request = requested_mb.or(used_mb).ok_or_else(|| {
+            CoreError::invalid_trace(format!("job {}: no memory information", r.job_number))
+        })?;
         let trace = usage
             .and_then(|m| m.get(&JobId((r.job_number - 1).max(0) as u32)).cloned())
             .or_else(|| used_mb.map(MemoryUsageTrace::flat))
@@ -105,9 +114,11 @@ pub fn workload_from_swf(
         });
     }
     if jobs.is_empty() {
-        return Err("no usable records in the SWF input".into());
+        return Err(CoreError::invalid_trace(
+            "no usable records in the SWF input",
+        ));
     }
-    Ok(Workload::new(jobs, pool))
+    Workload::try_new(jobs, pool)
 }
 
 /// Convenience: parse SWF text (and optional usage text) and import.
@@ -115,7 +126,7 @@ pub fn workload_from_text(
     swf_text: &str,
     usage_text: Option<&str>,
     opts: &ImportOptions,
-) -> Result<Workload, String> {
+) -> Result<Workload, CoreError> {
     let records = crate::swf::parse(swf_text)?;
     let usage = usage_text.map(usagefile::parse).transpose()?;
     workload_from_swf(&records, usage.as_ref(), opts)
@@ -207,11 +218,13 @@ mod tests {
         r.run_time = -1.0;
         assert!(workload_from_swf(&[r], None, &ImportOptions::default())
             .unwrap_err()
+            .to_string()
             .contains("run time"));
         let mut r = record(1, 0.0, -1, 100.0, 2048);
         r.allocated_processors = -1;
         assert!(workload_from_swf(&[r], None, &ImportOptions::default())
             .unwrap_err()
+            .to_string()
             .contains("processor"));
         assert!(workload_from_swf(&[], None, &ImportOptions::default()).is_err());
     }

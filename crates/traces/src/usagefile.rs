@@ -18,6 +18,7 @@
 //! constant to the next point). Multiple jobs concatenate in one file or
 //! live in one file per job (`job_<id>.usage`).
 
+use dmhpc_core::error::CoreError;
 use dmhpc_core::job::{JobId, MemoryUsageTrace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -46,11 +47,11 @@ pub fn write(traces: &BTreeMap<JobId, MemoryUsageTrace>) -> String {
 /// # Errors
 /// Reports the first malformed line with its 1-based number; missing
 /// header, truncated point lists and invalid traces are all errors.
-pub fn parse(text: &str) -> Result<BTreeMap<JobId, MemoryUsageTrace>, String> {
+pub fn parse(text: &str) -> Result<BTreeMap<JobId, MemoryUsageTrace>, CoreError> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, l)) if l.trim() == HEADER => {}
-        _ => return Err(format!("missing header line '{HEADER}'")),
+        _ => return Err(CoreError::parse(format!("missing header line '{HEADER}'"))),
     }
     // Trace being accumulated: id, declared point count, points so far.
     type Partial = (JobId, usize, Vec<(f64, u64)>);
@@ -61,7 +62,7 @@ pub fn parse(text: &str) -> Result<BTreeMap<JobId, MemoryUsageTrace>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        let err = |msg: &str| CoreError::parse_at(lineno + 1, msg);
         if let Some(rest) = line.strip_prefix("job ") {
             if let Some((id, n, pts)) = current.take() {
                 if pts.len() != n {
@@ -107,12 +108,12 @@ pub fn parse(text: &str) -> Result<BTreeMap<JobId, MemoryUsageTrace>, String> {
     }
     if let Some((id, n, pts)) = current.take() {
         if pts.len() != n {
-            return Err(format!(
+            return Err(CoreError::parse(format!(
                 "job {} declared {} points but provided {}",
                 id.0,
                 n,
                 pts.len()
-            ));
+            )));
         }
         insert(&mut out, id, pts)?;
     }
@@ -123,11 +124,12 @@ fn insert(
     out: &mut BTreeMap<JobId, MemoryUsageTrace>,
     id: JobId,
     pts: Vec<(f64, u64)>,
-) -> Result<(), String> {
+) -> Result<(), CoreError> {
     if out.contains_key(&id) {
-        return Err(format!("duplicate job {}", id.0));
+        return Err(CoreError::parse(format!("duplicate job {}", id.0)));
     }
-    let trace = MemoryUsageTrace::new(pts).map_err(|e| format!("job {}: {e}", id.0))?;
+    let trace = MemoryUsageTrace::new(pts)
+        .map_err(|e| CoreError::invalid_trace(format!("job {}: {e}", id.0)))?;
     out.insert(id, trace);
     Ok(())
 }
@@ -189,14 +191,14 @@ mod tests {
     #[test]
     fn wrong_point_count_rejected() {
         let text = format!("{HEADER}\njob 0 points 2\n0 5\n");
-        let err = parse(&text).unwrap_err();
+        let err = parse(&text).unwrap_err().to_string();
         assert!(err.contains("declared 2"), "{err}");
     }
 
     #[test]
     fn duplicate_job_rejected() {
         let text = format!("{HEADER}\njob 0 points 1\n0 5\njob 0 points 1\n0 6\n");
-        assert!(parse(&text).unwrap_err().contains("duplicate"));
+        assert!(parse(&text).unwrap_err().to_string().contains("duplicate"));
     }
 
     #[test]
@@ -209,7 +211,7 @@ mod tests {
     #[test]
     fn point_before_job_rejected() {
         let text = format!("{HEADER}\n0 5\n");
-        assert!(parse(&text).unwrap_err().contains("before any"));
+        assert!(parse(&text).unwrap_err().to_string().contains("before any"));
     }
 
     #[test]

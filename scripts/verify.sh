@@ -14,6 +14,15 @@ cargo test -q
 echo "== workspace tests =="
 cargo test --workspace -q
 
+echo "== fault-injection test group =="
+cargo test -q --test fault_injection --test determinism_golden
+
+echo "== fault-sweep smoke (tiny, must stay deterministic) =="
+./target/release/dmhpc fault-sweep --scale small --threads 0 --csv > /tmp/fault_sweep_a.csv
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv > /tmp/fault_sweep_b.csv
+cmp /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
+rm -f /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -57,6 +57,33 @@ fn indexed_and_reference_schedulers_agree() {
     }
 }
 
+/// Fault injection with every rate at zero is invisible: the outcome is
+/// bit-identical to a run that never mentions faults, regardless of the
+/// fault seed (no schedule is generated and no fault RNG is drawn).
+#[test]
+fn faults_off_is_identity() {
+    use dmhpc::core::faults::FaultConfig;
+    let mix = MemoryMix::new(4096, 16384, 0.5);
+    let workload = || synthetic_workload(Scale::Small, 0.5, 1.2, 0xFADE);
+    for policy in PolicyKind::ALL {
+        let plain = Simulation::new(synthetic_system(Scale::Small, mix), workload(), policy)
+            .with_seed(0xFADE)
+            .run();
+        let zero_rates = Simulation::new(
+            synthetic_system(Scale::Small, mix)
+                .with_faults(FaultConfig::none().with_seed(0xDEAD_BEEF)),
+            workload(),
+            policy,
+        )
+        .with_seed(0xFADE)
+        .run();
+        assert_eq!(
+            plain, zero_rates,
+            "{policy:?}: zero-rate fault config must be bit-identical"
+        );
+    }
+}
+
 /// Drive a cluster into a random occupied state by replaying a sequence
 /// of placements/releases, mirroring `tests/property_invariants.rs`.
 fn occupy(cluster: &mut Cluster, ops: &[(u32, u64, u8)], policy: PolicyKind) {
