@@ -41,7 +41,7 @@
 //!     usage: MemoryUsageTrace::flat(16 * 1024),
 //!     profile: ProfileId(0),
 //! };
-//! let workload = Workload::new(vec![job], ProfilePool::synthetic(8, 1));
+//! let workload = Workload::try_new(vec![job], ProfilePool::synthetic(8, 1)).unwrap();
 //! let outcome = Simulation::new(cfg, workload, PolicyKind::Dynamic).run();
 //! assert_eq!(outcome.stats.completed, 1);
 //! ```

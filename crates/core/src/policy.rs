@@ -25,6 +25,8 @@
 //! speedup between them.
 
 use crate::cluster::{AllocEntry, Cluster, JobAlloc, NodeId};
+use crate::error::CoreError;
+use crate::sim::hooks::{Baseline, DynamicAlloc, MemoryPolicy, StaticAlloc};
 use serde::{Deserialize, Serialize};
 
 /// Reusable buffers for [`try_place_with`]; owning one across calls makes
@@ -77,6 +79,34 @@ impl PolicyKind {
             PolicyKind::Dynamic => "Dynamic disaggregated memory",
         }
     }
+
+    /// Resolve the config/CLI enum into the behavior object the
+    /// simulation runs: the matching [`MemoryPolicy`] implementation
+    /// from [`crate::sim::hooks`]. This is the only place the enum maps
+    /// to behavior — the runner itself never branches on the kind.
+    pub fn build(self) -> Box<dyn MemoryPolicy> {
+        match self {
+            PolicyKind::Baseline => Box::new(Baseline),
+            PolicyKind::Static => Box::new(StaticAlloc),
+            PolicyKind::Dynamic => Box::new(DynamicAlloc),
+        }
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = CoreError;
+
+    /// Parse a CLI/config policy name (`baseline`, `static`, `dynamic`).
+    fn from_str(s: &str) -> Result<Self, CoreError> {
+        match s {
+            "baseline" => Ok(PolicyKind::Baseline),
+            "static" => Ok(PolicyKind::Static),
+            "dynamic" => Ok(PolicyKind::Dynamic),
+            other => Err(CoreError::invalid_config(format!(
+                "unknown policy '{other}' (expected baseline, static, or dynamic)"
+            ))),
+        }
+    }
 }
 
 impl std::fmt::Display for PolicyKind {
@@ -108,10 +138,30 @@ pub fn try_place(
 
 /// Index-backed placement: identical results to [`try_place_reference`],
 /// computed from the cluster's persistent free-memory indexes without
-/// scanning or sorting the node table.
+/// scanning or sorting the node table. Dispatches on the config enum;
+/// the per-policy entry points ([`place_exclusive_with`],
+/// [`place_spread_with`]) are what the [`MemoryPolicy`] implementations
+/// call directly.
 pub fn try_place_with(
     cluster: &Cluster,
     kind: PolicyKind,
+    nodes: u32,
+    request_mb: u64,
+    scratch: &mut PlacementScratch,
+) -> Option<JobAlloc> {
+    match kind {
+        PolicyKind::Baseline => place_exclusive_with(cluster, nodes, request_mb, scratch),
+        PolicyKind::Static | PolicyKind::Dynamic => {
+            place_spread_with(cluster, nodes, request_mb, scratch)
+        }
+    }
+}
+
+/// Baseline placement off the cluster indexes: only nodes whose full
+/// usable DRAM covers the request, and the job gets each node's whole
+/// memory (exclusive access, no disaggregation).
+pub fn place_exclusive_with(
+    cluster: &Cluster,
     nodes: u32,
     request_mb: u64,
     scratch: &mut PlacementScratch,
@@ -123,97 +173,109 @@ pub fn try_place_with(
     if cluster.schedulable_count() < n {
         return None;
     }
-    match kind {
-        PolicyKind::Baseline => {
-            // Only nodes whose full usable DRAM covers the request; the
-            // job gets the whole node (exclusive access to all
-            // resources). An idle baseline node never lends, so its free
-            // memory IS its usable capacity — minus any degraded blade
-            // slice, which exclusive allocation must not touch. Keyed by
-            // free, so this still needs a sort — but only over the
-            // schedulable subset, and into a reused buffer.
-            scratch.fit.clear();
-            scratch.fit.extend(
-                cluster
-                    .schedulable_by_free_asc(0)
-                    .filter(|&(free, _)| free >= request_mb),
-            );
-            if scratch.fit.len() < n {
-                return None;
-            }
-            // Best fit: smallest adequate node first, preserving large
-            // nodes for large jobs.
-            scratch.fit.sort_unstable();
-            Some(JobAlloc {
-                entries: scratch.fit[..n]
-                    .iter()
-                    .map(|&(free, id)| AllocEntry {
-                        node: id,
-                        local_mb: free,
-                        remote: vec![],
-                    })
-                    .collect(),
-            })
-        }
-        PolicyKind::Static | PolicyKind::Dynamic => {
-            // Phase 1: enough nodes can hold the request entirely
-            // locally. The index range walk yields best-fit order
-            // (least free first) directly.
-            let mut entries = Vec::with_capacity(n);
-            entries.extend(
-                cluster
-                    .schedulable_by_free_asc(request_mb)
-                    .take(n)
-                    .map(|(_, id)| AllocEntry {
-                        node: id,
-                        local_mb: request_mb,
-                        remote: vec![],
-                    }),
-            );
-            if entries.len() == n {
-                return Some(JobAlloc { entries });
-            }
-            entries.clear();
-            // Phase 2: the n nodes with the most free memory become
-            // compute nodes; the rest of the free pool lends.
-            scratch.compute.clear();
-            scratch
-                .compute
-                .extend(cluster.schedulable_by_free_desc().take(n));
-            let compute = &scratch.compute[..];
-            // Lenders stream straight off the free index (most free
-            // first), skipping the job's own compute nodes; `current`
-            // carries the partially drained lender across entries.
-            let mut lender_iter = cluster
-                .free_by_free_desc()
-                .filter(|(_, id)| !compute.iter().any(|&(_, c)| c == *id));
-            let mut current: Option<(u64, NodeId)> = None;
-            for &(free, id) in compute {
-                let local = free.min(request_mb);
-                let mut need = request_mb - local;
-                let mut remote = Vec::new();
-                while need > 0 {
-                    match current {
-                        Some((rem, lid)) if rem > 0 => {
-                            let take = rem.min(need);
-                            remote.push((lid, take));
-                            current = Some((rem - take, lid));
-                            need -= take;
-                        }
-                        _ => {
-                            current = Some(lender_iter.next()?); // pool exhausted
-                        }
-                    }
-                }
-                entries.push(AllocEntry {
-                    node: id,
-                    local_mb: local,
-                    remote,
-                });
-            }
-            Some(JobAlloc { entries })
-        }
+    // Only nodes whose full usable DRAM covers the request; the job
+    // gets the whole node (exclusive access to all resources). An idle
+    // baseline node never lends, so its free memory IS its usable
+    // capacity — minus any degraded blade slice, which exclusive
+    // allocation must not touch. Keyed by free, so this still needs a
+    // sort — but only over the schedulable subset, and into a reused
+    // buffer.
+    scratch.fit.clear();
+    scratch.fit.extend(
+        cluster
+            .schedulable_by_free_asc(0)
+            .filter(|&(free, _)| free >= request_mb),
+    );
+    if scratch.fit.len() < n {
+        return None;
     }
+    // Best fit: smallest adequate node first, preserving large nodes
+    // for large jobs.
+    scratch.fit.sort_unstable();
+    Some(JobAlloc {
+        entries: scratch.fit[..n]
+            .iter()
+            .map(|&(free, id)| AllocEntry {
+                node: id,
+                local_mb: free,
+                remote: vec![],
+            })
+            .collect(),
+    })
+}
+
+/// Static/Dynamic placement off the cluster indexes: fill the request
+/// locally where possible, otherwise spread the job over the nodes with
+/// the most free memory and borrow the remainder from lender nodes.
+pub fn place_spread_with(
+    cluster: &Cluster,
+    nodes: u32,
+    request_mb: u64,
+    scratch: &mut PlacementScratch,
+) -> Option<JobAlloc> {
+    let n = nodes as usize;
+    if n == 0 {
+        return None;
+    }
+    if cluster.schedulable_count() < n {
+        return None;
+    }
+    // Phase 1: enough nodes can hold the request entirely locally. The
+    // index range walk yields best-fit order (least free first)
+    // directly.
+    let mut entries = Vec::with_capacity(n);
+    entries.extend(
+        cluster
+            .schedulable_by_free_asc(request_mb)
+            .take(n)
+            .map(|(_, id)| AllocEntry {
+                node: id,
+                local_mb: request_mb,
+                remote: vec![],
+            }),
+    );
+    if entries.len() == n {
+        return Some(JobAlloc { entries });
+    }
+    entries.clear();
+    // Phase 2: the n nodes with the most free memory become compute
+    // nodes; the rest of the free pool lends.
+    scratch.compute.clear();
+    scratch
+        .compute
+        .extend(cluster.schedulable_by_free_desc().take(n));
+    let compute = &scratch.compute[..];
+    // Lenders stream straight off the free index (most free first),
+    // skipping the job's own compute nodes; `current` carries the
+    // partially drained lender across entries.
+    let mut lender_iter = cluster
+        .free_by_free_desc()
+        .filter(|(_, id)| !compute.iter().any(|&(_, c)| c == *id));
+    let mut current: Option<(u64, NodeId)> = None;
+    for &(free, id) in compute {
+        let local = free.min(request_mb);
+        let mut need = request_mb - local;
+        let mut remote = Vec::new();
+        while need > 0 {
+            match current {
+                Some((rem, lid)) if rem > 0 => {
+                    let take = rem.min(need);
+                    remote.push((lid, take));
+                    current = Some((rem - take, lid));
+                    need -= take;
+                }
+                _ => {
+                    current = Some(lender_iter.next()?); // pool exhausted
+                }
+            }
+        }
+        entries.push(AllocEntry {
+            node: id,
+            local_mb: local,
+            remote,
+        });
+    }
+    Some(JobAlloc { entries })
 }
 
 /// The original full-scan placement: collects and sorts the schedulable
@@ -225,109 +287,135 @@ pub fn try_place_reference(
     nodes: u32,
     request_mb: u64,
 ) -> Option<JobAlloc> {
+    match kind {
+        PolicyKind::Baseline => place_exclusive_reference(cluster, nodes, request_mb),
+        PolicyKind::Static | PolicyKind::Dynamic => {
+            place_spread_reference(cluster, nodes, request_mb)
+        }
+    }
+}
+
+/// Schedulable nodes (idle and within the lend cap) as `(free, id)`,
+/// collected by a full scan — the reference placements sort this per
+/// call.
+fn sched_scan(cluster: &Cluster) -> Vec<(u64, NodeId)> {
+    cluster
+        .iter()
+        .filter(|&(id, _)| cluster.schedulable(id))
+        .map(|(id, node)| (node.free_mb(), id))
+        .collect()
+}
+
+/// Full-scan twin of [`place_exclusive_with`].
+pub fn place_exclusive_reference(
+    cluster: &Cluster,
+    nodes: u32,
+    request_mb: u64,
+) -> Option<JobAlloc> {
     let n = nodes as usize;
     if n == 0 {
         return None;
     }
-    // Schedulable = idle and within the lend cap.
-    let mut sched: Vec<(u64, NodeId)> = cluster
-        .iter()
-        .filter(|&(id, _)| cluster.schedulable(id))
-        .map(|(id, node)| (node.free_mb(), id))
-        .collect();
+    let sched = sched_scan(cluster);
     if sched.len() < n {
         return None;
     }
-    match kind {
-        PolicyKind::Baseline => {
-            // Only nodes whose full usable DRAM covers the request; the
-            // job gets the whole node (exclusive access to all
-            // resources). Free equals usable capacity on an idle
-            // baseline node and excludes degraded blade slices.
-            let mut fit: Vec<(u64, NodeId)> = sched
-                .iter()
-                .copied()
-                .filter(|&(free, _)| free >= request_mb)
-                .collect();
-            if fit.len() < n {
-                return None;
-            }
-            // Best fit: smallest adequate node first, preserving large
-            // nodes for large jobs.
-            fit.sort_unstable();
-            Some(JobAlloc {
-                entries: fit[..n]
-                    .iter()
-                    .map(|&(free, id)| AllocEntry {
-                        node: id,
-                        local_mb: free,
-                        remote: vec![],
-                    })
-                    .collect(),
-            })
-        }
-        PolicyKind::Static | PolicyKind::Dynamic => {
-            // Phase 1: enough nodes can hold the request entirely locally.
-            let mut fit: Vec<(u64, NodeId)> = sched
-                .iter()
-                .copied()
-                .filter(|&(free, _)| free >= request_mb)
-                .collect();
-            if fit.len() >= n {
-                // Best fit: least free first.
-                fit.sort_unstable();
-                return Some(JobAlloc {
-                    entries: fit[..n]
-                        .iter()
-                        .map(|&(_, id)| AllocEntry {
-                            node: id,
-                            local_mb: request_mb,
-                            remote: vec![],
-                        })
-                        .collect(),
-                });
-            }
-            // Phase 2: nodes with the most free memory + borrowing.
-            // Sort descending by free, ascending by id for determinism.
-            sched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            let compute = &sched[..n];
-            let compute_ids: Vec<NodeId> = compute.iter().map(|&(_, id)| id).collect();
-            // Lenders: every other node with free memory, most free first.
-            let mut lenders: Vec<(u64, NodeId)> = cluster
-                .iter()
-                .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
-                .map(|(id, node)| (node.free_mb(), id))
-                .collect();
-            lenders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-            let mut li = 0usize;
-            let mut entries = Vec::with_capacity(n);
-            for &(free, id) in compute {
-                let local = free.min(request_mb);
-                let mut need = request_mb - local;
-                let mut remote = Vec::new();
-                while need > 0 {
-                    let Some(slot) = lenders.get_mut(li) else {
-                        return None; // pool exhausted
-                    };
-                    let take = slot.0.min(need);
-                    if take > 0 {
-                        remote.push((slot.1, take));
-                        slot.0 -= take;
-                        need -= take;
-                    }
-                    if slot.0 == 0 {
-                        li += 1;
-                    }
-                }
-                entries.push(AllocEntry {
-                    node: id,
-                    local_mb: local,
-                    remote,
-                });
-            }
-            Some(JobAlloc { entries })
-        }
+    // Only nodes whose full usable DRAM covers the request; the job
+    // gets the whole node (exclusive access to all resources). Free
+    // equals usable capacity on an idle baseline node and excludes
+    // degraded blade slices.
+    let mut fit: Vec<(u64, NodeId)> = sched
+        .iter()
+        .copied()
+        .filter(|&(free, _)| free >= request_mb)
+        .collect();
+    if fit.len() < n {
+        return None;
     }
+    // Best fit: smallest adequate node first, preserving large nodes
+    // for large jobs.
+    fit.sort_unstable();
+    Some(JobAlloc {
+        entries: fit[..n]
+            .iter()
+            .map(|&(free, id)| AllocEntry {
+                node: id,
+                local_mb: free,
+                remote: vec![],
+            })
+            .collect(),
+    })
+}
+
+/// Full-scan twin of [`place_spread_with`].
+pub fn place_spread_reference(cluster: &Cluster, nodes: u32, request_mb: u64) -> Option<JobAlloc> {
+    let n = nodes as usize;
+    if n == 0 {
+        return None;
+    }
+    let mut sched = sched_scan(cluster);
+    if sched.len() < n {
+        return None;
+    }
+    // Phase 1: enough nodes can hold the request entirely locally.
+    let mut fit: Vec<(u64, NodeId)> = sched
+        .iter()
+        .copied()
+        .filter(|&(free, _)| free >= request_mb)
+        .collect();
+    if fit.len() >= n {
+        // Best fit: least free first.
+        fit.sort_unstable();
+        return Some(JobAlloc {
+            entries: fit[..n]
+                .iter()
+                .map(|&(_, id)| AllocEntry {
+                    node: id,
+                    local_mb: request_mb,
+                    remote: vec![],
+                })
+                .collect(),
+        });
+    }
+    // Phase 2: nodes with the most free memory + borrowing.
+    // Sort descending by free, ascending by id for determinism.
+    sched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let compute = &sched[..n];
+    let compute_ids: Vec<NodeId> = compute.iter().map(|&(_, id)| id).collect();
+    // Lenders: every other node with free memory, most free first.
+    let mut lenders: Vec<(u64, NodeId)> = cluster
+        .iter()
+        .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
+        .map(|(id, node)| (node.free_mb(), id))
+        .collect();
+    lenders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut li = 0usize;
+    let mut entries = Vec::with_capacity(n);
+    for &(free, id) in compute {
+        let local = free.min(request_mb);
+        let mut need = request_mb - local;
+        let mut remote = Vec::new();
+        while need > 0 {
+            let Some(slot) = lenders.get_mut(li) else {
+                return None; // pool exhausted
+            };
+            let take = slot.0.min(need);
+            if take > 0 {
+                remote.push((slot.1, take));
+                slot.0 -= take;
+                need -= take;
+            }
+            if slot.0 == 0 {
+                li += 1;
+            }
+        }
+        entries.push(AllocEntry {
+            node: id,
+            local_mb: local,
+            remote,
+        });
+    }
+    Some(JobAlloc { entries })
 }
 
 /// Plan the growth of one compute-node entry by `need_mb`: local memory

@@ -1,0 +1,245 @@
+//! The runtime memory-event layer: the Monitor→Decider→Actuator→
+//! Executor loop for managed allocations, the exceeded-request kill
+//! probe for pinned ones, and the injected Monitor/Actuator fault
+//! handlers.
+
+use crate::engine::EventKind;
+use crate::job::JobId;
+
+use super::hooks::MemManagement;
+use super::runner::Runner;
+use super::state::{FailReason, Status};
+
+impl Runner {
+    /// Jittered memory-update interval ("on average every 5 minutes").
+    pub(crate) fn next_update_interval(&mut self) -> f64 {
+        self.cfg.mem_update_interval_s * self.rng.range_f64(0.8, 1.2)
+    }
+
+    /// Wallclock (at current speed) until the job's usage next exceeds
+    /// its request, or `None` if no future trace point does (a transient
+    /// exceed phase that already passed unobserved does not reschedule —
+    /// otherwise a late-firing probe would re-arm every second for the
+    /// rest of the job).
+    pub(crate) fn time_to_exceed(&self, jid: JobId) -> Option<f64> {
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let p_now = s.work_done_s / job.base_runtime_s;
+        let p_exceed = job
+            .usage
+            .points()
+            .iter()
+            .find(|&&(p, m)| m > job.mem_request_mb && p >= p_now)
+            .map(|&(p, _)| p)?;
+        Some(((p_exceed - p_now).max(0.0) * job.base_runtime_s) / s.speed)
+    }
+
+    pub(crate) fn on_mem_update(&mut self, jid: JobId, epoch: u32) {
+        {
+            let s = &self.st[jid.0 as usize];
+            if s.status != Status::Running || s.life_epoch != epoch {
+                self.queue.note_stale_popped();
+                return;
+            }
+        }
+        let management = self.policy.management(self.st[jid.0 as usize].static_mode);
+        if management == MemManagement::Managed {
+            // Fault injection: the Monitor sample may be lost, in which
+            // case the Decider acts on the last-known demand (i.e. the
+            // allocation stays put) and the job OOMs if its true usage
+            // outgrew it.
+            if self.faults.monitor_loss_prob > 0.0
+                && self.fault_rng.chance(self.faults.monitor_loss_prob)
+            {
+                self.on_monitor_loss(jid);
+                return;
+            }
+            self.dynamic_update(jid);
+        } else {
+            // For pinned (static/baseline and static-fallback) jobs this
+            // event is the exceeded-request probe.
+            self.exceed_probe(jid);
+        }
+    }
+
+    /// Static/baseline: kill the job once its usage exceeds its request
+    /// ("any job that exceeds its memory request is killed", §2.1).
+    fn exceed_probe(&mut self, jid: JobId) {
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / job.base_runtime_s).min(1.0);
+        if job.usage.usage_at(progress) > job.mem_request_mb {
+            self.kill_job(jid, FailReason::ExceededRequest);
+        } else if let Some(t) = self.time_to_exceed(jid) {
+            // Re-arm for the next exceed point still ahead of the job.
+            let epoch = self.st[jid.0 as usize].life_epoch;
+            self.queue.push(
+                self.now.plus_secs(t.max(1.0)),
+                EventKind::MemUpdate { job: jid, epoch },
+            );
+        }
+    }
+
+    /// The Monitor→Decider→Actuator→Executor loop of §2.2 (see
+    /// [`crate::dynmem`] for the module breakdown).
+    fn dynamic_update(&mut self, jid: JobId) {
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let base = job.base_runtime_s;
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / base).min(1.0);
+        // Monitor: demand for the period until the next nominal update.
+        let demand = self
+            .monitor
+            .sample_demand(&job.usage, progress, s.speed, base);
+        let bw = self.pool.get(job.profile).bandwidth_gbs;
+
+        let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
+        let mut lenders_before = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders_before);
+        let mut entries = std::mem::take(&mut self.scratch.entries);
+        entries.clear();
+        entries.extend(alloc.entries.iter().map(|e| (e.node, e.total_mb())));
+        let mut compute_ids = std::mem::take(&mut self.scratch.compute_ids);
+        compute_ids.clear();
+        compute_ids.extend(entries.iter().map(|&(n, _)| n));
+
+        // Decider: compare usage against the allocation.
+        let decision = self.policy.decide(&entries, demand);
+        // Fault injection: the Actuator's resize fails with probability
+        // p; retry with bounded deterministic backoff before escalating
+        // to kill-and-resubmit. Hold decisions actuate nothing and
+        // cannot fail.
+        if !decision.is_hold()
+            && self.faults.actuator_fail_prob > 0.0
+            && self.fault_rng.chance(self.faults.actuator_fail_prob)
+        {
+            self.scratch.lenders = lenders_before;
+            self.scratch.entries = entries;
+            self.scratch.compute_ids = compute_ids;
+            self.on_actuator_failure(jid);
+            return;
+        }
+        let mut changed = false;
+        // Actuator: deallocate (remote first) …
+        if let Some(target) = decision.shrink_to_mb {
+            let released = self.cluster.shrink_job(jid, target, bw);
+            changed |= released > 0;
+        }
+        // … and allocate (local first, then remote).
+        for &(node, need) in &decision.grows {
+            let plan = self.policy.plan_growth(
+                &self.cluster,
+                node,
+                &compute_ids,
+                need,
+                self.reference_scheduler,
+            );
+            match plan {
+                Some((local, borrows)) => {
+                    self.cluster.grow_entry(jid, node, local, &borrows, bw);
+                    changed = true;
+                }
+                None => {
+                    // Out of memory: terminate and resubmit (§2.2).
+                    self.scratch.lenders = lenders_before;
+                    self.scratch.entries = entries;
+                    self.scratch.compute_ids = compute_ids;
+                    self.oom_kill(jid);
+                    return;
+                }
+            }
+        }
+        if changed {
+            self.change_counter += 1;
+            let mut after = std::mem::take(&mut self.scratch.touched);
+            self.cluster
+                .alloc_of(jid)
+                .expect("alloc")
+                .lenders_into(&mut after);
+            for &l in &after {
+                if !lenders_before.contains(&l) {
+                    lenders_before.push(l);
+                }
+            }
+            self.scratch.touched = after;
+            self.refresh_speeds(jid, &lenders_before);
+            self.ensure_tick();
+        }
+        self.scratch.lenders = lenders_before;
+        self.scratch.entries = entries;
+        self.scratch.compute_ids = compute_ids;
+        // Successful update doubles as the checkpoint instant and clears
+        // any Actuator retry streak.
+        let s = &mut self.st[jid.0 as usize];
+        s.checkpoint_s = s.work_done_s;
+        s.actuator_attempts = 0;
+        let epoch = s.life_epoch;
+        let dt = self.next_update_interval();
+        self.queue.push(
+            self.now.plus_secs(dt),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
+    }
+
+    /// A Monitor sample was lost: the Decider sees nothing and the
+    /// allocation stays at its last-known level. If the job's true usage
+    /// outgrew that level on any of its nodes, it OOMs; otherwise the
+    /// loop re-arms for the next update. The checkpoint does NOT advance
+    /// — only successful updates checkpoint.
+    fn on_monitor_loss(&mut self, jid: JobId) {
+        self.stats.monitor_samples_lost += 1;
+        self.advance_work(jid);
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let progress = (s.work_done_s / job.base_runtime_s).min(1.0);
+        let usage = job.usage.usage_at(progress);
+        let min_alloc = self
+            .cluster
+            .alloc_of(jid)
+            .expect("running job has alloc")
+            .entries
+            .iter()
+            .map(|e| e.total_mb())
+            .min()
+            .unwrap_or(0);
+        if usage > min_alloc {
+            self.oom_kill(jid);
+            return;
+        }
+        let epoch = self.st[jid.0 as usize].life_epoch;
+        let dt = self.next_update_interval();
+        self.queue.push(
+            self.now.plus_secs(dt),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
+    }
+
+    /// The Actuator's resize failed transiently. Retry the update after
+    /// a deterministic exponential backoff; once the retry budget is
+    /// exhausted, escalate to kill-and-resubmit.
+    fn on_actuator_failure(&mut self, jid: JobId) {
+        let max_retries = self.faults.actuator_max_retries;
+        let s = &mut self.st[jid.0 as usize];
+        s.actuator_attempts += 1;
+        if s.actuator_attempts > max_retries {
+            s.actuator_attempts = 0;
+            self.stats.actuator_escalations += 1;
+            // Retry budget exhausted: kill-and-resubmit, escalating down
+            // the §2.2 fairness ladder (static-guaranteed allocation
+            // first) so a persistently failing Actuator cannot livelock
+            // the job through endless dynamic retry cycles.
+            self.fault_kill(jid, true);
+            return;
+        }
+        self.stats.actuator_retries += 1;
+        let exp = (s.actuator_attempts - 1).min(16);
+        let backoff = self.faults.actuator_backoff_s * (1u64 << exp) as f64;
+        let epoch = s.life_epoch;
+        self.queue.push(
+            self.now.plus_secs(backoff),
+            EventKind::MemUpdate { job: jid, epoch },
+        );
+    }
+}

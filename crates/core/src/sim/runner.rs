@@ -1,0 +1,412 @@
+//! The event loop: a configured [`Simulation`] builds a [`Runner`]
+//! that pops events in time order and dispatches them to the layered
+//! subsystems — scheduling ([`super::schedule`]), the dynamic-memory
+//! loop ([`super::dynloop`]), OOM/restart handling ([`super::oom`]) and
+//! fault recovery ([`super::recovery`]) — then folds the accumulated
+//! metrics into a [`SimulationOutcome`].
+
+use crate::cluster::{Cluster, JobAlloc, NodeId};
+use crate::config::SystemConfig;
+use crate::engine::{EventKind, EventQueue, SimTime};
+use crate::faults::{FaultConfig, FaultEvent, FaultSchedule};
+use crate::job::{Job, JobId};
+use crate::policy::PolicyKind;
+use crate::sched::PendingQueue;
+use dmhpc_model::rng::Rng64;
+use dmhpc_model::{ContentionModel, ProfilePool};
+
+use super::hooks::MemoryPolicy;
+use super::schedule::SchedScratch;
+use super::state::{FailReason, JobOutcome, JobRecord, JobState, Status, Workload};
+use super::stats::{Metrics, SimulationOutcome, Stats};
+
+/// RNG stream for the runtime fault draws (Monitor sample loss and
+/// Actuator transient failures), derived from the *fault* seed so fault
+/// realisations are independent of the scheduler jitter stream.
+const STREAM_SIM_FAULTS: u64 = 0xFA57_0001;
+
+/// A configured simulation, ready to run.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    cfg: SystemConfig,
+    workload: Workload,
+    policy: Box<dyn MemoryPolicy>,
+    seed: u64,
+    max_restarts: u32,
+    reference_scheduler: bool,
+    fault_schedule: Option<FaultSchedule>,
+}
+
+impl Simulation {
+    /// Create a simulation of `workload` on `cfg` under the policy the
+    /// config enum resolves to.
+    pub fn new(cfg: SystemConfig, workload: Workload, policy: PolicyKind) -> Self {
+        Self::from_policy(cfg, workload, policy.build())
+    }
+
+    /// Create a simulation driven by an arbitrary [`MemoryPolicy`]
+    /// implementation — the runner never needs to know which scheme it
+    /// executes, so custom and test policies plug in here.
+    pub fn from_policy(
+        cfg: SystemConfig,
+        workload: Workload,
+        policy: Box<dyn MemoryPolicy>,
+    ) -> Self {
+        Self {
+            cfg,
+            workload,
+            policy,
+            seed: 0x5EED,
+            max_restarts: 64,
+            reference_scheduler: false,
+            fault_schedule: None,
+        }
+    }
+
+    /// Override the seed for the memory-update jitter stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the OOM restart cap (dynamic policy fairness guard).
+    pub fn with_max_restarts(mut self, cap: u32) -> Self {
+        self.max_restarts = cap;
+        self
+    }
+
+    /// Route placement through the full-scan reference implementation
+    /// instead of the cluster indexes. Outcomes must be bit-identical
+    /// either way; this switch exists so tests can prove it and so the
+    /// benchmarks can measure the speedup.
+    pub fn with_reference_scheduler(mut self, on: bool) -> Self {
+        self.reference_scheduler = on;
+        self
+    }
+
+    /// Inject an explicit fault schedule instead of generating one from
+    /// `cfg.faults`. Used by tests that need a crash or degradation at
+    /// an exact instant; the Monitor-loss and Actuator-failure
+    /// probabilities of `cfg.faults` still apply.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = Some(schedule);
+        self
+    }
+
+    /// Run the simulation to completion.
+    pub fn run(self) -> SimulationOutcome {
+        Runner::new(self).run()
+    }
+}
+
+/// The event-loop state machine. Fields are `pub(crate)` because the
+/// sibling subsystem modules (`schedule`, `dynloop`, `oom`, `recovery`)
+/// extend `Runner` with their own `impl` blocks.
+#[derive(Clone)]
+pub(crate) struct Runner {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) policy: Box<dyn MemoryPolicy>,
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) pool: ProfilePool,
+    pub(crate) model: ContentionModel,
+    pub(crate) max_restarts: u32,
+
+    pub(crate) cluster: Cluster,
+    pub(crate) queue: EventQueue,
+    pub(crate) pending: PendingQueue,
+    pub(crate) st: Vec<JobState>,
+    pub(crate) running: Vec<JobId>,
+    pub(crate) rng: Rng64,
+    pub(crate) scratch: SchedScratch,
+    pub(crate) reference_scheduler: bool,
+    pub(crate) monitor: crate::dynmem::Monitor,
+
+    // Fault injection.
+    pub(crate) faults: FaultConfig,
+    pub(crate) faults_enabled: bool,
+    pub(crate) fault_rng: Rng64,
+    /// Jobs not yet in a terminal state; lets a faulted run stop once
+    /// the outcome is decided instead of draining the fault schedule.
+    pub(crate) live_jobs: u32,
+
+    pub(crate) now: SimTime,
+    pub(crate) tick_scheduled: bool,
+    pub(crate) change_counter: u64,
+    pub(crate) last_pass_counter: u64,
+    pub(crate) submits_remaining: u32,
+
+    pub(crate) stats: Stats,
+    pub(crate) metrics: Metrics,
+}
+
+impl Runner {
+    pub(crate) fn new(sim: Simulation) -> Self {
+        let cluster = Cluster::from_config(&sim.cfg);
+        let model = ContentionModel::new(sim.cfg.link_capacity_gbs);
+        let n = sim.workload.jobs.len();
+        let mut stats = Stats {
+            total_jobs: n as u32,
+            ..Stats::default()
+        };
+        let mut queue = EventQueue::new();
+        let mut st = vec![JobState::new(); n];
+        // Feasibility screen on the empty cluster: unschedulable jobs are
+        // excluded up front (they would pin the queue head forever).
+        let mut submits = 0u32;
+        let mut screen_scratch = crate::policy::PlacementScratch::new();
+        for job in &sim.workload.jobs {
+            let ok = job.nodes as usize <= cluster.len()
+                && sim
+                    .policy
+                    .place(&cluster, job.nodes, job.mem_request_mb, &mut screen_scratch)
+                    .is_some();
+            if ok {
+                queue.push(SimTime::from_secs(job.submit_s), EventKind::Submit(job.id));
+                submits += 1;
+            } else {
+                st[job.id.0 as usize].status = Status::Unschedulable;
+                stats.unschedulable += 1;
+            }
+        }
+        queue.push(SimTime::ZERO, EventKind::SchedTick);
+        // Fault schedule: pre-generated from the fault seed before the
+        // run starts, so injection is deterministic and never consults
+        // the wallclock. Zero-rate configs generate nothing and take no
+        // draw — fault-free runs are bit-identical to pre-fault builds.
+        let faults = sim.cfg.faults;
+        let schedule = match sim.fault_schedule {
+            Some(s) => s,
+            None if faults.enabled() => {
+                let capacities: Vec<u64> = (0..cluster.len())
+                    .map(|i| cluster.node(NodeId(i as u32)).capacity_mb)
+                    .collect();
+                FaultSchedule::generate(&faults, &capacities)
+            }
+            None => FaultSchedule::default(),
+        };
+        let faults_enabled = !schedule.is_empty()
+            || faults.monitor_loss_prob > 0.0
+            || faults.actuator_fail_prob > 0.0;
+        for &(t, fe) in &schedule.events {
+            let kind = match fe {
+                FaultEvent::NodeFail { node } => EventKind::NodeFail { node },
+                FaultEvent::NodeRepair { node } => EventKind::NodeRepair { node },
+                FaultEvent::PoolDegrade { node, mb } => EventKind::PoolDegrade { node, mb },
+                FaultEvent::PoolRestore { node, mb } => EventKind::PoolRestore { node, mb },
+            };
+            queue.push(t, kind);
+        }
+        let monitor = crate::dynmem::Monitor::new(sim.cfg.mem_update_interval_s)
+            .expect("SystemConfig carries a positive update interval");
+        Self {
+            rng: Rng64::stream(sim.seed, 0xD15A),
+            fault_rng: Rng64::stream(faults.seed, STREAM_SIM_FAULTS),
+            faults,
+            faults_enabled,
+            live_jobs: submits,
+            monitor,
+            cfg: sim.cfg,
+            policy: sim.policy,
+            jobs: sim.workload.jobs,
+            pool: sim.workload.pool,
+            model,
+            max_restarts: sim.max_restarts,
+            cluster,
+            queue,
+            pending: PendingQueue::new(),
+            st,
+            running: Vec::new(),
+            scratch: SchedScratch::default(),
+            reference_scheduler: sim.reference_scheduler,
+            now: SimTime::ZERO,
+            tick_scheduled: true,
+            change_counter: 1,
+            last_pass_counter: 0,
+            submits_remaining: submits,
+            stats,
+            metrics: Metrics::default(),
+        }
+    }
+
+    pub(crate) fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.0 as usize]
+    }
+
+    pub(crate) fn run(mut self) -> SimulationOutcome {
+        while let Some(ev) = self.queue.pop() {
+            self.metrics.advance_integrals(&self.cluster, ev.time);
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Submit(job) => self.on_submit(job),
+                EventKind::SchedTick => self.on_tick(),
+                EventKind::JobEnd { job, epoch } => self.on_job_end(job, epoch),
+                EventKind::MemUpdate { job, epoch } => self.on_mem_update(job, epoch),
+                EventKind::NodeFail { node } => self.on_node_fail(node),
+                EventKind::NodeRepair { node } => self.on_node_repair(node),
+                EventKind::PoolDegrade { node, mb } => self.on_pool_degrade(node, mb),
+                EventKind::PoolRestore { node, mb } => self.on_pool_restore(node, mb),
+            }
+            // Under fault injection the schedule can extend far past the
+            // last job; stop once every job reached a terminal state.
+            if self.faults_enabled && self.live_jobs == 0 {
+                break;
+            }
+            if self.queue.should_compact() {
+                self.compact_events();
+            }
+        }
+        self.finalize()
+    }
+
+    /// Rebuild the event heap without stale entries once lazy deletion
+    /// has let them outnumber live ones (see
+    /// [`EventQueue::should_compact`]). Survivors keep their
+    /// `(time, seq)` keys, so this never changes the pop order or the
+    /// simulation outcome — it only bounds heap growth.
+    fn compact_events(&mut self) {
+        let st = &self.st;
+        self.queue.compact(|e| match e.kind {
+            EventKind::JobEnd { job, epoch } => {
+                let s = &st[job.0 as usize];
+                s.status == Status::Running && s.end_epoch == epoch
+            }
+            EventKind::MemUpdate { job, epoch } => {
+                let s = &st[job.0 as usize];
+                s.status == Status::Running && s.life_epoch == epoch
+            }
+            EventKind::Submit(_)
+            | EventKind::SchedTick
+            | EventKind::NodeFail { .. }
+            | EventKind::NodeRepair { .. }
+            | EventKind::PoolDegrade { .. }
+            | EventKind::PoolRestore { .. } => true,
+        });
+    }
+
+    fn on_submit(&mut self, job: JobId) {
+        let s = &mut self.st[job.0 as usize];
+        debug_assert!(matches!(s.status, Status::Waiting | Status::Pending));
+        s.status = Status::Pending;
+        if s.boosted {
+            self.pending.push_front(job);
+        } else {
+            self.pending.push(job);
+        }
+        self.submits_remaining = self.submits_remaining.saturating_sub(1);
+        self.change_counter += 1;
+        self.ensure_tick();
+    }
+
+    pub(crate) fn ensure_tick(&mut self) {
+        if !self.tick_scheduled {
+            self.queue.push(
+                self.now.plus_secs(self.cfg.sched_interval_s),
+                EventKind::SchedTick,
+            );
+            self.tick_scheduled = true;
+        }
+    }
+
+    fn on_tick(&mut self) {
+        self.tick_scheduled = false;
+        if self.change_counter != self.last_pass_counter {
+            self.schedule_pass();
+            self.last_pass_counter = self.change_counter;
+        }
+        if !self.pending.is_empty() || !self.running.is_empty() || self.submits_remaining > 0 {
+            self.ensure_tick();
+        }
+    }
+
+    /// Place a job through the policy's indexed placement, or through
+    /// its full-scan reference when the simulation was built with
+    /// [`Simulation::with_reference_scheduler`].
+    pub(crate) fn place(&mut self, nodes: u32, req: u64) -> Option<JobAlloc> {
+        if self.reference_scheduler {
+            self.policy.place_reference(&self.cluster, nodes, req)
+        } else {
+            self.policy
+                .place(&self.cluster, nodes, req, &mut self.scratch.place)
+        }
+    }
+
+    /// Advance a running job's completed work to `self.now`.
+    pub(crate) fn advance_work(&mut self, jid: JobId) {
+        let s = &mut self.st[jid.0 as usize];
+        let dt = self.now - s.last_advance;
+        if dt > 0.0 {
+            s.work_done_s += dt * s.speed;
+            s.last_advance = self.now;
+        }
+    }
+
+    fn on_job_end(&mut self, jid: JobId, epoch: u32) {
+        {
+            let s = &self.st[jid.0 as usize];
+            if s.status != Status::Running || s.end_epoch != epoch {
+                self.queue.note_stale_popped();
+                return;
+            }
+        }
+        self.advance_work(jid);
+        let alloc = self.cluster.finish_job(jid);
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
+        self.running.retain(|&r| r != jid);
+        let job_submit = self.job(jid).submit_s;
+        let base = self.job(jid).base_runtime_s;
+        let s = &mut self.st[jid.0 as usize];
+        s.status = Status::Done;
+        s.life_epoch += 1;
+        s.finish = Some(self.now);
+        let attempt_wallclock = self.now - s.start;
+        let attempt_work = base - s.credit_at_start_s;
+        let first = s.first_start.unwrap_or(s.start);
+        self.stats.completed += 1;
+        self.live_jobs = self.live_jobs.saturating_sub(1);
+        self.metrics
+            .note_completion(self.now, job_submit, first, attempt_wallclock, attempt_work);
+        self.change_counter += 1;
+        // Freed memory may unblock queued jobs and eases pressure on the
+        // lenders this job was borrowing from.
+        self.update_borrower_speeds(&lenders);
+        self.scratch.lenders = lenders;
+        self.ensure_tick();
+    }
+
+    fn finalize(mut self) -> SimulationOutcome {
+        debug_assert!(self.running.is_empty(), "run ended with running jobs");
+        debug_assert!(self.pending.is_empty(), "run ended with pending jobs");
+        let (resp, waits) = self.metrics.finish(&mut self.stats, &self.cluster);
+        let feasible = self.stats.unschedulable == 0;
+        let job_records = self
+            .jobs
+            .iter()
+            .map(|job| {
+                let s = &self.st[job.id.0 as usize];
+                let outcome = match s.status {
+                    Status::Done => JobOutcome::Completed,
+                    Status::Failed(FailReason::ExceededRequest) => JobOutcome::FailedExceeded,
+                    Status::Failed(FailReason::TooManyRestarts) => JobOutcome::FailedRestarts,
+                    Status::Unschedulable => JobOutcome::Unschedulable,
+                    other => unreachable!("{} ended in state {other:?}", job.id),
+                };
+                JobRecord {
+                    id: job.id,
+                    submit_s: job.submit_s,
+                    first_start_s: s.first_start.map(SimTime::as_secs),
+                    finish_s: s.finish.map(SimTime::as_secs),
+                    restarts: s.restarts,
+                    outcome,
+                }
+            })
+            .collect();
+        SimulationOutcome {
+            stats: self.stats,
+            response_times_s: resp,
+            wait_times_s: waits,
+            job_records,
+            feasible,
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! The scheduling layer: FCFS + EASY-backfill passes, job start-up, and
+//! the contention-driven speed refresh that re-keys end events.
+
+use crate::cluster::NodeId;
+use crate::engine::EventKind;
+use crate::job::JobId;
+use crate::policy::PlacementScratch;
+use crate::sched::{compute_reservation, Release};
+use dmhpc_model::RemoteAccess;
+
+use super::hooks::MemManagement;
+use super::runner::Runner;
+use super::state::Status;
+
+/// Reusable buffers for the scheduling hot path: one set per run, so a
+/// steady-state pass performs no heap allocation beyond the `JobAlloc`s
+/// it actually places.
+#[derive(Clone, Default)]
+pub(crate) struct SchedScratch {
+    /// Queue-window snapshot for the current pass.
+    pub(crate) window: Vec<JobId>,
+    /// Jobs started in the current pass.
+    pub(crate) started: Vec<JobId>,
+    /// Future releases for the EASY reservation, sorted once per pass.
+    pub(crate) releases: Vec<Release>,
+    /// `(nodes, mem)` requests that failed placement since the last job
+    /// start in this pass; dominated requests are pruned without a
+    /// placement attempt.
+    pub(crate) failed: Vec<(u32, u64)>,
+    /// Distinct lenders of an allocation being started or torn down.
+    pub(crate) lenders: Vec<NodeId>,
+    /// Jobs whose speed needs recomputing after a ledger change.
+    pub(crate) affected: Vec<JobId>,
+    /// Snapshot of one lender's borrower list.
+    pub(crate) borrowers: Vec<JobId>,
+    /// Lender set after a dynamic resize (merged into `lenders`).
+    pub(crate) touched: Vec<NodeId>,
+    /// Per-entry `(node, total_mb)` view for the Decider.
+    pub(crate) entries: Vec<(NodeId, u64)>,
+    /// Compute nodes of the job being resized.
+    pub(crate) compute_ids: Vec<NodeId>,
+    /// Placement working set.
+    pub(crate) place: PlacementScratch,
+}
+
+impl Runner {
+    /// One FCFS + EASY-backfill scheduling pass.
+    pub(crate) fn schedule_pass(&mut self) {
+        let mut window = std::mem::take(&mut self.scratch.window);
+        window.clear();
+        window.extend(self.pending.iter().take(self.cfg.queue_depth));
+        if window.is_empty() {
+            self.scratch.window = window;
+            return;
+        }
+        let mut started = std::mem::take(&mut self.scratch.started);
+        started.clear();
+        // Dominance pruning: placement failure at a *fixed* cluster state
+        // is monotone in (nodes, mem) — the policy's feasibility
+        // condition is `Σ max(mem, free_i) ≤ total free` over the top-n
+        // schedulable nodes, nondecreasing in both arguments — so a
+        // candidate needing at least as much of both as an
+        // already-failed request is skipped without a placement attempt.
+        // Starting a job does NOT merely tighten that condition (a busy
+        // node's leftover memory joins the lender pool, which can make a
+        // previously failed request feasible), so the failed set resets
+        // on every start.
+        let mut failed = std::mem::take(&mut self.scratch.failed);
+        failed.clear();
+        let mut head_blocked: Option<(JobId, Option<crate::sched::Reservation>)> = None;
+        let mut backfill_seen = 0usize;
+        for &jid in &window {
+            let job = &self.jobs[jid.0 as usize];
+            let (nodes, req) = (job.nodes, job.mem_request_mb);
+            let time_limit_s = job.time_limit_s;
+            match head_blocked {
+                None => {
+                    if let Some(alloc) = self.place(nodes, req) {
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                        failed.clear();
+                    } else {
+                        failed.push((nodes, req));
+                        let res = self.head_reservation(jid);
+                        head_blocked = Some((jid, res));
+                    }
+                }
+                Some((_, ref mut res)) => {
+                    backfill_seen += 1;
+                    if backfill_seen > self.cfg.backfill_depth {
+                        break;
+                    }
+                    let Some(r) = res else { break };
+                    if failed.iter().any(|&(fn_, fm)| nodes >= fn_ && req >= fm) {
+                        continue; // dominated by a fresher failure
+                    }
+                    let Some(alloc) = self.place(nodes, req) else {
+                        failed.push((nodes, req));
+                        continue;
+                    };
+                    let ends_before = self.now.as_secs() + time_limit_s <= r.at_s;
+                    let total_req = nodes as u64 * req;
+                    let within_surplus = nodes <= r.surplus_nodes && total_req <= r.surplus_mem_mb;
+                    if ends_before {
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                        failed.clear();
+                    } else if within_surplus {
+                        // Consumes part of the projected surplus at the
+                        // reservation time.
+                        r.surplus_nodes -= nodes;
+                        r.surplus_mem_mb -= total_req;
+                        self.start_job(jid, alloc);
+                        started.push(jid);
+                        failed.clear();
+                    }
+                }
+            }
+        }
+        self.pending.remove_started(&started);
+        self.scratch.window = window;
+        self.scratch.started = started;
+        self.scratch.failed = failed;
+    }
+
+    /// Aggregate EASY reservation for a blocked queue head. Builds and
+    /// sorts the release list once (at most once per pass — the head can
+    /// only block once).
+    fn head_reservation(&mut self, head: JobId) -> Option<crate::sched::Reservation> {
+        let mut releases = std::mem::take(&mut self.scratch.releases);
+        releases.clear();
+        releases.extend(self.running.iter().map(|&r| {
+            let s = &self.st[r.0 as usize];
+            let j = &self.jobs[r.0 as usize];
+            let est_end = (s.start.as_secs() + j.time_limit_s).max(self.now.as_secs());
+            let mem = self.cluster.alloc_of(r).map(|a| a.total_mb()).unwrap_or(0);
+            Release {
+                at_s: est_end,
+                nodes: j.nodes,
+                mem_mb: mem,
+            }
+        }));
+        releases.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        let job = self.job(head);
+        // Down nodes count as idle (nothing runs on them) but are not
+        // available to a reservation.
+        let available = self
+            .cluster
+            .idle_count()
+            .saturating_sub(self.cluster.down_count());
+        let res = compute_reservation(
+            self.now.as_secs(),
+            job.nodes,
+            job.nodes as u64 * job.mem_request_mb,
+            available as u32,
+            self.cluster.free_pool_mb(),
+            &releases,
+        );
+        self.scratch.releases = releases;
+        res
+    }
+
+    pub(crate) fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc) {
+        let mut lenders = std::mem::take(&mut self.scratch.lenders);
+        alloc.lenders_into(&mut lenders);
+        let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
+        self.cluster.start_job(jid, alloc, bw);
+        let s = &mut self.st[jid.0 as usize];
+        s.status = Status::Running;
+        s.start = self.now;
+        s.last_advance = self.now;
+        s.work_done_s = s.checkpoint_s;
+        s.credit_at_start_s = s.checkpoint_s;
+        s.speed = 1.0;
+        if s.first_start.is_none() {
+            s.first_start = Some(self.now);
+        }
+        self.running.push(jid);
+        self.change_counter += 1;
+        // Contention changed for this job and everyone sharing its lenders.
+        self.refresh_speeds(jid, &lenders);
+        self.scratch.lenders = lenders;
+        // Managed allocations begin the monitor/update loop. Pinned
+        // allocations schedule the exceeded-request kill probe if the
+        // trace will overflow the request.
+        let management = self.policy.management(self.st[jid.0 as usize].static_mode);
+        if management == MemManagement::Pinned {
+            // Pinned jobs (static/baseline policies, and managed jobs
+            // demoted to the static-fallback mitigation) keep their
+            // request; the only event they need is the exceeded-request
+            // kill probe.
+            if self.job(jid).peak_mb() > self.job(jid).mem_request_mb {
+                if let Some(t) = self.time_to_exceed(jid) {
+                    let epoch = self.st[jid.0 as usize].life_epoch;
+                    self.queue.push(
+                        self.now.plus_secs(t),
+                        EventKind::MemUpdate { job: jid, epoch },
+                    );
+                }
+            }
+        } else {
+            let epoch = self.st[jid.0 as usize].life_epoch;
+            let dt = self.next_update_interval();
+            self.queue.push(
+                self.now.plus_secs(dt),
+                EventKind::MemUpdate { job: jid, epoch },
+            );
+        }
+    }
+
+    /// Recompute the slowdown of `jid` and of every job borrowing from
+    /// any of `touched_lenders`, re-keying their end events.
+    pub(crate) fn refresh_speeds(&mut self, jid: JobId, touched_lenders: &[NodeId]) {
+        let mut affected = std::mem::take(&mut self.scratch.affected);
+        affected.clear();
+        affected.push(jid);
+        for &l in touched_lenders {
+            for &b in self.cluster.borrowers_of(l) {
+                if !affected.contains(&b) {
+                    affected.push(b);
+                }
+            }
+        }
+        for &a in &affected {
+            self.update_speed(a);
+        }
+        self.scratch.affected = affected;
+    }
+
+    pub(crate) fn update_speed(&mut self, jid: JobId) {
+        if self.st[jid.0 as usize].status != Status::Running {
+            return;
+        }
+        let Some(alloc) = self.cluster.alloc_of(jid) else {
+            return;
+        };
+        let access = RemoteAccess {
+            remote_fraction: alloc.remote_fraction(),
+            pressure: self
+                .model
+                .pressure(self.cluster.hottest_lender_demand_gbs(jid)),
+        };
+        let profile = self.pool.get(self.job(jid).profile);
+        let slowdown = self.model.slowdown(profile, access);
+        let new_speed = 1.0 / slowdown;
+        self.advance_work(jid);
+        let job_base = self.job(jid).base_runtime_s;
+        let s = &mut self.st[jid.0 as usize];
+        s.speed = new_speed;
+        s.end_epoch += 1;
+        let remaining = (job_base - s.work_done_s).max(0.0) / new_speed;
+        let epoch = s.end_epoch;
+        // A running job always has exactly one pending JobEnd; bumping
+        // the epoch just orphaned it in the heap.
+        self.queue.note_stale(1);
+        self.queue.push(
+            self.now.plus_secs(remaining),
+            EventKind::JobEnd { job: jid, epoch },
+        );
+    }
+
+    /// Recompute the speed of every job borrowing from the given lenders
+    /// (snapshotting each borrower list into scratch, since
+    /// `update_speed` needs `&mut self`).
+    pub(crate) fn update_borrower_speeds(&mut self, lenders: &[NodeId]) {
+        let mut borrowers = std::mem::take(&mut self.scratch.borrowers);
+        for &l in lenders {
+            borrowers.clear();
+            borrowers.extend_from_slice(self.cluster.borrowers_of(l));
+            for &b in &borrowers {
+                self.update_speed(b);
+            }
+        }
+        self.scratch.borrowers = borrowers;
+    }
+}

@@ -23,7 +23,10 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
+    parse_args_from(std::env::args().skip(1))
+}
+
+fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut scale = Scale::Medium;
     let mut threads = 0usize;
@@ -178,12 +181,12 @@ fn cmd_simulate(
         Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
         None => None,
     };
-    let policy = match opts.get("policy").map(String::as_str).unwrap_or("dynamic") {
-        "baseline" => PolicyKind::Baseline,
-        "static" => PolicyKind::Static,
-        "dynamic" => PolicyKind::Dynamic,
-        other => return Err(format!("--policy: unknown policy '{other}'")),
-    };
+    let policy: PolicyKind = opts
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("dynamic")
+        .parse()
+        .map_err(|e| format!("--policy: {e}"))?;
     let nodes: u32 = opt_parse(opts, "nodes", scale.synthetic_nodes())?;
     let large_nodes: f64 = opt_parse(opts, "large-nodes", 1.0)?;
     let workload = dmhpc_traces::workload_from_text(
@@ -524,5 +527,92 @@ fn main() {
             args.scale.label(),
             start.elapsed().as_secs_f64()
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmhpc_core::faults::FaultConfig;
+    use dmhpc_core::policy::PolicyKind;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args_from(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        assert_eq!(
+            "baseline".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Baseline
+        );
+        assert_eq!("static".parse::<PolicyKind>().unwrap(), PolicyKind::Static);
+        assert_eq!(
+            "dynamic".parse::<PolicyKind>().unwrap(),
+            PolicyKind::Dynamic
+        );
+    }
+
+    #[test]
+    fn bad_policy_name_is_rejected_with_hint() {
+        let err = "greedy".parse::<PolicyKind>().unwrap_err().to_string();
+        assert!(err.contains("unknown policy 'greedy'"), "{err}");
+        assert!(err.contains("baseline, static, or dynamic"), "{err}");
+        // Case- and whitespace-sensitive: the CLI passes values verbatim.
+        assert!("Dynamic".parse::<PolicyKind>().is_err());
+        assert!(" dynamic".parse::<PolicyKind>().is_err());
+        assert!("".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn parsed_policy_builds_matching_boxed_impl() {
+        for (name, kind) in [
+            ("baseline", PolicyKind::Baseline),
+            ("static", PolicyKind::Static),
+            ("dynamic", PolicyKind::Dynamic),
+        ] {
+            let parsed: PolicyKind = name.parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(parsed.build().name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_rejected() {
+        let err = FaultConfig::profile("chaos").unwrap_err().to_string();
+        assert!(err.contains("unknown fault profile 'chaos'"), "{err}");
+        for name in ["none", "light", "heavy"] {
+            FaultConfig::profile(name).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_seed_round_trips_through_args() {
+        let args = parse(&["fault-sweep", "--fault-seed", "3735928559"]).unwrap();
+        assert_eq!(args.command, "fault-sweep");
+        let seed: u64 = opt_parse(&args.opts, "fault-seed", exp::faults::FAULT_SEED).unwrap();
+        assert_eq!(seed, 0xDEAD_BEEF);
+        // Absent flag falls back to the sweep's published default seed.
+        let args = parse(&["fault-sweep"]).unwrap();
+        let seed: u64 = opt_parse(&args.opts, "fault-seed", exp::faults::FAULT_SEED).unwrap();
+        assert_eq!(seed, exp::faults::FAULT_SEED);
+        // Garbage is a parse error, not a silent default.
+        let args = parse(&["fault-sweep", "--fault-seed", "not-a-number"]).unwrap();
+        assert!(opt_parse::<u64>(&args.opts, "fault-seed", 0).is_err());
+    }
+
+    #[test]
+    fn freeform_flags_collect_into_opts() {
+        let args = parse(&[
+            "simulate", "--swf", "w.swf", "--policy", "static", "--scale", "small", "--csv",
+        ])
+        .unwrap();
+        assert_eq!(args.command, "simulate");
+        assert!(args.csv);
+        assert_eq!(args.opts.get("swf").unwrap(), "w.swf");
+        assert_eq!(args.opts.get("policy").unwrap(), "static");
+        // Flags needing values fail loudly when the value is missing.
+        assert!(parse(&["simulate", "--swf"]).is_err());
+        assert!(parse(&["table1", "stray"]).is_err());
     }
 }

@@ -186,7 +186,7 @@ pub fn build_synthetic(cfg: &PipelineConfig, system: &SystemConfig) -> Workload 
             profile,
         });
     }
-    Workload::new(jobs, pool)
+    Workload::try_new(jobs, pool).expect("pipeline assigns dense job ids")
 }
 
 /// Adapt one week of the Grizzly dataset into a simulator workload
@@ -239,7 +239,7 @@ pub fn build_grizzly_week(
             profile,
         });
     }
-    Workload::new(jobs, pool)
+    Workload::try_new(jobs, pool).expect("adapter assigns dense job ids")
 }
 
 #[cfg(test)]

@@ -151,6 +151,7 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_workload_rejected() {
         use dmhpc_model::ProfilePool;
-        WorkloadStats::of(&Workload::new(vec![], ProfilePool::synthetic(1, 1)));
+        let wl = Workload::try_new(vec![], ProfilePool::synthetic(1, 1)).unwrap();
+        WorkloadStats::of(&wl);
     }
 }

@@ -35,7 +35,7 @@ fn one_job_workload(peak: u64) -> Workload {
         usage: MemoryUsageTrace::flat(peak),
         profile: ProfileId(0),
     };
-    Workload::new(vec![job], ProfilePool::synthetic(4, 1))
+    Workload::try_new(vec![job], ProfilePool::synthetic(4, 1)).unwrap()
 }
 
 fn uniform_system(nodes: u32, node_mb: u64) -> SystemConfig {
@@ -194,7 +194,7 @@ fn actuator_retries_then_escalates() {
         usage: MemoryUsageTrace::new(vec![(0.0, 4096), (0.1, 256)]).unwrap(),
         profile: ProfileId(0),
     };
-    let workload = Workload::new(vec![job], ProfilePool::synthetic(4, 1));
+    let workload = Workload::try_new(vec![job], ProfilePool::synthetic(4, 1)).unwrap();
     let faults = FaultConfig {
         actuator_fail_prob: 1.0,
         actuator_max_retries: 2,
@@ -272,7 +272,7 @@ proptest! {
                         }
                     })
                     .collect();
-                Workload::new(jobs, ProfilePool::synthetic(4, 1))
+                Workload::try_new(jobs, ProfilePool::synthetic(4, 1)).unwrap()
             };
             Simulation::new(cfg, workload, policy).with_seed(sim_seed).run()
         };

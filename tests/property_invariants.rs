@@ -184,7 +184,7 @@ proptest! {
             .with_memory_mix(MemoryMix::new(1024, 2048, 0.5));
         let mk = || Simulation::new(
             cfg.clone(),
-            Workload::new(jobs.clone(), ProfilePool::synthetic(4, 1)),
+            Workload::try_new(jobs.clone(), ProfilePool::synthetic(4, 1)).unwrap(),
             policy,
         ).with_seed(seed).run();
         let out = mk();
