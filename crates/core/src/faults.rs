@@ -233,6 +233,22 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// The trace event this fault appears as once the recovery handlers
+    /// apply it. Handlers emit through this mapping (with clamped
+    /// amounts where applicable), so the trace stream records faults
+    /// that took effect, not every scheduled one.
+    pub fn trace_kind(self) -> crate::trace::TraceKind {
+        use crate::trace::TraceKind;
+        match self {
+            FaultEvent::NodeFail { node } => TraceKind::NodeCrash { node },
+            FaultEvent::NodeRepair { node } => TraceKind::NodeRepair { node },
+            FaultEvent::PoolDegrade { node, mb } => TraceKind::PoolDegrade { node, mb },
+            FaultEvent::PoolRestore { node, mb } => TraceKind::PoolRestore { node, mb },
+        }
+    }
+}
+
 /// A time-sorted, pre-generated schedule of [`FaultEvent`]s.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultSchedule {

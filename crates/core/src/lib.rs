@@ -17,6 +17,8 @@
 //! * [`config`] — the simulated system configurations of Table 4;
 //! * [`faults`] — seeded deterministic fault injection (node crashes,
 //!   pool-blade degradation, Monitor sample loss, Actuator failures);
+//! * [`trace`] — structured per-run event tracing behind the
+//!   [`trace::TraceSink`] trait (zero-cost when disabled);
 //! * [`error`] — the crate-wide [`CoreError`] type.
 //!
 //! ## Example
@@ -47,6 +49,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Human-facing output belongs to the CLI/experiments layer; the core
+// simulator communicates through return values and trace sinks only.
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod cluster;
 pub mod config;
@@ -58,6 +63,7 @@ pub mod job;
 pub mod policy;
 pub mod sched;
 pub mod sim;
+pub mod trace;
 
 pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId};
 pub use config::{OomMitigation, RestartStrategy, SystemConfig};
@@ -67,3 +73,7 @@ pub use faults::{FaultConfig, FaultEvent, FaultSchedule};
 pub use job::{Job, JobId, MemoryUsageTrace};
 pub use policy::PolicyKind;
 pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};
+pub use trace::{
+    CountingSink, FanoutSink, JsonlSink, NullSink, RingSink, RunMetrics, TraceEvent, TraceKind,
+    TraceSink,
+};

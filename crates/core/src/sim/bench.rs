@@ -79,6 +79,15 @@ impl SchedPassBench {
         Self { runner }
     }
 
+    /// Attach a trace sink to the frozen runner, so the bench can
+    /// measure the cost of tracing a pass relative to the `NullSink`
+    /// default.
+    pub fn with_sink(mut self, sink: Box<dyn crate::trace::TraceSink>) -> Self {
+        self.runner.trace_on = sink.enabled();
+        self.runner.sink = sink;
+        self
+    }
+
     /// Run one `schedule_pass` on this (mutable) state; returns how many
     /// jobs started. Call on a fresh clone per iteration.
     pub fn run_pass(&mut self) -> usize {

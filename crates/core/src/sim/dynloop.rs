@@ -5,6 +5,7 @@
 
 use crate::engine::EventKind;
 use crate::job::JobId;
+use crate::trace::TraceKind;
 
 use super::hooks::MemManagement;
 use super::runner::Runner;
@@ -107,6 +108,15 @@ impl Runner {
 
         // Decider: compare usage against the allocation.
         let decision = self.policy.decide(&entries, demand);
+        if self.trace_on {
+            let grow_mb: u64 = decision.grows.iter().map(|&(_, need)| need).sum();
+            self.emit(TraceKind::MemDecide {
+                job: jid,
+                demand_mb: demand,
+                grow_mb,
+                shrink_to_mb: decision.shrink_to_mb.unwrap_or(0),
+            });
+        }
         // Fault injection: the Actuator's resize fails with probability
         // p; retry with bounded deterministic backoff before escalating
         // to kill-and-resubmit. Hold decisions actuate nothing and
@@ -126,6 +136,12 @@ impl Runner {
         if let Some(target) = decision.shrink_to_mb {
             let released = self.cluster.shrink_job(jid, target, bw);
             changed |= released > 0;
+            if released > 0 {
+                self.emit(TraceKind::MemShrink {
+                    job: jid,
+                    released_mb: released,
+                });
+            }
         }
         // … and allocate (local first, then remote).
         for &(node, need) in &decision.grows {
@@ -138,6 +154,15 @@ impl Runner {
             );
             match plan {
                 Some((local, borrows)) => {
+                    if self.trace_on {
+                        let borrowed_mb: u64 = borrows.iter().map(|&(_, mb)| mb).sum();
+                        self.emit(TraceKind::MemGrow {
+                            job: jid,
+                            node,
+                            local_mb: local,
+                            borrowed_mb,
+                        });
+                    }
                     self.cluster.grow_entry(jid, node, local, &borrows, bw);
                     changed = true;
                 }
@@ -190,6 +215,7 @@ impl Runner {
     /// — only successful updates checkpoint.
     fn on_monitor_loss(&mut self, jid: JobId) {
         self.stats.monitor_samples_lost += 1;
+        self.emit(TraceKind::MonitorLoss { job: jid });
         self.advance_work(jid);
         let job = self.job(jid);
         let s = &self.st[jid.0 as usize];
@@ -223,9 +249,11 @@ impl Runner {
         let max_retries = self.faults.actuator_max_retries;
         let s = &mut self.st[jid.0 as usize];
         s.actuator_attempts += 1;
-        if s.actuator_attempts > max_retries {
+        let attempts = s.actuator_attempts;
+        if attempts > max_retries {
             s.actuator_attempts = 0;
             self.stats.actuator_escalations += 1;
+            self.emit(TraceKind::ActuatorEscalate { job: jid, attempts });
             // Retry budget exhausted: kill-and-resubmit, escalating down
             // the §2.2 fairness ladder (static-guaranteed allocation
             // first) so a persistently failing Actuator cannot livelock
@@ -234,9 +262,14 @@ impl Runner {
             return;
         }
         self.stats.actuator_retries += 1;
-        let exp = (s.actuator_attempts - 1).min(16);
+        let exp = (attempts - 1).min(16);
         let backoff = self.faults.actuator_backoff_s * (1u64 << exp) as f64;
         let epoch = s.life_epoch;
+        self.emit(TraceKind::ActuatorRetry {
+            job: jid,
+            attempt: attempts,
+            backoff_s: backoff,
+        });
         self.queue.push(
             self.now.plus_secs(backoff),
             EventKind::MemUpdate { job: jid, epoch },

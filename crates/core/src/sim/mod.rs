@@ -39,6 +39,11 @@
 //!   metric accumulators.
 //! - `bench` — the [`SchedPassBench`] fixture for the scheduling-pass
 //!   benchmarks.
+//!
+//! Every subsystem also emits structured [`crate::trace::TraceEvent`]s
+//! through the sink attached with [`Simulation::with_trace_sink`];
+//! with the default [`crate::trace::NullSink`] each emit point costs a
+//! single cached-bool branch.
 
 pub mod hooks;
 

@@ -5,6 +5,7 @@
 use crate::config::{OomMitigation, RestartStrategy};
 use crate::engine::EventKind;
 use crate::job::JobId;
+use crate::trace::{KillReason, TraceKind};
 
 use super::hooks::FaultEscalation;
 use super::runner::Runner;
@@ -54,7 +55,9 @@ impl Runner {
                 FaultEscalation::BoostPriority => s.boosted = true,
             }
         }
-        if s.restarts > cap {
+        let (restarts, boosted, static_mode) = (s.restarts, s.boosted, s.static_mode);
+        let terminal = restarts > cap;
+        if terminal {
             s.status = Status::Failed(FailReason::TooManyRestarts);
             self.stats.failed_restarts += 1;
             self.live_jobs = self.live_jobs.saturating_sub(1);
@@ -62,6 +65,18 @@ impl Runner {
             s.status = Status::Waiting;
             self.submits_remaining += 1;
             self.queue.push(self.now, EventKind::Submit(jid));
+        }
+        self.emit(TraceKind::JobKill {
+            job: jid,
+            reason: KillReason::Fault,
+            restarts,
+        });
+        if !terminal {
+            self.emit(TraceKind::JobRequeue {
+                job: jid,
+                boosted,
+                static_mode,
+            });
         }
         self.change_counter += 1;
         self.update_borrower_speeds(&lenders);
@@ -103,7 +118,9 @@ impl Runner {
             }
             _ => {}
         }
-        if s.restarts > cap {
+        let (restarts, boosted, static_mode) = (s.restarts, s.boosted, s.static_mode);
+        let terminal = restarts > cap;
+        if terminal {
             s.status = Status::Failed(FailReason::TooManyRestarts);
             self.stats.failed_restarts += 1;
             self.live_jobs = self.live_jobs.saturating_sub(1);
@@ -111,6 +128,18 @@ impl Runner {
             s.status = Status::Waiting;
             self.submits_remaining += 1;
             self.queue.push(self.now, EventKind::Submit(jid));
+        }
+        self.emit(TraceKind::JobKill {
+            job: jid,
+            reason: KillReason::Oom,
+            restarts,
+        });
+        if !terminal {
+            self.emit(TraceKind::JobRequeue {
+                job: jid,
+                boosted,
+                static_mode,
+            });
         }
         self.change_counter += 1;
         self.update_borrower_speeds(&lenders);
@@ -130,8 +159,14 @@ impl Runner {
         // As in `oom_kill`: the pending JobEnd is definitely stale now.
         self.queue.note_stale(1);
         s.status = Status::Failed(reason);
+        let restarts = s.restarts;
         self.stats.failed_exceeded += 1;
         self.live_jobs = self.live_jobs.saturating_sub(1);
+        self.emit(TraceKind::JobKill {
+            job: jid,
+            reason: KillReason::ExceededRequest,
+            restarts,
+        });
         self.change_counter += 1;
         self.update_borrower_speeds(&lenders);
         self.scratch.lenders = lenders;

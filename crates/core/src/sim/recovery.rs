@@ -3,6 +3,7 @@
 //! the re-grow-or-demote path for revoked borrowers.
 
 use crate::cluster::NodeId;
+use crate::faults::FaultEvent;
 use crate::job::JobId;
 
 use super::runner::Runner;
@@ -18,6 +19,7 @@ impl Runner {
             return;
         }
         self.stats.fault_node_crashes += 1;
+        self.emit(FaultEvent::NodeFail { node }.trace_kind());
         let resident = self.cluster.node(node).running;
         // Strip borrows first so the node's ledger empties, then kill
         // the resident (its own alloc, including borrows from *other*
@@ -39,6 +41,7 @@ impl Runner {
         if !self.cluster.is_down(node) {
             return;
         }
+        self.emit(FaultEvent::NodeRepair { node }.trace_kind());
         self.cluster.repair_node(node);
         self.change_counter += 1;
         self.ensure_tick();
@@ -60,6 +63,7 @@ impl Runner {
             return;
         }
         self.stats.fault_pool_degrades += 1;
+        self.emit(FaultEvent::PoolDegrade { node, mb }.trace_kind());
         let allowed = cap - degraded - mb;
         let revoked = self.reclaim_from_lender(node, allowed);
         let (still_over, resident) = {
@@ -93,6 +97,9 @@ impl Runner {
         if mb == 0 {
             return;
         }
+        // The clamped amount, so the trace records what actually
+        // returned to the pool.
+        self.emit(FaultEvent::PoolRestore { node, mb }.trace_kind());
         self.cluster.restore_degrade(node, mb);
         self.change_counter += 1;
         self.ensure_tick();

@@ -15,6 +15,8 @@ use crate::sched::PendingQueue;
 use dmhpc_model::rng::Rng64;
 use dmhpc_model::{ContentionModel, ProfilePool};
 
+use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
+
 use super::hooks::MemoryPolicy;
 use super::schedule::SchedScratch;
 use super::state::{FailReason, JobOutcome, JobRecord, JobState, Status, Workload};
@@ -35,6 +37,7 @@ pub struct Simulation {
     max_restarts: u32,
     reference_scheduler: bool,
     fault_schedule: Option<FaultSchedule>,
+    sink: Box<dyn TraceSink>,
 }
 
 impl Simulation {
@@ -60,6 +63,7 @@ impl Simulation {
             max_restarts: 64,
             reference_scheduler: false,
             fault_schedule: None,
+            sink: Box::new(NullSink),
         }
     }
 
@@ -81,6 +85,16 @@ impl Simulation {
     /// benchmarks can measure the speedup.
     pub fn with_reference_scheduler(mut self, on: bool) -> Self {
         self.reference_scheduler = on;
+        self
+    }
+
+    /// Attach a [`TraceSink`] that receives every structured
+    /// [`TraceEvent`] the run emits. Tracing is observation-only: the
+    /// outcome is bit-identical with or without a sink. The default is
+    /// [`NullSink`], whose disabled state the runner caches in one bool
+    /// so the scheduling hot path pays a single predictable branch.
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sink = sink;
         self
     }
 
@@ -137,6 +151,12 @@ pub(crate) struct Runner {
 
     pub(crate) stats: Stats,
     pub(crate) metrics: Metrics,
+
+    // Tracing.
+    pub(crate) sink: Box<dyn TraceSink>,
+    /// Cached `sink.enabled()`: the only tracing cost a `NullSink` run
+    /// pays is testing this bool at each emit point.
+    pub(crate) trace_on: bool,
 }
 
 impl Runner {
@@ -198,6 +218,7 @@ impl Runner {
         }
         let monitor = crate::dynmem::Monitor::new(sim.cfg.mem_update_interval_s)
             .expect("SystemConfig carries a positive update interval");
+        let trace_on = sim.sink.enabled();
         Self {
             rng: Rng64::stream(sim.seed, 0xD15A),
             fault_rng: Rng64::stream(faults.seed, STREAM_SIM_FAULTS),
@@ -225,11 +246,25 @@ impl Runner {
             submits_remaining: submits,
             stats,
             metrics: Metrics::default(),
+            sink: sim.sink,
+            trace_on,
         }
     }
 
     pub(crate) fn job(&self, id: JobId) -> &Job {
         &self.jobs[id.0 as usize]
+    }
+
+    /// Emit one trace event at the current sim-time. `TraceKind` is
+    /// `Copy` (plain scalars), so constructing the argument costs a few
+    /// register moves; with the default [`NullSink`] the cached flag
+    /// makes this a single predictable branch. Call sites whose fields
+    /// are expensive to gather guard on `self.trace_on` themselves.
+    #[inline]
+    pub(crate) fn emit(&mut self, kind: TraceKind) {
+        if self.trace_on {
+            self.sink.record(&TraceEvent { t: self.now, kind });
+        }
     }
 
     pub(crate) fn run(mut self) -> SimulationOutcome {
@@ -294,6 +329,7 @@ impl Runner {
         }
         self.submits_remaining = self.submits_remaining.saturating_sub(1);
         self.change_counter += 1;
+        self.emit(TraceKind::JobSubmit { job });
         self.ensure_tick();
     }
 
@@ -362,11 +398,13 @@ impl Runner {
         let attempt_wallclock = self.now - s.start;
         let attempt_work = base - s.credit_at_start_s;
         let first = s.first_start.unwrap_or(s.start);
+        let restarts = s.restarts;
         self.stats.completed += 1;
         self.live_jobs = self.live_jobs.saturating_sub(1);
         self.metrics
             .note_completion(self.now, job_submit, first, attempt_wallclock, attempt_work);
         self.change_counter += 1;
+        self.emit(TraceKind::JobFinish { job: jid, restarts });
         // Freed memory may unblock queued jobs and eases pressure on the
         // lenders this job was borrowing from.
         self.update_borrower_speeds(&lenders);
@@ -377,6 +415,9 @@ impl Runner {
     fn finalize(mut self) -> SimulationOutcome {
         debug_assert!(self.running.is_empty(), "run ended with running jobs");
         debug_assert!(self.pending.is_empty(), "run ended with pending jobs");
+        // Double-counting guard: every job must end in exactly one
+        // terminal bucket.
+        debug_assert_eq!(self.stats.reconcile(), Ok(()));
         let (resp, waits) = self.metrics.finish(&mut self.stats, &self.cluster);
         let feasible = self.stats.unschedulable == 0;
         let job_records = self

@@ -6,6 +6,7 @@ use crate::engine::EventKind;
 use crate::job::JobId;
 use crate::policy::PlacementScratch;
 use crate::sched::{compute_reservation, Release};
+use crate::trace::TraceKind;
 use dmhpc_model::RemoteAccess;
 
 use super::hooks::MemManagement;
@@ -52,6 +53,16 @@ impl Runner {
         if window.is_empty() {
             self.scratch.window = window;
             return;
+        }
+        // Passes over an empty queue return above without a trace: only
+        // passes that examine at least one job appear in the stream.
+        if self.trace_on {
+            let kind = TraceKind::SchedPassStart {
+                queued: self.pending.len() as u32,
+                alloc_mb: self.cluster.total_allocated_mb(),
+                cap_mb: self.cluster.total_capacity_mb(),
+            };
+            self.emit(kind);
         }
         let mut started = std::mem::take(&mut self.scratch.started);
         started.clear();
@@ -118,9 +129,15 @@ impl Runner {
             }
         }
         self.pending.remove_started(&started);
+        let (considered, placed) = (window.len() as u32, started.len() as u32);
         self.scratch.window = window;
         self.scratch.started = started;
         self.scratch.failed = failed;
+        self.emit(TraceKind::SchedPassEnd {
+            considered,
+            started: placed,
+            backfill_depth: backfill_seen as u32,
+        });
     }
 
     /// Aggregate EASY reservation for a blocked queue head. Builds and
@@ -177,6 +194,19 @@ impl Runner {
         }
         self.running.push(jid);
         self.change_counter += 1;
+        if self.trace_on {
+            let (mem_mb, remote_mb) = {
+                let a = self.cluster.alloc_of(jid).expect("job just started");
+                (a.total_mb(), a.remote_mb())
+            };
+            let nodes = self.job(jid).nodes;
+            self.emit(TraceKind::JobStart {
+                job: jid,
+                nodes,
+                mem_mb,
+                remote_mb,
+            });
+        }
         // Contention changed for this job and everyone sharing its lenders.
         self.refresh_speeds(jid, &lenders);
         self.scratch.lenders = lenders;

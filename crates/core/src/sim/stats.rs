@@ -65,6 +65,35 @@ pub struct Stats {
     pub avg_pool_availability: f64,
 }
 
+impl Stats {
+    /// Conservation check: every workload job must end in exactly one
+    /// terminal bucket, so the sum of `completed`, `unschedulable`,
+    /// `failed_exceeded`, and `failed_restarts` must equal
+    /// `total_jobs`. The runner asserts this in debug builds at run
+    /// end; a mismatch means a terminal counter was double-counted or
+    /// skipped.
+    ///
+    /// # Errors
+    /// Returns a description of the imbalance.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let accounted =
+            self.completed + self.unschedulable + self.failed_exceeded + self.failed_restarts;
+        if accounted == self.total_jobs {
+            Ok(())
+        } else {
+            Err(format!(
+                "terminal buckets hold {accounted} jobs (completed {} + unschedulable {} \
+                 + failed_exceeded {} + failed_restarts {}) but the workload has {}",
+                self.completed,
+                self.unschedulable,
+                self.failed_exceeded,
+                self.failed_restarts,
+                self.total_jobs
+            ))
+        }
+    }
+}
+
 /// Everything a run produces: stats plus per-job timing distributions.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimulationOutcome {
@@ -158,5 +187,45 @@ impl Metrics {
             0.0
         };
         (self.resp, self.waits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconcile_accepts_balanced_buckets() {
+        let stats = Stats {
+            total_jobs: 10,
+            completed: 6,
+            unschedulable: 1,
+            failed_exceeded: 2,
+            failed_restarts: 1,
+            ..Stats::default()
+        };
+        assert_eq!(stats.reconcile(), Ok(()));
+    }
+
+    #[test]
+    fn reconcile_reports_double_counting() {
+        // A job counted both as completed and as failed would inflate
+        // the terminal buckets past the workload size.
+        let stats = Stats {
+            total_jobs: 10,
+            completed: 10,
+            failed_restarts: 1,
+            ..Stats::default()
+        };
+        let err = stats.reconcile().unwrap_err();
+        assert!(err.contains("11 jobs"), "{err}");
+        assert!(err.contains("workload has 10"), "{err}");
+
+        let missing = Stats {
+            total_jobs: 10,
+            completed: 9,
+            ..Stats::default()
+        };
+        assert!(missing.reconcile().is_err());
     }
 }

@@ -1,0 +1,1286 @@
+//! Structured per-run event tracing.
+//!
+//! Every interesting transition in a run — job lifecycle, dynamic-memory
+//! actions, scheduler passes, injected faults — can be emitted as a
+//! [`TraceEvent`] through a [`TraceSink`]. The default sink is
+//! [`NullSink`], whose `enabled()` check the runner caches in a single
+//! bool so the allocation-free scheduling hot path pays one predictable
+//! branch and nothing else. Tracing is strictly observational: sinks
+//! receive `&TraceEvent` and cannot influence the simulation, so any
+//! run's outcome is bit-identical with or without a sink attached.
+//!
+//! Sinks provided here:
+//!
+//! * [`NullSink`] — zero-cost default (`enabled() == false`).
+//! * [`RingSink`] — bounded in-memory buffer of the last N events, for
+//!   post-mortems on OOM storms or seed divergence.
+//! * [`JsonlSink`] — streams one JSON object per line to any writer.
+//! * [`CountingSink`] — folds the stream into a [`RunMetrics`] summary
+//!   (per-subsystem counts, Actuator retry histogram, queue-depth and
+//!   pool-utilisation time series).
+//! * [`FanoutSink`] — duplicates events to several sinks.
+//!
+//! The JSONL format is hand-rolled (the vendored `serde` is a marker
+//! stub): flat objects with a fixed key order per kind, so equal runs
+//! produce byte-identical streams. [`parse_jsonl`] and
+//! [`validate_stream`] read the format back for filtering, diffing and
+//! CI validation.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::cluster::NodeId;
+use crate::engine::SimTime;
+use crate::job::JobId;
+
+/// One structured event: what happened ([`TraceKind`]) and when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time at which the event fired.
+    pub t: SimTime,
+    /// The event payload.
+    pub kind: TraceKind,
+}
+
+/// Why a running job was killed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillReason {
+    /// Dynamic policy ran out of growable memory (§2.2 OOM).
+    Oom,
+    /// An injected fault (crash evacuation, irrecoverable degradation,
+    /// Actuator escalation) took the job down.
+    Fault,
+    /// Static/baseline rule: usage exceeded the request (terminal).
+    ExceededRequest,
+}
+
+impl KillReason {
+    /// Stable lower-case name used in the JSONL stream.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KillReason::Oom => "oom",
+            KillReason::Fault => "fault",
+            KillReason::ExceededRequest => "exceeded_request",
+        }
+    }
+}
+
+/// Which subsystem an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Job lifecycle (submit/start/finish/kill/requeue).
+    Job,
+    /// Dynamic-memory loop (decide/grow/shrink/monitor/actuator).
+    Mem,
+    /// Scheduler passes.
+    Sched,
+    /// Injected faults (crash/repair/degrade/restore).
+    Fault,
+}
+
+impl Subsystem {
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subsystem::Job => "job",
+            Subsystem::Mem => "mem",
+            Subsystem::Sched => "sched",
+            Subsystem::Fault => "fault",
+        }
+    }
+}
+
+/// The event taxonomy. Every variant is plain-old-data (`Copy`), so
+/// constructing one on the emit path costs a handful of register moves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A job entered the pending queue (first submission or resubmission
+    /// after a kill).
+    JobSubmit {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// A job started running.
+    JobStart {
+        /// The started job.
+        job: JobId,
+        /// Compute nodes the job spans.
+        nodes: u32,
+        /// Total allocated memory, MB.
+        mem_mb: u64,
+        /// Portion of `mem_mb` borrowed from remote lenders, MB.
+        remote_mb: u64,
+    },
+    /// A job completed successfully.
+    JobFinish {
+        /// The finished job.
+        job: JobId,
+        /// Restarts the job went through before completing.
+        restarts: u32,
+    },
+    /// A running job was killed. A [`TraceKind::JobRequeue`] follows at
+    /// the same instant unless the kill was terminal (exceeded-request,
+    /// or the restart cap was hit).
+    JobKill {
+        /// The killed job.
+        job: JobId,
+        /// Why it was killed.
+        reason: KillReason,
+        /// Restart count after this kill.
+        restarts: u32,
+    },
+    /// A killed job was resubmitted.
+    JobRequeue {
+        /// The resubmitted job.
+        job: JobId,
+        /// Whether the job now jumps to the queue head (§2.2 fairness).
+        boosted: bool,
+        /// Whether the job was demoted to a pinned static allocation.
+        static_mode: bool,
+    },
+    /// The Decider compared demand against the allocation.
+    MemDecide {
+        /// The managed job.
+        job: JobId,
+        /// Monitor-sampled demand for the coming period, MB.
+        demand_mb: u64,
+        /// Total growth the decision requests across nodes, MB (0 on
+        /// hold/shrink).
+        grow_mb: u64,
+        /// Per-node shrink target, MB (0 when the decision does not
+        /// shrink; real targets are always positive).
+        shrink_to_mb: u64,
+    },
+    /// The Executor grew one allocation entry.
+    MemGrow {
+        /// The growing job.
+        job: JobId,
+        /// The entry (compute node) that grew.
+        node: NodeId,
+        /// MB satisfied from the node's local free memory.
+        local_mb: u64,
+        /// MB borrowed from remote lenders.
+        borrowed_mb: u64,
+    },
+    /// The Executor shrank an allocation (remote slices first).
+    MemShrink {
+        /// The shrinking job.
+        job: JobId,
+        /// MB returned to the pool.
+        released_mb: u64,
+    },
+    /// An injected Monitor sample loss: the Decider saw nothing this
+    /// period.
+    MonitorLoss {
+        /// The affected job.
+        job: JobId,
+    },
+    /// An injected Actuator failure: the resize will be retried after a
+    /// deterministic exponential backoff.
+    ActuatorRetry {
+        /// The affected job.
+        job: JobId,
+        /// Consecutive failed attempts so far (1 = first retry).
+        attempt: u32,
+        /// Backoff before the retry, seconds.
+        backoff_s: f64,
+    },
+    /// The Actuator retry budget was exhausted; the job is killed and
+    /// resubmitted down the §2.2 fairness ladder.
+    ActuatorEscalate {
+        /// The affected job.
+        job: JobId,
+        /// Failed attempts that exhausted the budget.
+        attempts: u32,
+    },
+    /// A scheduling pass began with a non-empty queue window.
+    SchedPassStart {
+        /// Pending-queue depth at pass start.
+        queued: u32,
+        /// Memory currently allocated across the cluster, MB.
+        alloc_mb: u64,
+        /// Total cluster memory capacity, MB.
+        cap_mb: u64,
+    },
+    /// The scheduling pass finished.
+    SchedPassEnd {
+        /// Jobs examined in the queue window.
+        considered: u32,
+        /// Jobs started by this pass.
+        started: u32,
+        /// Backfill candidates examined behind a blocked head.
+        backfill_depth: u32,
+    },
+    /// An injected node crash took a node out of the pool.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node's repair completed.
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// Pool-blade degradation removed capacity from a node.
+    PoolDegrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Capacity that left the pool, MB.
+        mb: u64,
+    },
+    /// Previously degraded capacity returned to the pool.
+    PoolRestore {
+        /// The restored node.
+        node: NodeId,
+        /// Capacity that returned, MB (clamped to the outstanding
+        /// degradation).
+        mb: u64,
+    },
+}
+
+impl TraceKind {
+    /// Every kind name, in taxonomy order. [`validate_stream`] rejects
+    /// lines whose `kind` is not in this list.
+    pub const NAMES: &'static [&'static str] = &[
+        "job_submit",
+        "job_start",
+        "job_finish",
+        "job_kill",
+        "job_requeue",
+        "mem_decide",
+        "mem_grow",
+        "mem_shrink",
+        "monitor_loss",
+        "actuator_retry",
+        "actuator_escalate",
+        "sched_pass_start",
+        "sched_pass_end",
+        "node_crash",
+        "node_repair",
+        "pool_degrade",
+        "pool_restore",
+    ];
+
+    /// Stable snake-case name used as the JSONL `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::JobSubmit { .. } => "job_submit",
+            TraceKind::JobStart { .. } => "job_start",
+            TraceKind::JobFinish { .. } => "job_finish",
+            TraceKind::JobKill { .. } => "job_kill",
+            TraceKind::JobRequeue { .. } => "job_requeue",
+            TraceKind::MemDecide { .. } => "mem_decide",
+            TraceKind::MemGrow { .. } => "mem_grow",
+            TraceKind::MemShrink { .. } => "mem_shrink",
+            TraceKind::MonitorLoss { .. } => "monitor_loss",
+            TraceKind::ActuatorRetry { .. } => "actuator_retry",
+            TraceKind::ActuatorEscalate { .. } => "actuator_escalate",
+            TraceKind::SchedPassStart { .. } => "sched_pass_start",
+            TraceKind::SchedPassEnd { .. } => "sched_pass_end",
+            TraceKind::NodeCrash { .. } => "node_crash",
+            TraceKind::NodeRepair { .. } => "node_repair",
+            TraceKind::PoolDegrade { .. } => "pool_degrade",
+            TraceKind::PoolRestore { .. } => "pool_restore",
+        }
+    }
+
+    /// The subsystem this kind belongs to.
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            TraceKind::JobSubmit { .. }
+            | TraceKind::JobStart { .. }
+            | TraceKind::JobFinish { .. }
+            | TraceKind::JobKill { .. }
+            | TraceKind::JobRequeue { .. } => Subsystem::Job,
+            TraceKind::MemDecide { .. }
+            | TraceKind::MemGrow { .. }
+            | TraceKind::MemShrink { .. }
+            | TraceKind::MonitorLoss { .. }
+            | TraceKind::ActuatorRetry { .. }
+            | TraceKind::ActuatorEscalate { .. } => Subsystem::Mem,
+            TraceKind::SchedPassStart { .. } | TraceKind::SchedPassEnd { .. } => Subsystem::Sched,
+            TraceKind::NodeCrash { .. }
+            | TraceKind::NodeRepair { .. }
+            | TraceKind::PoolDegrade { .. }
+            | TraceKind::PoolRestore { .. } => Subsystem::Fault,
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Render the event as one JSONL line (no trailing newline). Key
+    /// order is fixed per kind, so identical runs produce byte-identical
+    /// streams.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t\":{:.6},\"kind\":\"{}\"",
+            self.t.as_secs(),
+            self.kind.name()
+        );
+        match self.kind {
+            TraceKind::JobSubmit { job } | TraceKind::MonitorLoss { job } => {
+                let _ = write!(s, ",\"job\":{}", job.0);
+            }
+            TraceKind::JobStart {
+                job,
+                nodes,
+                mem_mb,
+                remote_mb,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"nodes\":{nodes},\"mem_mb\":{mem_mb},\"remote_mb\":{remote_mb}",
+                    job.0
+                );
+            }
+            TraceKind::JobFinish { job, restarts } => {
+                let _ = write!(s, ",\"job\":{},\"restarts\":{restarts}", job.0);
+            }
+            TraceKind::JobKill {
+                job,
+                reason,
+                restarts,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"reason\":\"{}\",\"restarts\":{restarts}",
+                    job.0,
+                    reason.as_str()
+                );
+            }
+            TraceKind::JobRequeue {
+                job,
+                boosted,
+                static_mode,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"boosted\":{boosted},\"static_mode\":{static_mode}",
+                    job.0
+                );
+            }
+            TraceKind::MemDecide {
+                job,
+                demand_mb,
+                grow_mb,
+                shrink_to_mb,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"demand_mb\":{demand_mb},\"grow_mb\":{grow_mb},\"shrink_to_mb\":{shrink_to_mb}",
+                    job.0
+                );
+            }
+            TraceKind::MemGrow {
+                job,
+                node,
+                local_mb,
+                borrowed_mb,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"node\":{},\"local_mb\":{local_mb},\"borrowed_mb\":{borrowed_mb}",
+                    job.0, node.0
+                );
+            }
+            TraceKind::MemShrink { job, released_mb } => {
+                let _ = write!(s, ",\"job\":{},\"released_mb\":{released_mb}", job.0);
+            }
+            TraceKind::ActuatorRetry {
+                job,
+                attempt,
+                backoff_s,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"job\":{},\"attempt\":{attempt},\"backoff_s\":{backoff_s:.3}",
+                    job.0
+                );
+            }
+            TraceKind::ActuatorEscalate { job, attempts } => {
+                let _ = write!(s, ",\"job\":{},\"attempts\":{attempts}", job.0);
+            }
+            TraceKind::SchedPassStart {
+                queued,
+                alloc_mb,
+                cap_mb,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"queued\":{queued},\"alloc_mb\":{alloc_mb},\"cap_mb\":{cap_mb}"
+                );
+            }
+            TraceKind::SchedPassEnd {
+                considered,
+                started,
+                backfill_depth,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"considered\":{considered},\"started\":{started},\"backfill_depth\":{backfill_depth}"
+                );
+            }
+            TraceKind::NodeCrash { node } | TraceKind::NodeRepair { node } => {
+                let _ = write!(s, ",\"node\":{}", node.0);
+            }
+            TraceKind::PoolDegrade { node, mb } | TraceKind::PoolRestore { node, mb } => {
+                let _ = write!(s, ",\"node\":{},\"mb\":{mb}", node.0);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Where trace events go. Implementations must be cheap to clone
+/// (`clone_box` — the runner is `Clone` for the bench fixtures) and
+/// observation-only: a sink must never influence the simulation.
+pub trait TraceSink: std::fmt::Debug + Send {
+    /// Whether this sink wants events at all. The runner caches the
+    /// answer once at construction; `false` reduces every emit point to
+    /// one predictable branch.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receive one event. Called in simulation-time order.
+    fn record(&mut self, ev: &TraceEvent);
+
+    /// Clone into a box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn TraceSink>;
+}
+
+impl Clone for Box<dyn TraceSink> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The zero-cost default sink: disabled, records nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _ev: &TraceEvent) {}
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(NullSink)
+    }
+}
+
+/// Bounded in-memory sink keeping the last N events. Clones share the
+/// buffer, so callers keep a handle and read [`RingSink::events`] after
+/// the run.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    shared: Arc<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// Create a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            shared: Arc::new(Mutex::new(VecDeque::with_capacity(capacity))),
+            capacity,
+        }
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.shared
+            .lock()
+            .expect("ring sink poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut buf = self.shared.lock().expect("ring sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(*ev);
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+/// Shared in-memory byte buffer implementing [`std::io::Write`]; the
+/// convenient target for [`JsonlSink::buffered`].
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    /// The buffered bytes as UTF-8 (the JSONL writer only emits ASCII).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buf poisoned")).into_owned()
+    }
+}
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams one JSONL line per event to a writer. Clones share the
+/// writer; the first write error is latched (see [`JsonlSink::error`])
+/// and stops further output instead of panicking mid-run.
+#[derive(Clone)]
+pub struct JsonlSink {
+    out: Arc<Mutex<Box<dyn std::io::Write + Send>>>,
+    error: Arc<Mutex<Option<String>>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("error", &*self.error.lock().expect("jsonl sink poisoned"))
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Stream into an arbitrary writer (a file, a pipe, a buffer).
+    pub fn new(out: Box<dyn std::io::Write + Send>) -> Self {
+        Self {
+            out: Arc::new(Mutex::new(out)),
+            error: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Stream into a fresh in-memory buffer; returns the sink and a
+    /// handle for reading the stream back after the run.
+    pub fn buffered() -> (Self, SharedBuf) {
+        let buf = SharedBuf::default();
+        (Self::new(Box::new(buf.clone())), buf)
+    }
+
+    /// The first write error, if any occurred.
+    pub fn error(&self) -> Option<String> {
+        self.error.lock().expect("jsonl sink poisoned").clone()
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        let mut err = self.error.lock().expect("jsonl sink poisoned");
+        if err.is_some() {
+            return;
+        }
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let line = ev.to_jsonl();
+        if let Err(e) = out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+        {
+            *err = Some(e.to_string());
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+/// Run-level summary built from the event stream by [`CountingSink`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Total events recorded.
+    pub total_events: u64,
+    /// Job submissions (first submits plus resubmissions).
+    pub job_submits: u64,
+    /// Job starts.
+    pub job_starts: u64,
+    /// Successful completions.
+    pub job_finishes: u64,
+    /// Kill events (OOM, fault, exceeded-request).
+    pub job_kills: u64,
+    /// Resubmissions after a kill.
+    pub job_requeues: u64,
+    /// Decider invocations.
+    pub mem_decides: u64,
+    /// Decider invocations that held the allocation steady.
+    pub mem_holds: u64,
+    /// Executed entry grows.
+    pub mem_grows: u64,
+    /// Executed shrinks.
+    pub mem_shrinks: u64,
+    /// Injected Monitor sample losses.
+    pub monitor_losses: u64,
+    /// Actuator escalations (retry budget exhausted).
+    pub actuator_escalations: u64,
+    /// Retries by consecutive-attempt number: `histogram[i]` counts
+    /// retries that were attempt `i + 1` (attempts beyond 16 saturate
+    /// into the last bucket).
+    pub actuator_retry_histogram: Vec<u64>,
+    /// Scheduling passes that examined a non-empty window.
+    pub sched_passes: u64,
+    /// Queue-window jobs examined, summed over passes.
+    pub jobs_considered: u64,
+    /// Jobs placed by scheduling passes.
+    pub jobs_placed: u64,
+    /// Deepest backfill scan behind a blocked head.
+    pub max_backfill_depth: u32,
+    /// Injected node crashes that took effect.
+    pub node_crashes: u64,
+    /// Node repairs.
+    pub node_repairs: u64,
+    /// Pool degradations that took effect.
+    pub pool_degrades: u64,
+    /// Pool restores.
+    pub pool_restores: u64,
+    /// `(sim-time s, pending-queue depth)` samples at the sampling
+    /// interval, taken at scheduling-pass starts.
+    pub queue_depth_series: Vec<(f64, u32)>,
+    /// `(sim-time s, allocated/capacity)` samples at the sampling
+    /// interval, taken at scheduling-pass starts.
+    pub pool_util_series: Vec<(f64, f64)>,
+    /// Sampling interval for the time series, seconds.
+    pub sample_interval_s: f64,
+    next_sample_s: f64,
+}
+
+/// Retry-histogram saturation bucket (attempt numbers ≥ 16 share it).
+const RETRY_HIST_BUCKETS: usize = 16;
+
+impl RunMetrics {
+    fn new(sample_interval_s: f64) -> Self {
+        Self {
+            sample_interval_s: sample_interval_s.max(1.0),
+            ..Self::default()
+        }
+    }
+
+    /// Events recorded for one subsystem, as `(subsystem, count)` rows.
+    pub fn by_subsystem(&self) -> [(Subsystem, u64); 4] {
+        let retries: u64 = self.actuator_retry_histogram.iter().sum();
+        [
+            (
+                Subsystem::Job,
+                self.job_submits
+                    + self.job_starts
+                    + self.job_finishes
+                    + self.job_kills
+                    + self.job_requeues,
+            ),
+            (
+                Subsystem::Mem,
+                self.mem_decides
+                    + self.mem_grows
+                    + self.mem_shrinks
+                    + self.monitor_losses
+                    + retries
+                    + self.actuator_escalations,
+            ),
+            (Subsystem::Sched, self.sched_passes * 2),
+            (
+                Subsystem::Fault,
+                self.node_crashes + self.node_repairs + self.pool_degrades + self.pool_restores,
+            ),
+        ]
+    }
+
+    fn fold(&mut self, ev: &TraceEvent) {
+        self.total_events += 1;
+        match ev.kind {
+            TraceKind::JobSubmit { .. } => self.job_submits += 1,
+            TraceKind::JobStart { .. } => self.job_starts += 1,
+            TraceKind::JobFinish { .. } => self.job_finishes += 1,
+            TraceKind::JobKill { .. } => self.job_kills += 1,
+            TraceKind::JobRequeue { .. } => self.job_requeues += 1,
+            TraceKind::MemDecide {
+                grow_mb,
+                shrink_to_mb,
+                ..
+            } => {
+                self.mem_decides += 1;
+                if grow_mb == 0 && shrink_to_mb == 0 {
+                    self.mem_holds += 1;
+                }
+            }
+            TraceKind::MemGrow { .. } => self.mem_grows += 1,
+            TraceKind::MemShrink { .. } => self.mem_shrinks += 1,
+            TraceKind::MonitorLoss { .. } => self.monitor_losses += 1,
+            TraceKind::ActuatorRetry { attempt, .. } => {
+                let bucket = (attempt.max(1) as usize - 1).min(RETRY_HIST_BUCKETS - 1);
+                if self.actuator_retry_histogram.len() <= bucket {
+                    self.actuator_retry_histogram.resize(bucket + 1, 0);
+                }
+                self.actuator_retry_histogram[bucket] += 1;
+            }
+            TraceKind::ActuatorEscalate { .. } => self.actuator_escalations += 1,
+            TraceKind::SchedPassStart {
+                queued,
+                alloc_mb,
+                cap_mb,
+            } => {
+                self.sched_passes += 1;
+                let t = ev.t.as_secs();
+                if t >= self.next_sample_s {
+                    self.queue_depth_series.push((t, queued));
+                    let util = if cap_mb > 0 {
+                        alloc_mb as f64 / cap_mb as f64
+                    } else {
+                        0.0
+                    };
+                    self.pool_util_series.push((t, util));
+                    // Skip ahead past any idle gap so a burst after a lull
+                    // contributes one sample, not a backlog.
+                    self.next_sample_s =
+                        ((t / self.sample_interval_s).floor() + 1.0) * self.sample_interval_s;
+                }
+            }
+            TraceKind::SchedPassEnd {
+                considered,
+                started,
+                backfill_depth,
+            } => {
+                self.jobs_considered += u64::from(considered);
+                self.jobs_placed += u64::from(started);
+                self.max_backfill_depth = self.max_backfill_depth.max(backfill_depth);
+            }
+            TraceKind::NodeCrash { .. } => self.node_crashes += 1,
+            TraceKind::NodeRepair { .. } => self.node_repairs += 1,
+            TraceKind::PoolDegrade { .. } => self.pool_degrades += 1,
+            TraceKind::PoolRestore { .. } => self.pool_restores += 1,
+        }
+    }
+}
+
+/// Folds the stream into a shared [`RunMetrics`]; clones share the
+/// accumulator, so keep a handle and call [`CountingSink::metrics`]
+/// after the run.
+#[derive(Clone, Debug)]
+pub struct CountingSink {
+    shared: Arc<Mutex<RunMetrics>>,
+}
+
+impl CountingSink {
+    /// Create a counter sampling the time series every
+    /// `sample_interval_s` simulated seconds (min 1 s).
+    pub fn new(sample_interval_s: f64) -> Self {
+        Self {
+            shared: Arc::new(Mutex::new(RunMetrics::new(sample_interval_s))),
+        }
+    }
+
+    /// Snapshot of the accumulated metrics.
+    pub fn metrics(&self) -> RunMetrics {
+        self.shared.lock().expect("counting sink poisoned").clone()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.shared.lock().expect("counting sink poisoned").fold(ev);
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(self.clone())
+    }
+}
+
+/// Duplicates every event to each child sink, in order.
+#[derive(Debug)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Combine several sinks into one.
+    pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&mut self, ev: &TraceEvent) {
+        for s in &mut self.sinks {
+            s.record(ev);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn TraceSink> {
+        Box::new(FanoutSink {
+            sinks: self.sinks.iter().map(|s| s.clone_box()).collect(),
+        })
+    }
+}
+
+/// A parsed JSONL field value (the format only emits numbers, strings,
+/// and booleans).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A JSON number.
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+/// One JSONL line read back as data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedEvent {
+    /// Simulation time, seconds.
+    pub t: f64,
+    /// The kind name (e.g. `"job_start"`).
+    pub kind: String,
+    /// The remaining fields, in stream order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl ParsedEvent {
+    /// Look up a field by name.
+    pub fn field(&self, name: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Parse one flat JSONL object produced by [`TraceEvent::to_jsonl`].
+///
+/// This is a minimal hand-rolled parser (the vendored `serde` cannot
+/// deserialize): it accepts exactly the flat `{"key":value,…}` shape the
+/// writer emits, requires `t` and `kind`, and rejects everything else
+/// with a description of the offending byte.
+///
+/// # Errors
+/// Returns a human-readable description of the first syntax problem.
+pub fn parse_jsonl(line: &str) -> Result<ParsedEvent, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut t: Option<f64> = None;
+    let mut kind: Option<String> = None;
+    let mut fields = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.eat(b'}') {
+            break;
+        }
+        if !fields.is_empty() || t.is_some() || kind.is_some() {
+            p.expect(b',')?;
+            p.skip_ws();
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        match (key.as_str(), &value) {
+            ("t", JsonValue::Num(v)) => t = Some(*v),
+            ("t", _) => return Err("field 't' must be a number".into()),
+            ("kind", JsonValue::Str(v)) => kind = Some(v.clone()),
+            ("kind", _) => return Err("field 'kind' must be a string".into()),
+            _ => fields.push((key, value)),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(ParsedEvent {
+        t: t.ok_or("missing field 't'")?,
+        kind: kind.ok_or("missing field 'kind'")?,
+        fields,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => return Err("escape sequences are not part of the format".into()),
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(&b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|&c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| format!("bad number '{text}'"))
+            }
+            other => Err(format!(
+                "unexpected value at offset {}: {:?}",
+                self.pos,
+                other.map(|&c| c as char)
+            )),
+        }
+    }
+}
+
+/// Validate a JSONL event stream: every non-empty line must parse, name
+/// a known kind, and carry a sim-time no earlier than the previous
+/// line's. Returns the number of events.
+///
+/// # Errors
+/// Returns `"line N: …"` for the first offending line.
+pub fn validate_stream<'a>(lines: impl Iterator<Item = &'a str>) -> Result<usize, String> {
+    let mut last_t = f64::NEG_INFINITY;
+    let mut count = 0usize;
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ev = parse_jsonl(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if !TraceKind::NAMES.contains(&ev.kind.as_str()) {
+            return Err(format!("line {}: unknown kind '{}'", i + 1, ev.kind));
+        }
+        if ev.t < last_t {
+            return Err(format!(
+                "line {}: sim-time went backwards ({} after {})",
+                i + 1,
+                ev.t,
+                last_t
+            ));
+        }
+        last_t = ev.t;
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_kind() -> Vec<TraceKind> {
+        vec![
+            TraceKind::JobSubmit { job: JobId(1) },
+            TraceKind::JobStart {
+                job: JobId(1),
+                nodes: 2,
+                mem_mb: 4096,
+                remote_mb: 1024,
+            },
+            TraceKind::JobFinish {
+                job: JobId(1),
+                restarts: 3,
+            },
+            TraceKind::JobKill {
+                job: JobId(1),
+                reason: KillReason::Oom,
+                restarts: 1,
+            },
+            TraceKind::JobRequeue {
+                job: JobId(1),
+                boosted: true,
+                static_mode: false,
+            },
+            TraceKind::MemDecide {
+                job: JobId(1),
+                demand_mb: 2048,
+                grow_mb: 512,
+                shrink_to_mb: 0,
+            },
+            TraceKind::MemGrow {
+                job: JobId(1),
+                node: NodeId(7),
+                local_mb: 256,
+                borrowed_mb: 256,
+            },
+            TraceKind::MemShrink {
+                job: JobId(1),
+                released_mb: 300,
+            },
+            TraceKind::MonitorLoss { job: JobId(1) },
+            TraceKind::ActuatorRetry {
+                job: JobId(1),
+                attempt: 2,
+                backoff_s: 60.0,
+            },
+            TraceKind::ActuatorEscalate {
+                job: JobId(1),
+                attempts: 4,
+            },
+            TraceKind::SchedPassStart {
+                queued: 10,
+                alloc_mb: 5000,
+                cap_mb: 10000,
+            },
+            TraceKind::SchedPassEnd {
+                considered: 10,
+                started: 4,
+                backfill_depth: 6,
+            },
+            TraceKind::NodeCrash { node: NodeId(3) },
+            TraceKind::NodeRepair { node: NodeId(3) },
+            TraceKind::PoolDegrade {
+                node: NodeId(3),
+                mb: 8192,
+            },
+            TraceKind::PoolRestore {
+                node: NodeId(3),
+                mb: 8192,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_jsonl() {
+        let kinds = every_kind();
+        assert_eq!(kinds.len(), TraceKind::NAMES.len());
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let ev = TraceEvent {
+                t: SimTime::from_secs(i as f64 + 0.5),
+                kind,
+            };
+            let line = ev.to_jsonl();
+            let parsed = parse_jsonl(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed.kind, kind.name(), "{line}");
+            assert!((parsed.t - ev.t.as_secs()).abs() < 1e-9);
+            assert_eq!(
+                TraceKind::NAMES[i],
+                kind.name(),
+                "NAMES order matches taxonomy"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            "{\"t\":1.0}",
+            "{\"kind\":\"job_submit\"}",
+            "{\"t\":\"x\",\"kind\":\"job_submit\"}",
+            "{\"t\":1.0,\"kind\":\"job_submit\"} trailing",
+            "{\"t\":1.0 \"kind\":\"job_submit\"}",
+            "not json",
+        ] {
+            assert!(parse_jsonl(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validate_stream_checks_kind_and_monotonicity() {
+        let good = "{\"t\":1.0,\"kind\":\"job_submit\",\"job\":0}\n{\"t\":1.0,\"kind\":\"job_start\",\"job\":0,\"nodes\":1,\"mem_mb\":1,\"remote_mb\":0}";
+        assert_eq!(validate_stream(good.lines()), Ok(2));
+
+        let unknown = "{\"t\":1.0,\"kind\":\"warp_drive\"}";
+        assert!(validate_stream(unknown.lines())
+            .unwrap_err()
+            .contains("unknown kind"));
+
+        let backwards = "{\"t\":2.0,\"kind\":\"job_submit\",\"job\":0}\n{\"t\":1.0,\"kind\":\"job_submit\",\"job\":1}";
+        assert!(validate_stream(backwards.lines())
+            .unwrap_err()
+            .contains("went backwards"));
+    }
+
+    #[test]
+    fn ring_sink_keeps_last_n() {
+        let ring = RingSink::new(3);
+        let mut sink: Box<dyn TraceSink> = Box::new(ring.clone());
+        for i in 0..5u32 {
+            sink.record(&TraceEvent {
+                t: SimTime::from_secs(f64::from(i)),
+                kind: TraceKind::JobSubmit { job: JobId(i) },
+            });
+        }
+        let kept = ring.events();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].kind, TraceKind::JobSubmit { job: JobId(2) });
+        assert_eq!(kept[2].kind, TraceKind::JobSubmit { job: JobId(4) });
+    }
+
+    #[test]
+    fn counting_sink_builds_histogram_and_series() {
+        let counting = CountingSink::new(10.0);
+        let mut sink: Box<dyn TraceSink> = Box::new(counting.clone());
+        for (t, attempt) in [(0.0, 1), (1.0, 1), (2.0, 2), (3.0, 99)] {
+            sink.record(&TraceEvent {
+                t: SimTime::from_secs(t),
+                kind: TraceKind::ActuatorRetry {
+                    job: JobId(0),
+                    attempt,
+                    backoff_s: 30.0,
+                },
+            });
+        }
+        for t in [0.0, 5.0, 10.0, 11.0, 35.0] {
+            sink.record(&TraceEvent {
+                t: SimTime::from_secs(t),
+                kind: TraceKind::SchedPassStart {
+                    queued: 4,
+                    alloc_mb: 500,
+                    cap_mb: 1000,
+                },
+            });
+        }
+        let m = counting.metrics();
+        assert_eq!(m.actuator_retry_histogram[0], 2);
+        assert_eq!(m.actuator_retry_histogram[1], 1);
+        assert_eq!(m.actuator_retry_histogram[RETRY_HIST_BUCKETS - 1], 1);
+        assert_eq!(m.sched_passes, 5);
+        // Samples at t=0, t=10 (first crossing), t=35 (gap skipped).
+        assert_eq!(
+            m.queue_depth_series
+                .iter()
+                .map(|&(t, _)| t)
+                .collect::<Vec<_>>(),
+            vec![0.0, 10.0, 35.0]
+        );
+        assert!((m.pool_util_series[0].1 - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_events, 9);
+    }
+
+    #[test]
+    fn fanout_and_null_compose() {
+        let ring = RingSink::new(8);
+        let fanout = FanoutSink::new(vec![Box::new(NullSink), Box::new(ring.clone())]);
+        assert!(fanout.enabled());
+        assert!(!FanoutSink::new(vec![Box::new(NullSink)]).enabled());
+        let mut boxed: Box<dyn TraceSink> = Box::new(fanout);
+        let cloned = boxed.clone();
+        boxed.record(&TraceEvent {
+            t: SimTime::ZERO,
+            kind: TraceKind::NodeCrash { node: NodeId(0) },
+        });
+        drop(cloned);
+        assert_eq!(ring.events().len(), 1);
+        assert!(!NullSink.enabled());
+    }
+
+    #[test]
+    fn jsonl_sink_streams_and_latches_errors() {
+        let (mut sink, buf) = JsonlSink::buffered();
+        sink.record(&TraceEvent {
+            t: SimTime::from_secs(1.0),
+            kind: TraceKind::JobSubmit { job: JobId(0) },
+        });
+        sink.record(&TraceEvent {
+            t: SimTime::from_secs(2.0),
+            kind: TraceKind::JobFinish {
+                job: JobId(0),
+                restarts: 0,
+            },
+        });
+        let text = buf.contents();
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(validate_stream(text.lines()), Ok(2));
+        assert!(sink.error().is_none());
+
+        #[derive(Debug)]
+        struct FailWriter;
+        impl std::io::Write for FailWriter {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut failing = JsonlSink::new(Box::new(FailWriter));
+        failing.record(&TraceEvent {
+            t: SimTime::ZERO,
+            kind: TraceKind::JobSubmit { job: JobId(0) },
+        });
+        assert!(failing.error().unwrap().contains("disk full"));
+    }
+}

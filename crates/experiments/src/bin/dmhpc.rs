@@ -6,7 +6,8 @@
 //!
 //! commands: table1 table2 table3 table4
 //!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
-//!           ablate fault-sweep all
+//!           ablate fault-sweep validate all
+//!           export simulate chart bench-sched trace-run help
 //! ```
 
 use dmhpc_experiments::exp;
@@ -43,6 +44,10 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, Strin
                 threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--csv" => csv = true,
+            // trace-run's only valueless flag: record presence in opts.
+            "--summary" => {
+                opts.insert("summary".to_string(), "1".to_string());
+            }
             flag if flag.starts_with("--") => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 opts.insert(flag[2..].to_string(), v);
@@ -73,9 +78,18 @@ fn usage() -> String {
      \x20                                        write workload.swf + usage.txt\n\
      \x20 simulate --swf FILE [--usage FILE] [--policy P] [--nodes N] [--large-nodes F]\n\
      \x20                                        run an SWF trace through the simulator\n\
+     \x20 chart   [--large F] [--over O] [--width N]\n\
+     \x20                                        ASCII throughput panel for one sweep leg\n\
      \x20 bench-sched [--out FILE] [--samples N] [--queued N]\n\
      \x20                                        time schedule_pass (indexed vs reference scans)\n\
-     \x20                                        and write BENCH_sched.json"
+     \x20                                        and write BENCH_sched.json\n\
+     \x20 trace-run [--policy P] [--seed S] [--fault-profile none|light|heavy] [--fault-seed S]\n\
+     \x20           [--out FILE] [--filter kind=K1,K2] [--from S] [--to S] [--summary]\n\
+     \x20           [--diff A,B] [--check FILE] [--sample-s S]\n\
+     \x20                                        dump one run's event trace as JSONL;\n\
+     \x20                                        --diff reports the first event where two\n\
+     \x20                                        sim seeds part, --check validates a file\n\
+     \x20 help                                   show this message"
         .to_string()
 }
 
@@ -291,6 +305,7 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
 
     let mut rows = String::new();
     let mut accept_speedup = 0.0;
+    let mut accept_indexed = 0.0;
     println!("schedule_pass, median of {samples} samples ({queued} queued jobs):");
     for (i, &nodes) in [256u32, 1024, ACCEPT_NODES].iter().enumerate() {
         let indexed = time_pass(&SchedPassBench::new(nodes, queued, seed, false), samples);
@@ -298,6 +313,7 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
         let speedup = reference / indexed;
         if nodes == ACCEPT_NODES {
             accept_speedup = speedup;
+            accept_indexed = indexed;
         }
         println!(
             "  {nodes:>5} nodes: indexed {:>10.0} ns   reference {:>10.0} ns   speedup {speedup:.2}x",
@@ -310,9 +326,23 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
             "    {{\"nodes\": {nodes}, \"indexed_ns\": {indexed:.0}, \"reference_ns\": {reference:.0}, \"speedup\": {speedup:.3}}}"
         ));
     }
+    // Informational: the same pass with a live CountingSink attached,
+    // to show what tracing costs when it is actually on. The acceptance
+    // gate above runs with the default NullSink, so the ≥3x bar doubles
+    // as the guard that trace emit points stay off the hot path.
+    let traced = time_pass(
+        &SchedPassBench::new(ACCEPT_NODES, queued, seed, false)
+            .with_sink(Box::new(dmhpc_core::CountingSink::new(900.0))),
+        samples,
+    );
+    let traced_ratio = traced / accept_indexed;
+    println!(
+        "  tracing (CountingSink) at {ACCEPT_NODES} nodes: {traced:.0} ns \
+         ({traced_ratio:.2}x the NullSink pass)"
+    );
     let pass = accept_speedup >= ACCEPT_SPEEDUP;
     let json = format!(
-        "{{\n  \"bench\": \"schedule_pass\",\n  \"queued_jobs\": {queued},\n  \"samples\": {samples},\n  \"seed\": {seed},\n  \"results\": [\n{rows}\n  ],\n  \"acceptance\": {{\"nodes\": {ACCEPT_NODES}, \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {accept_speedup:.3}, \"pass\": {pass}}}\n}}\n"
+        "{{\n  \"bench\": \"schedule_pass\",\n  \"queued_jobs\": {queued},\n  \"samples\": {samples},\n  \"seed\": {seed},\n  \"results\": [\n{rows}\n  ],\n  \"trace\": {{\"nodes\": {ACCEPT_NODES}, \"null_sink_ns\": {accept_indexed:.0}, \"counting_sink_ns\": {traced:.0}, \"ratio\": {traced_ratio:.3}}},\n  \"acceptance\": {{\"nodes\": {ACCEPT_NODES}, \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {accept_speedup:.3}, \"pass\": {pass}}}\n}}\n"
     );
     std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
     println!(
@@ -327,6 +357,258 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
             "schedule_pass speedup {accept_speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
         ))
     }
+}
+
+/// The scenario `trace-run` traces: the fault sweep's stress system
+/// (underprovisioned, 25% large nodes, Checkpoint/Restart) under the
+/// 50%-large +60%-overestimation workload, so traces exercise the
+/// dynamic-memory loop, the fairness ladder, and the fault machinery.
+fn trace_scenario(
+    scale: Scale,
+    profile: &str,
+    fault_seed: u64,
+) -> Result<(dmhpc_core::config::SystemConfig, dmhpc_core::sim::Workload), String> {
+    use dmhpc_core::cluster::MemoryMix;
+    use dmhpc_core::config::RestartStrategy;
+    use dmhpc_core::faults::FaultConfig;
+    use dmhpc_experiments::scenario::{synthetic_system, synthetic_workload, BASE_SEED};
+    let faults = FaultConfig::profile(profile)
+        .map_err(|e| format!("--fault-profile: {e}"))?
+        .with_seed(fault_seed);
+    let system = synthetic_system(scale, MemoryMix::new(64 * 1024, 128 * 1024, 0.25))
+        .with_restart(RestartStrategy::CheckpointRestart)
+        .with_faults(faults);
+    let workload = synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA);
+    Ok((system, workload))
+}
+
+/// Run one traced simulation of the [`trace_scenario`]; returns the
+/// JSONL stream and, when `want_metrics`, the folded [`RunMetrics`].
+///
+/// [`RunMetrics`]: dmhpc_core::RunMetrics
+fn run_traced(
+    scale: Scale,
+    policy: dmhpc_core::policy::PolicyKind,
+    seed: u64,
+    profile: &str,
+    fault_seed: u64,
+    sample_s: f64,
+    want_metrics: bool,
+) -> Result<(String, Option<dmhpc_core::RunMetrics>), String> {
+    use dmhpc_core::sim::Simulation;
+    use dmhpc_core::{CountingSink, FanoutSink, JsonlSink, TraceSink};
+    let (system, workload) = trace_scenario(scale, profile, fault_seed)?;
+    let (jsonl, buf) = JsonlSink::buffered();
+    let counting = want_metrics.then(|| CountingSink::new(sample_s));
+    let sink: Box<dyn TraceSink> = match &counting {
+        Some(c) => Box::new(FanoutSink::new(vec![
+            Box::new(jsonl.clone()),
+            Box::new(c.clone()),
+        ])),
+        None => Box::new(jsonl.clone()),
+    };
+    Simulation::new(system, workload, policy)
+        .with_seed(seed)
+        .with_trace_sink(sink)
+        .run();
+    jsonl.flush().map_err(|e| format!("trace stream: {e}"))?;
+    if let Some(e) = jsonl.error() {
+        return Err(format!("trace stream: {e}"));
+    }
+    Ok((buf.contents(), counting.map(|c| c.metrics())))
+}
+
+/// Parse `--filter kind=NAME[,NAME…]` into the kind names to keep.
+fn parse_kind_filter(spec: &str) -> Result<Vec<String>, String> {
+    use dmhpc_core::TraceKind;
+    let list = spec
+        .strip_prefix("kind=")
+        .ok_or_else(|| format!("--filter must look like kind=NAME[,NAME...], got '{spec}'"))?;
+    let mut kinds = Vec::new();
+    for name in list.split(',').filter(|s| !s.is_empty()) {
+        if !TraceKind::NAMES.contains(&name) {
+            return Err(format!(
+                "--filter: unknown kind '{name}' (known: {})",
+                TraceKind::NAMES.join(", ")
+            ));
+        }
+        kinds.push(name.to_string());
+    }
+    if kinds.is_empty() {
+        return Err("--filter: no kinds given".into());
+    }
+    Ok(kinds)
+}
+
+/// Parse `--diff A,B` into the two sim seeds to compare.
+fn parse_seed_pair(spec: &str) -> Result<(u64, u64), String> {
+    let (a, b) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("--diff wants two seeds 'A,B', got '{spec}'"))?;
+    let a = a
+        .trim()
+        .parse()
+        .map_err(|e| format!("--diff seed '{a}': {e}"))?;
+    let b = b
+        .trim()
+        .parse()
+        .map_err(|e| format!("--diff seed '{b}': {e}"))?;
+    Ok((a, b))
+}
+
+/// Compare two JSONL streams and print the first divergence (the
+/// verdict is the command's stdout output).
+fn report_diff(seed_a: u64, seed_b: u64, a: &str, b: &str) {
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+        if x != y {
+            println!(
+                "seeds {seed_a} and {seed_b} diverge at event {} ({} vs {} events total):",
+                i + 1,
+                la.len(),
+                lb.len()
+            );
+            println!("  seed {seed_a}: {x}");
+            println!("  seed {seed_b}: {y}");
+            return;
+        }
+    }
+    if la.len() != lb.len() {
+        let (longer_seed, longer, shorter) = if la.len() > lb.len() {
+            (seed_a, &la, lb.len())
+        } else {
+            (seed_b, &lb, la.len())
+        };
+        println!(
+            "streams agree for all {shorter} shared events, then seed {longer_seed} continues:"
+        );
+        println!("  {}", longer[shorter]);
+        return;
+    }
+    println!(
+        "seeds {seed_a} and {seed_b} produced identical traces ({} events)",
+        la.len()
+    );
+}
+
+/// Run-level metrics digest on stderr (the JSONL stream owns stdout).
+fn print_trace_summary(m: &dmhpc_core::RunMetrics) {
+    eprintln!("trace summary: {} events", m.total_events);
+    for (sub, n) in m.by_subsystem() {
+        eprintln!("  {:<6} {n}", sub.as_str());
+    }
+    eprintln!(
+        "  jobs: {} submits, {} starts, {} finishes, {} kills, {} requeues",
+        m.job_submits, m.job_starts, m.job_finishes, m.job_kills, m.job_requeues
+    );
+    eprintln!(
+        "  mem: {} decides ({} holds), {} grows, {} shrinks, {} monitor losses",
+        m.mem_decides, m.mem_holds, m.mem_grows, m.mem_shrinks, m.monitor_losses
+    );
+    if !m.actuator_retry_histogram.is_empty() || m.actuator_escalations > 0 {
+        eprintln!(
+            "  actuator: retries by attempt {:?}, {} escalations",
+            m.actuator_retry_histogram, m.actuator_escalations
+        );
+    }
+    eprintln!(
+        "  sched: {} passes, {} considered, {} placed, max backfill depth {}",
+        m.sched_passes, m.jobs_considered, m.jobs_placed, m.max_backfill_depth
+    );
+    eprintln!(
+        "  faults: {} crashes, {} repairs, {} degrades, {} restores",
+        m.node_crashes, m.node_repairs, m.pool_degrades, m.pool_restores
+    );
+    eprintln!(
+        "  series: {} queue-depth and {} pool-util samples every {:.0}s",
+        m.queue_depth_series.len(),
+        m.pool_util_series.len(),
+        m.sample_interval_s
+    );
+}
+
+/// `trace-run`: dump, filter, summarise, validate, or diff structured
+/// event traces of the stress scenario.
+fn cmd_trace_run(
+    scale: Scale,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    use dmhpc_core::policy::PolicyKind;
+    use dmhpc_experiments::scenario::BASE_SEED;
+    // --check FILE: validate an existing stream and stop.
+    if let Some(path) = opts.get("check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let n =
+            dmhpc_core::trace::validate_stream(text.lines()).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {n} events, all lines parse, sim-time non-decreasing");
+        return Ok(());
+    }
+    let policy: PolicyKind = opts
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("dynamic")
+        .parse()
+        .map_err(|e| format!("--policy: {e}"))?;
+    let profile = opts
+        .get("fault-profile")
+        .map(String::as_str)
+        .unwrap_or("none");
+    let fault_seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
+    let sample_s: f64 = opt_parse(opts, "sample-s", 900.0)?;
+    let summary = opts.contains_key("summary");
+
+    // --diff A,B: same scenario and fault realisation, two sim seeds.
+    if let Some(spec) = opts.get("diff") {
+        let (sa, sb) = parse_seed_pair(spec)?;
+        let (ta, _) = run_traced(scale, policy, sa, profile, fault_seed, sample_s, false)?;
+        let (tb, _) = run_traced(scale, policy, sb, profile, fault_seed, sample_s, false)?;
+        report_diff(sa, sb, &ta, &tb);
+        return Ok(());
+    }
+
+    let seed: u64 = opt_parse(opts, "seed", BASE_SEED ^ 0xFA17)?;
+    let (stream, metrics) =
+        run_traced(scale, policy, seed, profile, fault_seed, sample_s, summary)?;
+
+    // Select lines: optional kind filter and [--from, --to] sim-time
+    // window (inclusive, seconds). Lines pass through byte-identical.
+    let kinds = opts
+        .get("filter")
+        .map(|s| parse_kind_filter(s))
+        .transpose()?;
+    let from: f64 = opt_parse(opts, "from", f64::NEG_INFINITY)?;
+    let to: f64 = opt_parse(opts, "to", f64::INFINITY)?;
+    let mut kept = 0usize;
+    let mut total = 0usize;
+    let mut out = String::new();
+    for line in stream.lines() {
+        total += 1;
+        let ev = dmhpc_core::trace::parse_jsonl(line)
+            .map_err(|e| format!("internal: emitted line failed to parse: {e}"))?;
+        if ev.t < from || ev.t > to {
+            continue;
+        }
+        if let Some(kinds) = &kinds {
+            if !kinds.iter().any(|k| k == &ev.kind) {
+                continue;
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+        kept += 1;
+    }
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {kept}/{total} events to {path}");
+        }
+        None => print!("{out}"),
+    }
+    if let Some(m) = metrics {
+        print_trace_summary(&m);
+    }
+    Ok(())
 }
 
 fn cmd_fault_sweep(
@@ -507,9 +789,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if matches!(args.command.as_str(), "help" | "--help" | "-h") {
+        println!("{}", usage());
+        return;
+    }
     let start = std::time::Instant::now();
     let result = match args.command.as_str() {
         "export" => cmd_export(args.scale, &args.opts),
+        "trace-run" => cmd_trace_run(args.scale, &args.opts),
         "fault-sweep" => cmd_fault_sweep(args.scale, args.threads, args.csv, &args.opts),
         "simulate" => cmd_simulate(args.scale, &args.opts),
         "bench-sched" => cmd_bench_sched(&args.opts),
@@ -599,6 +886,116 @@ mod tests {
         // Garbage is a parse error, not a silent default.
         let args = parse(&["fault-sweep", "--fault-seed", "not-a-number"]).unwrap();
         assert!(opt_parse::<u64>(&args.opts, "fault-seed", 0).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand() {
+        let u = usage();
+        for cmd in [
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablate",
+            "fault-sweep",
+            "validate",
+            "all",
+            "export",
+            "simulate",
+            "chart",
+            "bench-sched",
+            "trace-run",
+            "help",
+        ] {
+            assert!(u.contains(cmd), "usage() is missing '{cmd}'");
+        }
+    }
+
+    #[test]
+    fn unknown_command_error_lists_trace_run() {
+        let err = run_command("bogus", Scale::Small, 1, false).unwrap_err();
+        assert!(err.contains("unknown command 'bogus'"), "{err}");
+        assert!(err.contains("trace-run"), "{err}");
+    }
+
+    #[test]
+    fn trace_run_flags_parse() {
+        let args = parse(&[
+            "trace-run",
+            "--seed",
+            "7",
+            "--fault-profile",
+            "heavy",
+            "--filter",
+            "kind=job_start,mem_grow",
+            "--summary",
+            "--from",
+            "100",
+            "--to",
+            "2000",
+        ])
+        .unwrap();
+        assert_eq!(args.command, "trace-run");
+        assert_eq!(args.opts.get("seed").unwrap(), "7");
+        assert_eq!(args.opts.get("fault-profile").unwrap(), "heavy");
+        assert!(args.opts.contains_key("summary"));
+        let kinds = parse_kind_filter(args.opts.get("filter").unwrap()).unwrap();
+        assert_eq!(kinds, ["job_start", "mem_grow"]);
+        let from: f64 = opt_parse(&args.opts, "from", f64::NEG_INFINITY).unwrap();
+        assert_eq!(from, 100.0);
+    }
+
+    #[test]
+    fn kind_filter_rejects_unknown_kinds() {
+        assert!(parse_kind_filter("kind=job_start").is_ok());
+        let err = parse_kind_filter("kind=job_started").unwrap_err();
+        assert!(err.contains("unknown kind 'job_started'"), "{err}");
+        assert!(parse_kind_filter("job_start").is_err());
+        assert!(parse_kind_filter("kind=").is_err());
+    }
+
+    #[test]
+    fn diff_seed_pair_parses() {
+        assert_eq!(parse_seed_pair("17,18").unwrap(), (17, 18));
+        assert_eq!(parse_seed_pair(" 17 , 18 ").unwrap(), (17, 18));
+        assert!(parse_seed_pair("17").is_err());
+        assert!(parse_seed_pair("17,x").is_err());
+    }
+
+    #[test]
+    fn trace_run_stream_is_valid_and_deterministic() {
+        let (a, m) = run_traced(
+            Scale::Small,
+            PolicyKind::Dynamic,
+            42,
+            "heavy",
+            7,
+            900.0,
+            true,
+        )
+        .unwrap();
+        let (b, _) = run_traced(
+            Scale::Small,
+            PolicyKind::Dynamic,
+            42,
+            "heavy",
+            7,
+            900.0,
+            false,
+        )
+        .unwrap();
+        assert_eq!(a, b, "same seed must reproduce the stream byte for byte");
+        let n = dmhpc_core::trace::validate_stream(a.lines()).unwrap();
+        assert!(n > 0, "the stress scenario must emit events");
+        let m = m.unwrap();
+        assert_eq!(m.total_events as usize, n, "CountingSink saw every line");
     }
 
     #[test]

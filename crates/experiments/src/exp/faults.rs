@@ -10,7 +10,7 @@
 //! split is visible; the `none` profile doubles as a control that must
 //! match the fault-free simulator bit for bit.
 
-use crate::runner::run_parallel;
+use crate::runner::run_parallel_progress;
 use crate::scale::Scale;
 use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
@@ -90,7 +90,7 @@ pub fn run_opts(
             ));
         }
     }
-    let rows = run_parallel(tasks, threads, |(prof, policy, sys)| {
+    let rows = run_parallel_progress(tasks, threads, "fault-sweep", |(prof, policy, sys)| {
         let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
         FaultRow {
             profile: prof.clone(),

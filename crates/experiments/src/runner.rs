@@ -8,7 +8,9 @@
 //! output is reproducible.
 
 use parking_lot::Mutex;
+use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Run `f` over all `inputs` on up to `threads` worker threads (0 =
 /// hardware parallelism), returning outputs in input order.
@@ -53,6 +55,80 @@ where
         .collect()
 }
 
+/// Live progress for a sweep: `label: done/total (pct, ETA)` redrawn on
+/// stderr. The ETA comes from a monotonic [`Instant`] held entirely
+/// outside simulation state, so reporting can never perturb a run's
+/// determinism; output goes to stderr (stdout stays machine-readable)
+/// and only when stderr is a terminal, so piped and CI runs stay quiet.
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    active: bool,
+}
+
+impl Progress {
+    /// Start reporting a sweep of `total` runs under `label`.
+    pub fn new(label: &str, total: usize) -> Self {
+        Self {
+            label: label.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            active: std::io::stderr().is_terminal() && total > 1,
+        }
+    }
+
+    /// Record one completed run and redraw the status line.
+    pub fn tick(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.active {
+            return;
+        }
+        let line = format_progress(
+            &self.label,
+            done,
+            self.total,
+            self.start.elapsed().as_secs_f64(),
+        );
+        if done >= self.total {
+            eprintln!("\r{line}");
+        } else {
+            eprint!("\r{line}");
+        }
+    }
+}
+
+/// Render one progress line: `label: done/total (pct%, ETA Ns)`. The
+/// ETA extrapolates the mean time per completed run; it is omitted
+/// until the first completion and once the sweep is done.
+pub fn format_progress(label: &str, done: usize, total: usize, elapsed_s: f64) -> String {
+    let pct = (done * 100).checked_div(total).unwrap_or(100);
+    let eta = if done > 0 && done < total {
+        let remaining_s = elapsed_s / done as f64 * (total - done) as f64;
+        format!(", ETA {remaining_s:.0}s")
+    } else {
+        String::new()
+    };
+    format!("{label}: {done}/{total} ({pct}%{eta})")
+}
+
+/// [`run_parallel`] plus a [`Progress`] line per completed input.
+pub fn run_parallel_progress<I, O, F>(inputs: Vec<I>, threads: usize, label: &str, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let progress = Progress::new(label, inputs.len());
+    run_parallel(inputs, threads, |i| {
+        let out = f(i);
+        progress.tick();
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +156,28 @@ mod tests {
     fn auto_thread_count() {
         let out = run_parallel((0..50).collect::<Vec<u32>>(), 0, |&x| x);
         assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn progress_formatting() {
+        // No ETA before the first completion…
+        assert_eq!(format_progress("sweep", 0, 8, 0.0), "sweep: 0/8 (0%)");
+        // …mean-per-run extrapolation in the middle…
+        assert_eq!(
+            format_progress("sweep", 2, 8, 10.0),
+            "sweep: 2/8 (25%, ETA 30s)"
+        );
+        // …and none once everything finished.
+        assert_eq!(format_progress("sweep", 8, 8, 40.0), "sweep: 8/8 (100%)");
+        assert_eq!(format_progress("x", 0, 0, 0.0), "x: 0/0 (100%)");
+    }
+
+    #[test]
+    fn progress_wrapper_matches_plain_run() {
+        let inputs: Vec<u64> = (0..40).collect();
+        let plain = run_parallel(inputs.clone(), 4, |&x| x * 3);
+        let reported = run_parallel_progress(inputs, 4, "test", |&x| x * 3);
+        assert_eq!(plain, reported);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! × memory axis × policies, normalised against the baseline policy on a
 //! fully provisioned system.
 
-use crate::runner::run_parallel;
+use crate::runner::{run_parallel, run_parallel_progress};
 use crate::scale::Scale;
 use crate::scenario::{
     grizzly_bundle, grizzly_rep_workload, grizzly_system, memory_axis, norm_throughput, simulate,
@@ -129,7 +129,7 @@ impl ThroughputSweep {
                 }
             }
         }
-        let raw = run_parallel(tasks, threads, |&(leg_idx, pct, mix, policy)| {
+        let raw = run_parallel_progress(tasks, threads, "sweep", |&(leg_idx, pct, mix, policy)| {
             let (trace, over, _week) = legs[leg_idx];
             let system = match trace {
                 TraceSpec::Synthetic { .. } => synthetic_system(scale, mix),

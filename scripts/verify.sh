@@ -23,6 +23,13 @@ echo "== fault-sweep smoke (tiny, must stay deterministic) =="
 cmp /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
 rm -f /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
 
+echo "== trace smoke (JSONL parses, sim-time monotone, diff pinpoints) =="
+./target/release/dmhpc trace-run --scale small --fault-profile heavy --out /tmp/trace_smoke.jsonl
+./target/release/dmhpc trace-run --check /tmp/trace_smoke.jsonl
+./target/release/dmhpc trace-run --scale small --fault-profile heavy --diff 17,18 > /tmp/trace_diff.txt
+grep -q "diverge at event" /tmp/trace_diff.txt
+rm -f /tmp/trace_smoke.jsonl /tmp/trace_diff.txt
+
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

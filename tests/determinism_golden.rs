@@ -84,6 +84,58 @@ fn faults_off_is_identity() {
     }
 }
 
+/// Structured tracing is deterministic and inert: the JSONL stream of a
+/// faulted dynamic run reproduces byte for byte under the same seed,
+/// differs under another seed, and attaching any sink (including the
+/// default NullSink) leaves the `SimulationOutcome` bit-identical to a
+/// run that never mentions tracing.
+#[test]
+fn trace_stream_is_deterministic_and_inert() {
+    use dmhpc::core::faults::FaultConfig;
+    use dmhpc::core::trace::{validate_stream, JsonlSink, NullSink, RingSink, TraceSink};
+    let mix = MemoryMix::new(4096, 16384, 0.5);
+    let system = || {
+        synthetic_system(Scale::Small, mix)
+            .with_faults(FaultConfig::profile("heavy").unwrap().with_seed(7))
+    };
+    let workload = || synthetic_workload(Scale::Small, 0.5, 1.2, 0xACE);
+    let traced = |seed: u64| {
+        let (sink, buf) = JsonlSink::buffered();
+        let out = Simulation::new(system(), workload(), PolicyKind::Dynamic)
+            .with_seed(seed)
+            .with_trace_sink(Box::new(sink))
+            .run();
+        (out, buf.contents())
+    };
+    let (out_a, stream_a) = traced(0xACE);
+    let (out_b, stream_b) = traced(0xACE);
+    assert_eq!(
+        stream_a, stream_b,
+        "same seed must reproduce the stream byte for byte"
+    );
+    let n = validate_stream(stream_a.lines()).expect("stream validates");
+    assert!(n > 0, "a faulted dynamic run must emit events");
+    let (_, stream_c) = traced(0xACF);
+    assert_ne!(stream_a, stream_c, "a different sim seed must diverge");
+    // Sinks are outcome-inert: untraced, NullSink, and RingSink runs
+    // all produce the identical SimulationOutcome.
+    let plain = Simulation::new(system(), workload(), PolicyKind::Dynamic)
+        .with_seed(0xACE)
+        .run();
+    assert_eq!(plain, out_a, "JsonlSink must not perturb the run");
+    assert_eq!(plain, out_b);
+    for sink in [
+        Box::new(NullSink) as Box<dyn TraceSink>,
+        Box::new(RingSink::new(64)),
+    ] {
+        let out = Simulation::new(system(), workload(), PolicyKind::Dynamic)
+            .with_seed(0xACE)
+            .with_trace_sink(sink)
+            .run();
+        assert_eq!(plain, out, "sinks must be outcome-inert");
+    }
+}
+
 /// Drive a cluster into a random occupied state by replaying a sequence
 /// of placements/releases, mirroring `tests/property_invariants.rs`.
 fn occupy(cluster: &mut Cluster, ops: &[(u32, u64, u8)], policy: PolicyKind) {
