@@ -6,8 +6,10 @@
 //!
 //! * [`cluster`] — nodes, the disaggregated-memory lend/borrow ledger and
 //!   its invariants (lend cap, memory-node rule);
-//! * [`policy`] — the three allocation policies (Baseline, Static,
-//!   Dynamic) and their placement/growth logic;
+//! * [`policy`] — the allocation policies (the paper's Baseline, Static,
+//!   Dynamic plus the predictive/overcommit/conservative extensions),
+//!   their placement/growth logic, and the parameterized
+//!   [`policy::PolicySpec`] construction API;
 //! * [`sched`] — FCFS + EASY-backfill queue machinery;
 //! * [`engine`] — simulated time and the re-schedulable event queue;
 //! * [`sim`] — the driver tying it all together: job lifecycle,
@@ -71,7 +73,7 @@ pub use engine::SimTime;
 pub use error::CoreError;
 pub use faults::{FaultConfig, FaultEvent, FaultSchedule};
 pub use job::{Job, JobId, MemoryUsageTrace};
-pub use policy::PolicyKind;
+pub use policy::{PolicyInfo, PolicyKind, PolicySpec};
 pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};
 pub use trace::{
     CountingSink, FanoutSink, JsonlSink, NullSink, RingSink, RunMetrics, TraceEvent, TraceKind,

@@ -12,6 +12,13 @@
 //!   track actual usage (this paper, §2.2). Growth is local-first then
 //!   remote; shrinking releases remote memory first.
 //!
+//! Three extensions beyond the paper's comparison live in submodules
+//! behind the same [`MemoryPolicy`] trait — [`predictive`] (class-
+//! history sizing), [`overcommit`] (admission at a scaled request), and
+//! [`conservative`] (quantized growth). The parameterized construction
+//! API over all six is [`PolicySpec`]; [`PolicyKind`] remains as a thin
+//! compatibility enum for the paper's three.
+//!
 //! Placement functions are pure with respect to the cluster (they only
 //! read); the simulation applies the returned [`JobAlloc`] through
 //! [`Cluster::start_job`] / [`Cluster::grow_entry`].
@@ -28,6 +35,16 @@ use crate::cluster::{AllocEntry, Cluster, JobAlloc, NodeId};
 use crate::error::CoreError;
 use crate::sim::hooks::{Baseline, DynamicAlloc, MemoryPolicy, StaticAlloc};
 use serde::{Deserialize, Serialize};
+
+pub mod conservative;
+pub mod overcommit;
+pub mod predictive;
+pub mod spec;
+
+pub use conservative::ConservativeGrowth;
+pub use overcommit::Overcommit;
+pub use predictive::Predictive;
+pub use spec::{PolicyInfo, PolicySpec};
 
 /// Reusable buffers for [`try_place_with`]; owning one across calls makes
 /// the placement hot path allocation-free apart from the returned
@@ -47,7 +64,12 @@ impl PlacementScratch {
     }
 }
 
-/// Which allocation policy a simulation runs.
+/// The paper's three allocation policies, as a closed config enum.
+///
+/// Kept as a thin compatibility alias for code that only sweeps the
+/// paper's comparison; the open-ended construction API — including the
+/// predictive/overcommit/conservative extensions and their parameters
+/// — is [`PolicySpec`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PolicyKind {
     /// Exclusive node memory, no disaggregation.
@@ -96,14 +118,18 @@ impl PolicyKind {
 impl std::str::FromStr for PolicyKind {
     type Err = CoreError;
 
-    /// Parse a CLI/config policy name (`baseline`, `static`, `dynamic`).
+    /// Parse one of the paper's policy names (`baseline`, `static`,
+    /// `dynamic`). The error enumerates the full [`PolicySpec`]
+    /// registry, since callers that reach this parser usually meant one
+    /// of those specs.
     fn from_str(s: &str) -> Result<Self, CoreError> {
         match s {
             "baseline" => Ok(PolicyKind::Baseline),
             "static" => Ok(PolicyKind::Static),
             "dynamic" => Ok(PolicyKind::Dynamic),
             other => Err(CoreError::invalid_config(format!(
-                "unknown policy '{other}' (expected baseline, static, or dynamic)"
+                "unknown policy '{other}' (known policies: {})",
+                PolicySpec::known_names()
             ))),
         }
     }

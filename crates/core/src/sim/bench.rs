@@ -68,7 +68,7 @@ impl SchedPassBench {
         for i in 0..busy {
             let jid = JobId(i as u32);
             let alloc = runner.place(1, 48 * 1024).expect("busy job fits");
-            runner.start_job(jid, alloc);
+            runner.start_job(jid, alloc, 48 * 1024);
         }
         for i in busy..busy + queued {
             let jid = JobId(i as u32);

@@ -43,7 +43,7 @@ impl Runner {
                 return;
             }
         }
-        let management = self.policy.management(self.st[jid.0 as usize].static_mode);
+        let management = self.job_management(jid);
         if management == MemManagement::Managed {
             // Fault injection: the Monitor sample may be lost, in which
             // case the Decider acts on the last-known demand (i.e. the

@@ -79,6 +79,29 @@ pub trait MemoryPolicy: std::fmt::Debug + Send + Sync {
     /// for it.
     fn management(&self, static_mode: bool) -> MemManagement;
 
+    /// Size the per-node allocation the scheduler places for a job:
+    /// the submitted request, or a policy-adjusted figure derived from
+    /// `class_peak_mb` — the historical peak of completed jobs of the
+    /// same application class (`None` until one completes). The default
+    /// honours the request verbatim. The runner always pins a
+    /// static-mode (fairness-ladder) job at its full request, so
+    /// implementations never see that case.
+    fn size_request(&self, request_mb: u64, class_peak_mb: Option<u64>) -> u64 {
+        let _ = class_peak_mb;
+        request_mb
+    }
+
+    /// [`management`](MemoryPolicy::management) with placement context:
+    /// `undersized` is true when
+    /// [`size_request`](MemoryPolicy::size_request) placed the job below
+    /// its submitted request. Policies that pin right-sized jobs but
+    /// must manage undersized ones (the predictive scheme) override
+    /// this; the default ignores the hint.
+    fn management_for(&self, static_mode: bool, undersized: bool) -> MemManagement {
+        let _ = undersized;
+        self.management(static_mode)
+    }
+
     /// The Decider (§2.2): compare the job's per-node allocations
     /// against the demand the Monitor sampled and decide what the
     /// Actuator must do. Only consulted for [`MemManagement::Managed`]
@@ -251,6 +274,23 @@ mod tests {
         assert_eq!(DynamicAlloc.management(false), MemManagement::Managed);
         // Static mode pins every policy.
         assert_eq!(DynamicAlloc.management(true), MemManagement::Pinned);
+    }
+
+    #[test]
+    fn default_sizing_honours_the_request() {
+        // The paper's three policies place exactly what was submitted,
+        // with or without class history, and ignore the undersized hint.
+        assert_eq!(StaticAlloc.size_request(4096, None), 4096);
+        assert_eq!(StaticAlloc.size_request(4096, Some(1024)), 4096);
+        assert_eq!(DynamicAlloc.size_request(4096, Some(9999)), 4096);
+        assert_eq!(
+            DynamicAlloc.management_for(false, true),
+            MemManagement::Managed
+        );
+        assert_eq!(
+            StaticAlloc.management_for(false, true),
+            MemManagement::Pinned
+        );
     }
 
     #[test]

@@ -20,8 +20,10 @@
 //!
 //! - [`hooks`] — the [`MemoryPolicy`] trait the runner calls for every
 //!   policy-dependent decision, plus the [`Baseline`], [`StaticAlloc`],
-//!   and [`DynamicAlloc`] implementations. The runner itself contains
-//!   no per-policy branches.
+//!   and [`DynamicAlloc`] implementations (the predictive, overcommit,
+//!   and conservative-growth extensions live under
+//!   [`crate::policy`]). The runner itself contains no per-policy
+//!   branches.
 //! - [`runner`](self) — [`Simulation`] (configuration + builders) and
 //!   the event loop that dispatches events to the layers below.
 //! - `state` — [`Workload`], the per-job lifecycle state machine, and

@@ -17,7 +17,7 @@ use dmhpc_model::{ContentionModel, ProfilePool};
 
 use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
 
-use super::hooks::MemoryPolicy;
+use super::hooks::{MemManagement, MemoryPolicy};
 use super::schedule::SchedScratch;
 use super::state::{FailReason, JobOutcome, JobRecord, JobState, Status, Workload};
 use super::stats::{Metrics, SimulationOutcome, Stats};
@@ -134,6 +134,11 @@ pub(crate) struct Runner {
     pub(crate) scratch: SchedScratch,
     pub(crate) reference_scheduler: bool,
     pub(crate) monitor: crate::dynmem::Monitor,
+    /// Highest peak usage of any *completed* job, per application
+    /// class (indexed by `ProfileId`); 0 until a job of the class
+    /// completes. The [`MemoryPolicy::size_request`] hook reads it to
+    /// size allocations predictively.
+    pub(crate) class_peaks: Vec<u64>,
 
     // Fault injection.
     pub(crate) faults: FaultConfig,
@@ -171,14 +176,23 @@ impl Runner {
         let mut queue = EventQueue::new();
         let mut st = vec![JobState::new(); n];
         // Feasibility screen on the empty cluster: unschedulable jobs are
-        // excluded up front (they would pin the queue head forever).
+        // excluded up front (they would pin the queue head forever). The
+        // screen sizes with no class history (none exists yet) and takes
+        // the max with the raw request, because a job the fairness
+        // ladder later demotes to static mode must be placeable at its
+        // full request — placement success is monotone decreasing in
+        // the request, so screening at the max covers both modes.
         let mut submits = 0u32;
         let mut screen_scratch = crate::policy::PlacementScratch::new();
         for job in &sim.workload.jobs {
+            let screen_mb = sim
+                .policy
+                .size_request(job.mem_request_mb, None)
+                .max(job.mem_request_mb);
             let ok = job.nodes as usize <= cluster.len()
                 && sim
                     .policy
-                    .place(&cluster, job.nodes, job.mem_request_mb, &mut screen_scratch)
+                    .place(&cluster, job.nodes, screen_mb, &mut screen_scratch)
                     .is_some();
             if ok {
                 queue.push(SimTime::from_secs(job.submit_s), EventKind::Submit(job.id));
@@ -219,6 +233,7 @@ impl Runner {
         let monitor = crate::dynmem::Monitor::new(sim.cfg.mem_update_interval_s)
             .expect("SystemConfig carries a positive update interval");
         let trace_on = sim.sink.enabled();
+        let class_peaks = vec![0u64; sim.workload.pool.len()];
         Self {
             rng: Rng64::stream(sim.seed, 0xD15A),
             fault_rng: Rng64::stream(faults.seed, STREAM_SIM_FAULTS),
@@ -239,6 +254,7 @@ impl Runner {
             running: Vec::new(),
             scratch: SchedScratch::default(),
             reference_scheduler: sim.reference_scheduler,
+            class_peaks,
             now: SimTime::ZERO,
             tick_scheduled: true,
             change_counter: 1,
@@ -253,6 +269,31 @@ impl Runner {
 
     pub(crate) fn job(&self, id: JobId) -> &Job {
         &self.jobs[id.0 as usize]
+    }
+
+    /// The per-node MB the scheduler asks the policy to place for this
+    /// job right now: the submitted request, adjusted by the policy's
+    /// [`MemoryPolicy::size_request`] hook using the accumulated
+    /// class-peak history. A job the fairness ladder demoted to static
+    /// mode is always pinned at its full request — the
+    /// static-guaranteed promise of §2.2.
+    pub(crate) fn effective_request(&self, jid: JobId) -> u64 {
+        let job = &self.jobs[jid.0 as usize];
+        if self.st[jid.0 as usize].static_mode {
+            return job.mem_request_mb;
+        }
+        let peak = self.class_peaks[job.profile.0 as usize];
+        self.policy
+            .size_request(job.mem_request_mb, (peak > 0).then_some(peak))
+    }
+
+    /// Management mode for a placed job: the policy's answer given the
+    /// job's fairness-ladder state and whether its current attempt was
+    /// placed below the submitted request.
+    pub(crate) fn job_management(&self, jid: JobId) -> MemManagement {
+        let s = &self.st[jid.0 as usize];
+        let undersized = s.sized_mb < self.jobs[jid.0 as usize].mem_request_mb;
+        self.policy.management_for(s.static_mode, undersized)
     }
 
     /// Emit one trace event at the current sim-time. `TraceKind` is
@@ -391,6 +432,11 @@ impl Runner {
         self.running.retain(|&r| r != jid);
         let job_submit = self.job(jid).submit_s;
         let base = self.job(jid).base_runtime_s;
+        // Completion feeds the class-peak history the predictive sizing
+        // hook reads; only completed jobs count (a killed attempt's
+        // observed usage is censored).
+        let class = self.job(jid).profile.0 as usize;
+        self.class_peaks[class] = self.class_peaks[class].max(self.job(jid).peak_mb());
         let s = &mut self.st[jid.0 as usize];
         s.status = Status::Done;
         s.life_epoch += 1;

@@ -82,12 +82,14 @@ impl Runner {
         let mut backfill_seen = 0usize;
         for &jid in &window {
             let job = &self.jobs[jid.0 as usize];
-            let (nodes, req) = (job.nodes, job.mem_request_mb);
-            let time_limit_s = job.time_limit_s;
+            let (nodes, time_limit_s) = (job.nodes, job.time_limit_s);
+            // Placement, reservation, and dominance all key on the
+            // policy-sized request, not the raw submission.
+            let req = self.effective_request(jid);
             match head_blocked {
                 None => {
                     if let Some(alloc) = self.place(nodes, req) {
-                        self.start_job(jid, alloc);
+                        self.start_job(jid, alloc, req);
                         started.push(jid);
                         failed.clear();
                     } else {
@@ -113,7 +115,7 @@ impl Runner {
                     let total_req = nodes as u64 * req;
                     let within_surplus = nodes <= r.surplus_nodes && total_req <= r.surplus_mem_mb;
                     if ends_before {
-                        self.start_job(jid, alloc);
+                        self.start_job(jid, alloc, req);
                         started.push(jid);
                         failed.clear();
                     } else if within_surplus {
@@ -121,7 +123,7 @@ impl Runner {
                         // reservation time.
                         r.surplus_nodes -= nodes;
                         r.surplus_mem_mb -= total_req;
-                        self.start_job(jid, alloc);
+                        self.start_job(jid, alloc, req);
                         started.push(jid);
                         failed.clear();
                     }
@@ -158,6 +160,9 @@ impl Runner {
             }
         }));
         releases.sort_unstable_by(|a, b| a.at_s.total_cmp(&b.at_s));
+        // Reserve for what the policy will actually place, which may
+        // differ from the raw submission (predictive/overcommit sizing).
+        let head_req = self.effective_request(head);
         let job = self.job(head);
         // Down nodes count as idle (nothing runs on them) but are not
         // available to a reservation.
@@ -168,7 +173,7 @@ impl Runner {
         let res = compute_reservation(
             self.now.as_secs(),
             job.nodes,
-            job.nodes as u64 * job.mem_request_mb,
+            job.nodes as u64 * head_req,
             available as u32,
             self.cluster.free_pool_mb(),
             &releases,
@@ -177,13 +182,18 @@ impl Runner {
         res
     }
 
-    pub(crate) fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc) {
+    /// Start `jid` on `alloc`. `sized_mb` is the per-node request the
+    /// placement used (the policy's `size_request` answer); it is
+    /// recorded so management-mode checks can tell an undersized
+    /// attempt from a right-sized one.
+    pub(crate) fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc, sized_mb: u64) {
         let mut lenders = std::mem::take(&mut self.scratch.lenders);
         alloc.lenders_into(&mut lenders);
         let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
         self.cluster.start_job(jid, alloc, bw);
         let s = &mut self.st[jid.0 as usize];
         s.status = Status::Running;
+        s.sized_mb = sized_mb;
         s.start = self.now;
         s.last_advance = self.now;
         s.work_done_s = s.checkpoint_s;
@@ -213,7 +223,7 @@ impl Runner {
         // Managed allocations begin the monitor/update loop. Pinned
         // allocations schedule the exceeded-request kill probe if the
         // trace will overflow the request.
-        let management = self.policy.management(self.st[jid.0 as usize].static_mode);
+        let management = self.job_management(jid);
         if management == MemManagement::Pinned {
             // Pinned jobs (static/baseline policies, and managed jobs
             // demoted to the static-fallback mitigation) keep their

@@ -112,6 +112,10 @@ pub(crate) struct JobState {
     /// Consecutive Actuator failures on the current resize; reset to
     /// zero by every successful update.
     pub(crate) actuator_attempts: u32,
+    /// Per-node MB the current attempt was placed with (the policy's
+    /// [`size_request`](crate::sim::MemoryPolicy::size_request) answer);
+    /// below `mem_request_mb` means the job runs undersized.
+    pub(crate) sized_mb: u64,
 }
 
 impl JobState {
@@ -133,6 +137,7 @@ impl JobState {
             static_mode: false,
             fault_killed: false,
             actuator_attempts: 0,
+            sized_mb: 0,
         }
     }
 }

@@ -6,10 +6,11 @@
 //!
 //! commands: table1 table2 table3 table4
 //!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
-//!           ablate fault-sweep validate all
+//!           ablate fault-sweep validate all policies
 //!           export simulate chart bench-sched trace-run help
 //! ```
 
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_experiments::exp;
 use dmhpc_experiments::scale::Scale;
 use dmhpc_experiments::table::TextTable;
@@ -70,15 +71,16 @@ fn usage() -> String {
      \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
      \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
      \x20 ablate                                 design-choice ablations\n\
-     \x20 fault-sweep [--fault-seed S] [--fault-profile none|light|heavy]\n\
+     \x20 fault-sweep [--fault-seed S] [--fault-profile none|light|heavy] [--policies SPECS]\n\
      \x20                                        resilience under injected faults\n\
      \x20 validate                               PASS/FAIL the headline claims\n\
      \x20 all                                    everything above\n\
+     \x20 policies                               list the policy registry (specs & defaults)\n\
      \x20 export  --out DIR [--jobs N] [--large F] [--over O] [--seed S]\n\
      \x20                                        write workload.swf + usage.txt\n\
      \x20 simulate --swf FILE [--usage FILE] [--policy P] [--nodes N] [--large-nodes F]\n\
      \x20                                        run an SWF trace through the simulator\n\
-     \x20 chart   [--large F] [--over O] [--width N]\n\
+     \x20 chart   [--large F] [--over O] [--width N] [--policies SPECS]\n\
      \x20                                        ASCII throughput panel for one sweep leg\n\
      \x20 bench-sched [--out FILE] [--samples N] [--queued N]\n\
      \x20                                        time schedule_pass (indexed vs reference scans)\n\
@@ -89,8 +91,52 @@ fn usage() -> String {
      \x20                                        dump one run's event trace as JSONL;\n\
      \x20                                        --diff reports the first event where two\n\
      \x20                                        sim seeds part, --check validates a file\n\
-     \x20 help                                   show this message"
+     \x20 help                                   show this message\n\
+     \n\
+     fig5 and fig8 also accept --policies SPECS, a comma-separated list of\n\
+     policy specs like 'baseline,dynamic,overcommit:factor=0.8' (see\n\
+     `dmhpc policies` for the registry; defaults to every policy)"
         .to_string()
+}
+
+/// Parse `--policies spec,spec,...` from the option map, defaulting to
+/// every registered policy. The baseline policy is always included —
+/// sweeps normalise against it.
+fn policies_from_opts(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<Vec<PolicySpec>, String> {
+    match opts.get("policies") {
+        Some(s) => {
+            let mut list = PolicySpec::parse_list(s).map_err(|e| format!("--policies: {e}"))?;
+            if !list.contains(&PolicySpec::Baseline) {
+                list.insert(0, PolicySpec::Baseline);
+            }
+            Ok(list)
+        }
+        None => Ok(PolicySpec::all_default()),
+    }
+}
+
+/// `dmhpc policies`: the registry as a table.
+fn cmd_policies(csv: bool) {
+    let mut t = TextTable::new(vec!["name", "parameters", "default spec", "description"]);
+    for info in PolicySpec::registry() {
+        t.row(vec![
+            info.name.to_string(),
+            if info.params.is_empty() {
+                "-".to_string()
+            } else {
+                info.params.to_string()
+            },
+            info.default_spec.to_string(),
+            info.description.to_string(),
+        ]);
+    }
+    emit(
+        "Memory-policy registry (--policy / --policies specs)",
+        &t,
+        csv,
+    );
 }
 
 fn opt_parse<T: std::str::FromStr>(
@@ -176,7 +222,8 @@ fn cmd_chart(
     } else {
         vec![0.0, over]
     };
-    let sweep = ThroughputSweep::run(scale, &[trace], &overs, threads);
+    let policies = policies_from_opts(opts)?;
+    let sweep = ThroughputSweep::run_with_policies(scale, &[trace], &overs, threads, &policies);
     print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
     Ok(())
 }
@@ -187,7 +234,6 @@ fn cmd_simulate(
 ) -> Result<(), String> {
     use dmhpc_core::cluster::MemoryMix;
     use dmhpc_core::config::SystemConfig;
-    use dmhpc_core::policy::PolicyKind;
     use dmhpc_core::sim::Simulation;
     let swf_path = opts.get("swf").ok_or("simulate requires --swf FILE")?;
     let swf_text = std::fs::read_to_string(swf_path).map_err(|e| format!("{swf_path}: {e}"))?;
@@ -195,7 +241,7 @@ fn cmd_simulate(
         Some(p) => Some(std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?),
         None => None,
     };
-    let policy: PolicyKind = opts
+    let policy: PolicySpec = opts
         .get("policy")
         .map(String::as_str)
         .unwrap_or("dynamic")
@@ -214,7 +260,7 @@ fn cmd_simulate(
         large_nodes,
     ));
     let n_jobs = workload.len();
-    let out = Simulation::new(system, workload, policy).run();
+    let out = Simulation::from_policy(system, workload, policy.build()).run();
     let mut t = TextTable::new(vec!["metric", "value"]);
     t.row(vec!["jobs".to_string(), n_jobs.to_string()]);
     t.row(vec!["policy".to_string(), policy.to_string()]);
@@ -388,7 +434,7 @@ fn trace_scenario(
 /// [`RunMetrics`]: dmhpc_core::RunMetrics
 fn run_traced(
     scale: Scale,
-    policy: dmhpc_core::policy::PolicyKind,
+    policy: PolicySpec,
     seed: u64,
     profile: &str,
     fault_seed: u64,
@@ -407,7 +453,7 @@ fn run_traced(
         ])),
         None => Box::new(jsonl.clone()),
     };
-    Simulation::new(system, workload, policy)
+    Simulation::from_policy(system, workload, policy.build())
         .with_seed(seed)
         .with_trace_sink(sink)
         .run();
@@ -534,7 +580,6 @@ fn cmd_trace_run(
     scale: Scale,
     opts: &std::collections::HashMap<String, String>,
 ) -> Result<(), String> {
-    use dmhpc_core::policy::PolicyKind;
     use dmhpc_experiments::scenario::BASE_SEED;
     // --check FILE: validate an existing stream and stop.
     if let Some(path) = opts.get("check") {
@@ -544,7 +589,7 @@ fn cmd_trace_run(
         println!("{path}: {n} events, all lines parse, sim-time non-decreasing");
         return Ok(());
     }
-    let policy: PolicyKind = opts
+    let policy: PolicySpec = opts
         .get("policy")
         .map(String::as_str)
         .unwrap_or("dynamic")
@@ -619,7 +664,8 @@ fn cmd_fault_sweep(
 ) -> Result<(), String> {
     let seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
     let profile = opts.get("fault-profile").map(String::as_str);
-    let sweep = exp::faults::run_opts(scale, threads, seed, profile)
+    let policies = policies_from_opts(opts)?;
+    let sweep = exp::faults::run_opts(scale, threads, seed, profile, &policies)
         .map_err(|e| format!("fault-sweep: {e}"))?;
     emit(
         "Fault sweep: resilience under injected faults (stress scenario, C/R)",
@@ -650,7 +696,13 @@ fn emit(title: &str, t: &TextTable, csv: bool) {
     }
 }
 
-fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(), String> {
+fn run_command(
+    cmd: &str,
+    scale: Scale,
+    threads: usize,
+    csv: bool,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
     match cmd {
         "table1" => emit("Table 1: trace sources", &exp::tables::table1(), csv),
         "table2" => emit(
@@ -699,7 +751,7 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
             }
         }
         "fig5" => {
-            let f = exp::fig5::run(scale, threads);
+            let f = exp::fig5::run_with_policies(scale, threads, &policies_from_opts(opts)?);
             emit("Figure 5: normalized throughput", &f.table(), csv);
             if !csv {
                 if let Some((trace, over, mem, gain)) = f.max_dynamic_gain() {
@@ -733,7 +785,7 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
             }
         }
         "fig8" => {
-            let f = exp::fig8::run(scale, threads);
+            let f = exp::fig8::run_with_policies(scale, threads, &policies_from_opts(opts)?);
             emit("Figure 8: throughput vs overestimation", &f.table(), csv);
             if !csv {
                 if let Some(gap) = f.gap_at_37("large 50%", 1.0) {
@@ -763,18 +815,19 @@ fn run_command(cmd: &str, scale: Scale, threads: usize, csv: bool) -> Result<(),
                 return Err("some claims failed validation".into());
             }
         }
+        "policies" => cmd_policies(csv),
         "all" => {
             for c in [
                 "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6", "fig7",
             ] {
-                run_command(c, scale, threads, csv)?;
+                run_command(c, scale, threads, csv, opts)?;
             }
             // Figures 8 and 9 share one sweep; run it once.
-            let f8 = exp::fig8::run(scale, threads);
+            let f8 = exp::fig8::run_with_policies(scale, threads, &policies_from_opts(opts)?);
             emit("Figure 8: throughput vs overestimation", &f8.table(), csv);
             let f9 = exp::fig9::derive(&f8, "large 50%");
             emit("Figure 9: min memory for 95% throughput", &f9.table(), csv);
-            run_command("ablate", scale, threads, csv)?;
+            run_command("ablate", scale, threads, csv, opts)?;
         }
         other => return Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -801,7 +854,7 @@ fn main() {
         "simulate" => cmd_simulate(args.scale, &args.opts),
         "bench-sched" => cmd_bench_sched(&args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
-        cmd => run_command(cmd, args.scale, args.threads, args.csv),
+        cmd => run_command(cmd, args.scale, args.threads, args.csv, &args.opts),
     };
     if let Err(e) = result {
         eprintln!("{e}");
@@ -844,11 +897,74 @@ mod tests {
     fn bad_policy_name_is_rejected_with_hint() {
         let err = "greedy".parse::<PolicyKind>().unwrap_err().to_string();
         assert!(err.contains("unknown policy 'greedy'"), "{err}");
-        assert!(err.contains("baseline, static, or dynamic"), "{err}");
+        // The hint enumerates the whole registry, not just the paper's
+        // three policies.
+        for name in [
+            "baseline",
+            "static",
+            "dynamic",
+            "predictive",
+            "overcommit",
+            "conservative",
+        ] {
+            assert!(err.contains(name), "hint missing '{name}': {err}");
+        }
         // Case- and whitespace-sensitive: the CLI passes values verbatim.
         assert!("Dynamic".parse::<PolicyKind>().is_err());
         assert!(" dynamic".parse::<PolicyKind>().is_err());
         assert!("".parse::<PolicyKind>().is_err());
+    }
+
+    #[test]
+    fn policy_specs_round_trip_through_args() {
+        let args = parse(&[
+            "fault-sweep",
+            "--policies",
+            "baseline,overcommit:factor=0.8,conservative:quantum=4096",
+        ])
+        .unwrap();
+        let specs = policies_from_opts(&args.opts).unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                PolicySpec::Baseline,
+                PolicySpec::Overcommit { factor: 0.8 },
+                PolicySpec::Conservative { quantum_mb: 4096 },
+            ]
+        );
+        // Display → FromStr is the identity on every parsed spec.
+        for s in specs {
+            assert_eq!(s.to_string().parse::<PolicySpec>().unwrap(), s);
+        }
+        // No --policies flag means the full registry.
+        let args = parse(&["fault-sweep"]).unwrap();
+        assert_eq!(
+            policies_from_opts(&args.opts).unwrap(),
+            PolicySpec::all_default()
+        );
+        // Baseline is always added: the sweep normalises against it.
+        let args = parse(&["fig5", "--policies", "dynamic"]).unwrap();
+        assert_eq!(
+            policies_from_opts(&args.opts).unwrap(),
+            vec![PolicySpec::Baseline, PolicySpec::Dynamic]
+        );
+    }
+
+    #[test]
+    fn bad_policy_specs_are_rejected() {
+        for bad in [
+            "greedy",
+            "overcommit:factor=0",
+            "overcommit:factor=nan",
+            "conservative:quantum=0",
+            "predictive:history=maybe",
+            "dynamic:factor=2.0",
+            "",
+        ] {
+            let args = parse(&["fault-sweep", "--policies", bad]).unwrap();
+            let err = policies_from_opts(&args.opts).unwrap_err();
+            assert!(err.starts_with("--policies:"), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -907,6 +1023,7 @@ mod tests {
             "fault-sweep",
             "validate",
             "all",
+            "policies",
             "export",
             "simulate",
             "chart",
@@ -920,7 +1037,8 @@ mod tests {
 
     #[test]
     fn unknown_command_error_lists_trace_run() {
-        let err = run_command("bogus", Scale::Small, 1, false).unwrap_err();
+        let opts = std::collections::HashMap::new();
+        let err = run_command("bogus", Scale::Small, 1, false, &opts).unwrap_err();
         assert!(err.contains("unknown command 'bogus'"), "{err}");
         assert!(err.contains("trace-run"), "{err}");
     }
@@ -973,7 +1091,7 @@ mod tests {
     fn trace_run_stream_is_valid_and_deterministic() {
         let (a, m) = run_traced(
             Scale::Small,
-            PolicyKind::Dynamic,
+            PolicySpec::Dynamic,
             42,
             "heavy",
             7,
@@ -983,7 +1101,7 @@ mod tests {
         .unwrap();
         let (b, _) = run_traced(
             Scale::Small,
-            PolicyKind::Dynamic,
+            PolicySpec::Dynamic,
             42,
             "heavy",
             7,

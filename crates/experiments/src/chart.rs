@@ -61,9 +61,12 @@ pub fn sweep_panel(
     let mut rows: Vec<(String, Option<f64>)> = Vec::new();
     let mut pts: Vec<_> = sweep.leg(trace, overest).collect();
     pts.sort_by_key(|p| (p.mem_pct, format!("{}", p.policy)));
+    // Wide enough for the longest parameterized spec label
+    // ("conservative:quantum=4096"); bar_panel re-pads to the actual
+    // longest label anyway, this just keeps short lists uniform.
     for p in &pts {
         rows.push((
-            format!("{:>3}% {:<8}", p.mem_pct, p.policy.to_string()),
+            format!("{:>3}% {:<12}", p.mem_pct, p.policy.to_string()),
             sweep.normalized(p),
         ));
     }

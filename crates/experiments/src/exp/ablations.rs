@@ -17,7 +17,7 @@ use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED}
 use crate::table::TextTable;
 use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::config::{RestartStrategy, SystemConfig};
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
 
 /// One ablation result row.
@@ -47,7 +47,7 @@ fn stress_system(scale: Scale) -> SystemConfig {
 }
 
 fn run_one(system: SystemConfig, workload: Workload, label: String) -> AblationRow {
-    let out = simulate(system, workload, PolicyKind::Dynamic, BASE_SEED ^ 0xAB);
+    let out = simulate(system, workload, PolicySpec::Dynamic, BASE_SEED ^ 0xAB);
     let median = if out.response_times_s.is_empty() {
         0.0
     } else {

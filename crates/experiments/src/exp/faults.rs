@@ -5,7 +5,7 @@
 //! `dmhpc_core::faults` — node crashes, pool-blade degradation, Monitor
 //! sample loss and Actuator transient failures — into the stress
 //! scenario (underprovisioned system, 50% large jobs, +60%
-//! overestimation) and compares how the three policies degrade. All
+//! overestimation) and compares how the registered policies degrade. All
 //! runs use Checkpoint/Restart so the work-lost vs checkpoint-credit
 //! split is visible; the `none` profile doubles as a control that must
 //! match the fault-free simulator bit for bit.
@@ -18,7 +18,7 @@ use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::config::{RestartStrategy, SystemConfig};
 use dmhpc_core::error::CoreError;
 use dmhpc_core::faults::FaultConfig;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_metrics::resilience::{ResilienceSample, ResilienceSummary};
 
 /// Default fault-schedule seed (override with `--fault-seed`).
@@ -33,7 +33,7 @@ pub struct FaultRow {
     /// Fault profile name (`none`, `light`, `heavy`).
     pub profile: String,
     /// Allocation policy simulated.
-    pub policy: PolicyKind,
+    pub policy: PolicySpec,
     /// Throughput in jobs/s.
     pub throughput_jps: f64,
     /// Resilience counters extracted from the run.
@@ -53,18 +53,21 @@ fn stress_system(scale: Scale) -> SystemConfig {
         .with_restart(RestartStrategy::CheckpointRestart)
 }
 
-/// Run the default sweep: every profile × every policy.
+/// Run the default sweep: every profile × every registered policy.
 pub fn run(scale: Scale, threads: usize) -> FaultSweep {
-    run_opts(scale, threads, FAULT_SEED, None).expect("built-in fault profiles are valid")
+    run_opts(scale, threads, FAULT_SEED, None, &PolicySpec::all_default())
+        .expect("built-in fault profiles are valid")
 }
 
-/// Run the sweep with an explicit fault seed, optionally restricted to
-/// one profile (the CLI's `--fault-seed` / `--fault-profile`).
+/// Run the sweep with an explicit fault seed and policy list,
+/// optionally restricted to one profile (the CLI's `--fault-seed` /
+/// `--fault-profile` / `--policies`).
 pub fn run_opts(
     scale: Scale,
     threads: usize,
     fault_seed: u64,
     profile: Option<&str>,
+    policies: &[PolicySpec],
 ) -> Result<FaultSweep, CoreError> {
     let profiles: Vec<&str> = match profile {
         Some(p) => {
@@ -75,14 +78,10 @@ pub fn run_opts(
     };
     let workload = synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA);
     let total_jobs = workload.len() as u32;
-    let mut tasks: Vec<(String, PolicyKind, SystemConfig)> = Vec::new();
+    let mut tasks: Vec<(String, PolicySpec, SystemConfig)> = Vec::new();
     for prof in profiles {
         let faults = FaultConfig::profile(prof)?.with_seed(fault_seed);
-        for policy in [
-            PolicyKind::Baseline,
-            PolicyKind::Static,
-            PolicyKind::Dynamic,
-        ] {
+        for &policy in policies {
             tasks.push((
                 prof.to_string(),
                 policy,
@@ -162,23 +161,25 @@ mod tests {
 
     #[test]
     fn none_profile_is_a_clean_control() {
-        let sweep = run_opts(Scale::Small, 0, FAULT_SEED, Some("none")).unwrap();
-        assert_eq!(sweep.rows.len(), 3);
+        let policies = PolicySpec::all_default();
+        let sweep = run_opts(Scale::Small, 0, FAULT_SEED, Some("none"), &policies).unwrap();
+        assert_eq!(sweep.rows.len(), policies.len());
         for r in &sweep.rows {
             assert_eq!(r.sample.fault_kills, 0, "{}", r.policy);
             assert_eq!(r.sample.actuator_retries, 0, "{}", r.policy);
             assert_eq!(r.sample.pool_availability, 1.0, "{}", r.policy);
         }
         let s = sweep.summary("none").unwrap();
-        assert_eq!(s.runs, 3);
+        assert_eq!(s.runs, policies.len());
         assert_eq!(s.total_fault_kills, 0);
     }
 
     #[test]
     fn sweep_is_deterministic_and_renders() {
-        let a = run_opts(Scale::Small, 0, 7, Some("heavy")).unwrap();
-        let b = run_opts(Scale::Small, 2, 7, Some("heavy")).unwrap();
-        assert_eq!(a.rows.len(), 3);
+        let policies = PolicySpec::all_default();
+        let a = run_opts(Scale::Small, 0, 7, Some("heavy"), &policies).unwrap();
+        let b = run_opts(Scale::Small, 2, 7, Some("heavy"), &policies).unwrap();
+        assert_eq!(a.rows.len(), policies.len());
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.sample, y.sample, "{} {}", x.profile, x.policy);
         }
@@ -192,6 +193,7 @@ mod tests {
 
     #[test]
     fn unknown_profile_rejected() {
-        assert!(run_opts(Scale::Small, 1, 1, Some("apocalyptic")).is_err());
+        let policies = PolicySpec::all_default();
+        assert!(run_opts(Scale::Small, 1, 1, Some("apocalyptic"), &policies).is_err());
     }
 }

@@ -1,11 +1,12 @@
 //! Figure 5: normalised throughput vs total system memory, for large-job
 //! mixes {0, 15, 25, 50, 75, 100}% and the Grizzly trace, at +0% and
-//! +60% overestimation, under all three policies.
+//! +60% overestimation, under every registered policy (the paper's
+//! three plus the predictive/overcommit/conservative extensions).
 
 use crate::scale::Scale;
 use crate::sweep::{SweepPoint, ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 
 /// The large-job mixes of Figure 5's columns.
 pub const LARGE_MIXES: [f64; 6] = [0.0, 0.15, 0.25, 0.5, 0.75, 1.0];
@@ -19,15 +20,21 @@ pub struct Fig5 {
     pub sweep: ThroughputSweep,
 }
 
-/// Run the Figure 5 experiment.
+/// Run the Figure 5 experiment over every registered policy.
 pub fn run(scale: Scale, threads: usize) -> Fig5 {
+    run_with_policies(scale, threads, &PolicySpec::all_default())
+}
+
+/// Run the Figure 5 experiment over an explicit policy list (must
+/// include baseline, the normalisation reference).
+pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig5 {
     let mut traces: Vec<TraceSpec> = LARGE_MIXES
         .iter()
         .map(|&f| TraceSpec::Synthetic { large_fraction: f })
         .collect();
     traces.push(TraceSpec::Grizzly);
     Fig5 {
-        sweep: ThroughputSweep::run(scale, &traces, &OVERS, threads),
+        sweep: ThroughputSweep::run_with_policies(scale, &traces, &OVERS, threads, policies),
     }
 }
 
@@ -61,7 +68,7 @@ impl Fig5 {
     pub fn max_dynamic_gain(&self) -> Option<(String, f64, u32, f64)> {
         let mut best: Option<(String, f64, u32, f64)> = None;
         for p in &self.sweep.points {
-            if p.policy != PolicyKind::Dynamic {
+            if p.policy != PolicySpec::Dynamic {
                 continue;
             }
             let Some(dyn_norm) = self.sweep.normalized(p) else {
@@ -71,7 +78,7 @@ impl Fig5 {
                 q.trace == p.trace
                     && q.overest == p.overest
                     && q.mem_pct == p.mem_pct
-                    && q.policy == PolicyKind::Static
+                    && q.policy == PolicySpec::Static
             });
             let Some(stat_norm) = stat.and_then(|q| self.sweep.normalized(q)) else {
                 continue;
@@ -98,7 +105,7 @@ mod tests {
     use super::*;
     use crate::sweep::{SweepPoint, ThroughputSweep};
 
-    fn point(trace: &str, over: f64, mem: u32, policy: PolicyKind, jps: f64) -> SweepPoint {
+    fn point(trace: &str, over: f64, mem: u32, policy: PolicySpec, jps: f64) -> SweepPoint {
         SweepPoint {
             trace: trace.into(),
             overest: over,
@@ -118,11 +125,11 @@ mod tests {
         let f = Fig5 {
             sweep: ThroughputSweep {
                 points: vec![
-                    point("a", 0.0, 100, PolicyKind::Baseline, 1.0),
-                    point("a", 0.6, 37, PolicyKind::Static, 0.5),
-                    point("a", 0.6, 37, PolicyKind::Dynamic, 0.9), // +80%
-                    point("a", 0.6, 75, PolicyKind::Static, 0.9),
-                    point("a", 0.6, 75, PolicyKind::Dynamic, 0.99), // +10%
+                    point("a", 0.0, 100, PolicySpec::Baseline, 1.0),
+                    point("a", 0.6, 37, PolicySpec::Static, 0.5),
+                    point("a", 0.6, 37, PolicySpec::Dynamic, 0.9), // +80%
+                    point("a", 0.6, 75, PolicySpec::Static, 0.9),
+                    point("a", 0.6, 75, PolicySpec::Dynamic, 0.99), // +10%
                 ],
             },
         };
@@ -136,9 +143,9 @@ mod tests {
         let f = Fig5 {
             sweep: ThroughputSweep {
                 points: vec![
-                    point("a", 0.0, 100, PolicyKind::Baseline, 1.0),
-                    point("a", 0.6, 37, PolicyKind::Dynamic, 0.9),
-                    point("b", 0.6, 37, PolicyKind::Dynamic, 0.9),
+                    point("a", 0.0, 100, PolicySpec::Baseline, 1.0),
+                    point("a", 0.6, 37, PolicySpec::Dynamic, 0.9),
+                    point("b", 0.6, 37, PolicySpec::Dynamic, 0.9),
                 ],
             },
         };

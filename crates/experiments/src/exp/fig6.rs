@@ -1,6 +1,8 @@
 //! Figure 6: ECDF of job response times for overprovisioned, matching
 //! and underprovisioned systems, at +0% and +60% overestimation, under
-//! the static and dynamic policies.
+//! every disaggregated policy (static, dynamic, and the parameterized
+//! extensions — baseline is excluded because it cannot change the
+//! response-time distribution of a fixed-mix system).
 //!
 //! A system with a 50%-large-memory job mix is *matching* when 50% of
 //! its nodes are large, *overprovisioned* at 75% large nodes, and
@@ -11,7 +13,7 @@ use crate::scale::Scale;
 use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
 use dmhpc_core::cluster::MemoryMix;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_metrics::ecdf::Ecdf;
 
 /// Provisioning scenarios of Figure 6.
@@ -58,16 +60,25 @@ pub struct Fig6Cell {
     pub provisioning: Provisioning,
     /// Overestimation factor.
     pub overest: f64,
-    /// Policy (static or dynamic).
-    pub policy: PolicyKind,
+    /// Policy (any disaggregated spec).
+    pub policy: PolicySpec,
     /// The ECDF of response times (empty runs yield `None`).
     pub ecdf: Option<Ecdf>,
 }
 
 /// Figure 6's data.
 pub struct Fig6 {
-    /// All twelve cells.
+    /// One cell per (provisioning, overestimation, policy).
     pub cells: Vec<Fig6Cell>,
+}
+
+/// The policies Figure 6 compares: every registered disaggregated
+/// policy at its default parameters.
+fn fig6_policies() -> Vec<PolicySpec> {
+    PolicySpec::all_default()
+        .into_iter()
+        .filter(|p| p.disaggregated())
+        .collect()
 }
 
 /// Run the Figure 6 experiment.
@@ -80,7 +91,7 @@ pub fn run(scale: Scale, threads: usize) -> Fig6 {
     let mut tasks = Vec::new();
     for (oi, &over) in overs.iter().enumerate() {
         for prov in Provisioning::ALL {
-            for policy in [PolicyKind::Static, PolicyKind::Dynamic] {
+            for policy in fig6_policies() {
                 tasks.push((oi, over, prov, policy));
             }
         }
@@ -140,8 +151,8 @@ impl Fig6 {
                 .and_then(|c| c.ecdf.as_ref())
                 .map(Ecdf::median)
         };
-        let stat = median(PolicyKind::Static)?;
-        let dynm = median(PolicyKind::Dynamic)?;
+        let stat = median(PolicySpec::Static)?;
+        let dynm = median(PolicySpec::Dynamic)?;
         if stat <= 0.0 {
             return None;
         }
@@ -181,9 +192,13 @@ mod tests {
     }
 
     #[test]
-    fn small_run_produces_all_twelve_cells() {
+    fn small_run_produces_every_cell() {
+        // 2 overestimations × 3 provisioning scenarios × 5 disaggregated
+        // policies (baseline excluded).
+        let want = 2 * 3 * fig6_policies().len();
+        assert_eq!(want, 30);
         let f = run(Scale::Small, 0);
-        assert_eq!(f.cells.len(), 12);
+        assert_eq!(f.cells.len(), want);
         for c in &f.cells {
             let e = c.ecdf.as_ref().expect("every cell completes jobs");
             assert!(e.len() > 100);
@@ -196,7 +211,7 @@ mod tests {
             .expect("cells present");
         assert!(red > 0.0, "dynamic must reduce the median (got {red})");
         // Rendering works and has one row per cell.
-        assert_eq!(f.table().len(), 12);
-        assert_eq!(f.curves(8).len(), 12);
+        assert_eq!(f.table().len(), want);
+        assert_eq!(f.curves(8).len(), want);
     }
 }

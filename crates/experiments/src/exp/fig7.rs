@@ -1,14 +1,14 @@
 //! Figure 7: cost–benefit analysis — throughput per dollar (y) vs the
 //! percentage of large jobs (x), for systems provisioned with
 //! {100, 75, 50, 25}% of full memory, at +0% and +60% overestimation,
-//! under the static and dynamic policies.
+//! under every registered disaggregated policy.
 
 use crate::runner::run_parallel;
 use crate::scale::Scale;
 use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::{opt_cell, TextTable};
 use dmhpc_core::cluster::MemoryMix;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_metrics::cost::CostModel;
 
 /// The system memory provisioning panels of Figure 7 as `(percent, mix)`.
@@ -39,7 +39,7 @@ pub struct Fig7Point {
     /// Percent of large jobs (x).
     pub large_pct: u32,
     /// Policy.
-    pub policy: PolicyKind,
+    pub policy: PolicySpec,
     /// Throughput per dollar, `None` if the mix cannot run.
     pub throughput_per_usd: Option<f64>,
 }
@@ -61,10 +61,14 @@ pub fn run(scale: Scale, threads: usize) -> Fig7 {
     let workloads = run_parallel(legs.clone(), threads, |&(f, o)| {
         synthetic_workload(scale, f, o, BASE_SEED ^ 0x77)
     });
+    let policies: Vec<PolicySpec> = PolicySpec::all_default()
+        .into_iter()
+        .filter(|p| p.disaggregated())
+        .collect();
     let mut tasks = Vec::new();
     for (li, &(f, o)) in legs.iter().enumerate() {
         for &(pct, mix) in &system_panels() {
-            for policy in [PolicyKind::Static, PolicyKind::Dynamic] {
+            for &policy in &policies {
                 tasks.push((li, f, o, pct, mix, policy));
             }
         }
@@ -116,14 +120,14 @@ impl Fig7 {
     pub fn max_dynamic_advantage(&self, overest: f64) -> Option<f64> {
         let mut best: Option<f64> = None;
         for p in &self.points {
-            if p.policy != PolicyKind::Dynamic || p.overest != overest {
+            if p.policy != PolicySpec::Dynamic || p.overest != overest {
                 continue;
             }
             let stat = self.points.iter().find(|q| {
                 q.sys_mem_pct == p.sys_mem_pct
                     && q.overest == p.overest
                     && q.large_pct == p.large_pct
-                    && q.policy == PolicyKind::Static
+                    && q.policy == PolicySpec::Static
             })?;
             if let (Some(d), Some(s)) = (p.throughput_per_usd, stat.throughput_per_usd) {
                 if s > 0.0 {

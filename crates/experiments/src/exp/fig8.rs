@@ -5,7 +5,7 @@
 use crate::scale::Scale;
 use crate::sweep::{ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 
 /// The overestimation sweep of Figure 8.
 pub const OVERS: [f64; 6] = [0.0, 0.25, 0.5, 0.6, 0.75, 1.0];
@@ -16,8 +16,14 @@ pub struct Fig8 {
     pub sweep: ThroughputSweep,
 }
 
-/// Run the Figure 8 experiment.
+/// Run the Figure 8 experiment over every registered policy.
 pub fn run(scale: Scale, threads: usize) -> Fig8 {
+    run_with_policies(scale, threads, &PolicySpec::all_default())
+}
+
+/// Run the Figure 8 experiment over an explicit policy list (must
+/// include baseline, the normalisation reference).
+pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig8 {
     let traces = [
         TraceSpec::Synthetic {
             large_fraction: 0.5,
@@ -25,7 +31,7 @@ pub fn run(scale: Scale, threads: usize) -> Fig8 {
         TraceSpec::Grizzly,
     ];
     Fig8 {
-        sweep: ThroughputSweep::run(scale, &traces, &OVERS, threads),
+        sweep: ThroughputSweep::run_with_policies(scale, &traces, &OVERS, threads, policies),
     }
 }
 
@@ -55,7 +61,7 @@ impl Fig8 {
     /// underprovisioned point (37% memory) for a given overestimation —
     /// the paper reports > 38 percentage points at +100%.
     pub fn gap_at_37(&self, trace: &str, overest: f64) -> Option<f64> {
-        let find = |policy: PolicyKind| {
+        let find = |policy: PolicySpec| {
             self.sweep
                 .points
                 .iter()
@@ -67,7 +73,7 @@ impl Fig8 {
                 })
                 .and_then(|p| self.sweep.normalized(p))
         };
-        Some(find(PolicyKind::Dynamic)? - find(PolicyKind::Static)?)
+        Some(find(PolicySpec::Dynamic)? - find(PolicySpec::Static)?)
     }
 }
 
@@ -76,7 +82,7 @@ mod tests {
     use super::*;
     use crate::sweep::{SweepPoint, ThroughputSweep};
 
-    fn point(over: f64, mem: u32, policy: PolicyKind, jps: f64, feasible: bool) -> SweepPoint {
+    fn point(over: f64, mem: u32, policy: PolicySpec, jps: f64, feasible: bool) -> SweepPoint {
         SweepPoint {
             trace: "t".into(),
             overest: over,
@@ -100,9 +106,9 @@ mod tests {
     #[test]
     fn gap_at_37_subtracts_normalised_values() {
         let f = sweep_with(vec![
-            point(0.0, 100, PolicyKind::Baseline, 2.0, true), // reference
-            point(1.0, 37, PolicyKind::Static, 0.8, true),    // 0.4 norm
-            point(1.0, 37, PolicyKind::Dynamic, 1.6, true),   // 0.8 norm
+            point(0.0, 100, PolicySpec::Baseline, 2.0, true), // reference
+            point(1.0, 37, PolicySpec::Static, 0.8, true),    // 0.4 norm
+            point(1.0, 37, PolicySpec::Dynamic, 1.6, true),   // 0.8 norm
         ]);
         let gap = f.gap_at_37("t", 1.0).unwrap();
         assert!((gap - 0.4).abs() < 1e-12);
@@ -111,9 +117,9 @@ mod tests {
     #[test]
     fn gap_none_when_infeasible_or_missing() {
         let f = sweep_with(vec![
-            point(0.0, 100, PolicyKind::Baseline, 2.0, true),
-            point(1.0, 37, PolicyKind::Static, 0.8, false), // missing bar
-            point(1.0, 37, PolicyKind::Dynamic, 1.6, true),
+            point(0.0, 100, PolicySpec::Baseline, 2.0, true),
+            point(1.0, 37, PolicySpec::Static, 0.8, false), // missing bar
+            point(1.0, 37, PolicySpec::Dynamic, 1.6, true),
         ]);
         assert!(f.gap_at_37("t", 1.0).is_none());
         assert!(f.gap_at_37("t", 0.5).is_none());
@@ -123,8 +129,8 @@ mod tests {
     #[test]
     fn table_marks_missing_bars() {
         let f = sweep_with(vec![
-            point(0.0, 100, PolicyKind::Baseline, 2.0, true),
-            point(0.0, 37, PolicyKind::Baseline, 0.0, false),
+            point(0.0, 100, PolicySpec::Baseline, 2.0, true),
+            point(0.0, 37, PolicySpec::Baseline, 0.0, false),
         ]);
         let rendered = f.table().render();
         assert!(rendered.contains("n/a"));

@@ -10,7 +10,7 @@
 use crate::exp::fig8::{self, Fig8};
 use crate::scale::Scale;
 use crate::table::TextTable;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 
 /// The throughput threshold (fraction of the fully provisioned
 /// baseline).
@@ -22,7 +22,7 @@ pub struct Fig9Row {
     /// Overestimation factor.
     pub overest: f64,
     /// Policy.
-    pub policy: PolicyKind,
+    pub policy: PolicySpec,
     /// Minimum memory percent reaching the threshold, `None` if no
     /// configuration on the axis reaches it.
     pub min_mem_pct: Option<u32>,
@@ -38,7 +38,7 @@ pub struct Fig9 {
 pub fn derive(fig8: &Fig8, trace: &str) -> Fig9 {
     let mut rows = Vec::new();
     for &over in &fig8::OVERS {
-        for policy in [PolicyKind::Static, PolicyKind::Dynamic] {
+        for policy in [PolicySpec::Static, PolicySpec::Dynamic] {
             let mut mems: Vec<(u32, Option<f64>)> = fig8
                 .sweep
                 .leg(trace, over)
@@ -90,7 +90,7 @@ impl Fig9 {
                 .find(|r| r.overest == overest && r.policy == policy)
                 .and_then(|r| r.min_mem_pct)
         };
-        Some(get(PolicyKind::Static)? as i64 - get(PolicyKind::Dynamic)? as i64)
+        Some(get(PolicySpec::Static)? as i64 - get(PolicySpec::Dynamic)? as i64)
     }
 }
 
@@ -105,11 +105,15 @@ mod tests {
         let mut points = Vec::new();
         for &over in &fig8::OVERS {
             for &mem in &[37u32, 43, 50, 57, 62, 75, 87, 100] {
-                for policy in PolicyKind::ALL {
+                for policy in [
+                    PolicySpec::Baseline,
+                    PolicySpec::Static,
+                    PolicySpec::Dynamic,
+                ] {
                     let handicap = match policy {
-                        PolicyKind::Baseline => 0.0,
-                        PolicyKind::Static => 0.25 + over * 0.3,
-                        PolicyKind::Dynamic => 0.02,
+                        PolicySpec::Baseline => 0.0,
+                        PolicySpec::Static => 0.25 + over * 0.3,
+                        _ => 0.02,
                     };
                     points.push(SweepPoint {
                         trace: "t".into(),
@@ -139,14 +143,14 @@ mod tests {
         let dyn0 = f9
             .rows
             .iter()
-            .find(|r| r.overest == 0.0 && r.policy == PolicyKind::Dynamic)
+            .find(|r| r.overest == 0.0 && r.policy == PolicySpec::Dynamic)
             .unwrap();
         assert_eq!(dyn0.min_mem_pct, Some(37));
         // Static at +100%: needs mem/100 >= 0.95 - 1 + 0.55 = 0.5.
         let stat1 = f9
             .rows
             .iter()
-            .find(|r| r.overest == 1.0 && r.policy == PolicyKind::Static)
+            .find(|r| r.overest == 1.0 && r.policy == PolicySpec::Static)
             .unwrap();
         assert_eq!(stat1.min_mem_pct, Some(50));
         // Savings grow with overestimation.
@@ -158,7 +162,7 @@ mod tests {
         let mut f8 = synthetic_sweep();
         // Cripple static at +100% so it never reaches the threshold.
         for p in &mut f8.sweep.points {
-            if p.policy == PolicyKind::Static && p.overest == 1.0 {
+            if p.policy == PolicySpec::Static && p.overest == 1.0 {
                 p.throughput_jps = 0.1;
             }
         }
@@ -166,7 +170,7 @@ mod tests {
         let stat1 = f9
             .rows
             .iter()
-            .find(|r| r.overest == 1.0 && r.policy == PolicyKind::Static)
+            .find(|r| r.overest == 1.0 && r.policy == PolicySpec::Static)
             .unwrap();
         assert_eq!(stat1.min_mem_pct, None);
         assert!(f9.saving_pp(1.0).is_none());

@@ -174,10 +174,15 @@ pub fn table4() -> TextTable {
         "32/64/128".into(),
         "32/64/128".into(),
     ]);
+    let policies = dmhpc_core::policy::PolicySpec::registry()
+        .iter()
+        .map(|i| i.name)
+        .collect::<Vec<_>>()
+        .join("/");
     t.row(vec![
         "allocation policy".to_string(),
-        "baseline/static/dynamic".into(),
-        "baseline/static/dynamic".into(),
+        policies.clone(),
+        policies,
     ]);
     t.row(vec![
         "scheduling policy".to_string(),

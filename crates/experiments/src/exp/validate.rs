@@ -9,7 +9,7 @@
 use crate::exp::{fig5, fig6, fig7, fig8, fig9};
 use crate::scale::Scale;
 use crate::table::TextTable;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 
 /// One validated claim.
 #[derive(Clone, Debug)]
@@ -55,14 +55,14 @@ pub fn run(scale: Scale, threads: usize) -> Validation {
     let mut order_ok = true;
     let mut worst = 0.0f64;
     for p in &f5.sweep.points {
-        if p.policy != PolicyKind::Static {
+        if p.policy != PolicySpec::Static {
             continue;
         }
         let d = f5.sweep.points.iter().find(|q| {
             q.trace == p.trace
                 && q.overest == p.overest
                 && q.mem_pct == p.mem_pct
-                && q.policy == PolicyKind::Dynamic
+                && q.policy == PolicySpec::Dynamic
         });
         if let (Some(sn), Some(dn)) = (
             f5.sweep.normalized(p),
@@ -120,7 +120,7 @@ pub fn run(scale: Scale, threads: usize) -> Validation {
             .sweep
             .points
             .iter()
-            .filter(|p| p.policy == PolicyKind::Dynamic)
+            .filter(|p| p.policy == PolicySpec::Dynamic)
             .map(|p| p.jobs_oom_killed)
             .max()
             .unwrap_or(0);

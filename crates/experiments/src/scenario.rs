@@ -4,7 +4,7 @@
 use crate::scale::Scale;
 use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::config::SystemConfig;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::{Simulation, SimulationOutcome, Workload};
 use dmhpc_model::rng::Rng64;
 use dmhpc_traces::grizzly::GrizzlyDataset;
@@ -83,14 +83,17 @@ pub fn grizzly_rep_workload(
     grizzly_workload(ds, weeks[0], overestimation, seed)
 }
 
-/// One simulation point: run `workload` on `system` under `policy`.
+/// One simulation point: run `workload` on `system` under the policy
+/// `spec` resolves to. [`PolicySpec`] accepts the paper's three
+/// policies plus the parameterized extensions; `PolicyKind` callers
+/// convert via `PolicySpec::from`.
 pub fn simulate(
     system: SystemConfig,
     workload: Workload,
-    policy: PolicyKind,
+    policy: PolicySpec,
     seed: u64,
 ) -> SimulationOutcome {
-    Simulation::new(system, workload, policy)
+    Simulation::from_policy(system, workload, policy.build())
         .with_seed(seed)
         .run()
 }
@@ -138,7 +141,7 @@ mod tests {
     fn norm_throughput_handles_infeasible() {
         let w = synthetic_workload(Scale::Small, 0.0, 0.0, 2);
         let sys = synthetic_system(Scale::Small, MemoryMix::all_large());
-        let out = simulate(sys, w, PolicyKind::Dynamic, 3);
+        let out = simulate(sys, w, PolicySpec::Dynamic, 3);
         assert!(out.feasible);
         assert!(norm_throughput(&out, out.stats.throughput_jps).unwrap() > 0.99);
         assert!(norm_throughput(&out, 0.0).is_none());

@@ -9,7 +9,7 @@ use crate::scenario::{
     synthetic_system, synthetic_workload, BASE_SEED,
 };
 use dmhpc_core::cluster::MemoryMix;
-use dmhpc_core::policy::PolicyKind;
+use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
 
 /// Which trace a sweep leg runs.
@@ -47,7 +47,7 @@ pub struct SweepPoint {
     /// Total system memory as a percent of the all-large system.
     pub mem_pct: u32,
     /// Allocation policy.
-    pub policy: PolicyKind,
+    pub policy: PolicySpec,
     /// Raw throughput in jobs/s.
     pub throughput_jps: f64,
     /// Whether every job could run (false ⇒ "missing bar").
@@ -76,13 +76,31 @@ impl ThroughputSweep {
     /// datasets may have fewer eligible weeks anyway).
     pub const GRIZZLY_WEEKS: usize = 3;
 
-    /// Run the sweep. `overs` must contain `0.0` (the normalisation
-    /// reference is Baseline at 100% memory and +0% overestimation).
+    /// Run the sweep over every registered policy at its default
+    /// parameters (see [`PolicySpec::all_default`]).
+    pub fn run(scale: Scale, traces: &[TraceSpec], overs: &[f64], threads: usize) -> Self {
+        Self::run_with_policies(scale, traces, overs, threads, &PolicySpec::all_default())
+    }
+
+    /// Run the sweep over an explicit policy list. `overs` must contain
+    /// `0.0` and `policies` must contain [`PolicySpec::Baseline`] (the
+    /// normalisation reference is Baseline at 100% memory and +0%
+    /// overestimation).
     ///
     /// Grizzly points are the mean over up to [`Self::GRIZZLY_WEEKS`]
     /// selected weeks; a configuration counts as feasible only when every
     /// simulated week ran all its jobs (the paper's missing-bar rule).
-    pub fn run(scale: Scale, traces: &[TraceSpec], overs: &[f64], threads: usize) -> Self {
+    pub fn run_with_policies(
+        scale: Scale,
+        traces: &[TraceSpec],
+        overs: &[f64],
+        threads: usize,
+        policies: &[PolicySpec],
+    ) -> Self {
+        assert!(
+            policies.contains(&PolicySpec::Baseline),
+            "sweep needs the baseline policy for normalisation"
+        );
         assert!(
             overs.contains(&0.0),
             "sweep needs the 0% overestimation leg for normalisation"
@@ -121,10 +139,10 @@ impl ThroughputSweep {
             });
         // Phase 2: simulate every (leg, mem, policy) point.
         let axis = memory_axis();
-        let mut tasks: Vec<(usize, u32, MemoryMix, PolicyKind)> = Vec::new();
+        let mut tasks: Vec<(usize, u32, MemoryMix, PolicySpec)> = Vec::new();
         for (leg_idx, _) in legs.iter().enumerate() {
             for &(pct, mix) in &axis {
-                for policy in PolicyKind::ALL {
+                for &policy in policies {
                     tasks.push((leg_idx, pct, mix, policy));
                 }
             }
@@ -202,7 +220,7 @@ impl ThroughputSweep {
                 p.trace == trace
                     && p.overest == 0.0
                     && p.mem_pct == 100
-                    && p.policy == PolicyKind::Baseline
+                    && p.policy == PolicySpec::Baseline
                     && p.feasible
             })
             .map(|p| p.throughput_jps)
@@ -254,17 +272,48 @@ mod tests {
             &[0.0],
             0,
         );
-        // 8 memory points × 3 policies.
-        assert_eq!(sweep.points.len(), 24);
+        // 8 memory points × 6 registered policies.
+        assert_eq!(sweep.points.len(), 48);
         let reference = sweep.reference_jps("large 50%").expect("reference exists");
         assert!(reference > 0.0);
         // Normalised baseline at 100% is exactly 1.
         let base100 = sweep
             .points
             .iter()
-            .find(|p| p.policy == PolicyKind::Baseline && p.mem_pct == 100)
+            .find(|p| p.policy == PolicySpec::Baseline && p.mem_pct == 100)
             .unwrap();
         assert!((sweep.normalized(base100).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_subset_sweep_runs_only_those_policies() {
+        let policies = [PolicySpec::Baseline, PolicySpec::Overcommit { factor: 0.8 }];
+        let sweep = ThroughputSweep::run_with_policies(
+            Scale::Small,
+            &[TraceSpec::Synthetic {
+                large_fraction: 0.5,
+            }],
+            &[0.0],
+            0,
+            &policies,
+        );
+        // 8 memory points × 2 policies.
+        assert_eq!(sweep.points.len(), 16);
+        assert!(sweep.points.iter().all(|p| policies.contains(&p.policy)));
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline policy")]
+    fn sweep_requires_baseline_policy() {
+        ThroughputSweep::run_with_policies(
+            Scale::Small,
+            &[TraceSpec::Synthetic {
+                large_fraction: 0.0,
+            }],
+            &[0.0],
+            1,
+            &[PolicySpec::Dynamic],
+        );
     }
 
     #[test]

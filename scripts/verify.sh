@@ -23,6 +23,17 @@ echo "== fault-sweep smoke (tiny, must stay deterministic) =="
 cmp /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
 rm -f /tmp/fault_sweep_a.csv /tmp/fault_sweep_b.csv
 
+echo "== policy-sweep smoke (all six specs, threads must not change bits) =="
+POLICIES="baseline,static,dynamic,predictive:history=on,overcommit:factor=0.8,conservative:quantum=4096"
+./target/release/dmhpc fault-sweep --scale small --threads 1 --csv --policies "$POLICIES" > /tmp/policy_sweep_a.csv
+./target/release/dmhpc fault-sweep --scale small --threads 4 --csv --policies "$POLICIES" > /tmp/policy_sweep_b.csv
+cmp /tmp/policy_sweep_a.csv /tmp/policy_sweep_b.csv
+# All six policies must actually appear in the output.
+for name in baseline static dynamic predictive overcommit conservative; do
+    grep -q "$name" /tmp/policy_sweep_a.csv
+done
+rm -f /tmp/policy_sweep_a.csv /tmp/policy_sweep_b.csv
+
 echo "== trace smoke (JSONL parses, sim-time monotone, diff pinpoints) =="
 ./target/release/dmhpc trace-run --scale small --fault-profile heavy --out /tmp/trace_smoke.jsonl
 ./target/release/dmhpc trace-run --check /tmp/trace_smoke.jsonl

@@ -8,19 +8,21 @@ use dmhpc::core::config::{RestartStrategy, SystemConfig};
 use dmhpc::core::engine::SimTime;
 use dmhpc::core::faults::{FaultConfig, FaultEvent, FaultSchedule};
 use dmhpc::core::job::{Job, JobId, MemoryUsageTrace};
-use dmhpc::core::policy::PolicyKind;
+use dmhpc::core::policy::{PolicyKind, PolicySpec};
 use dmhpc::core::sim::{Simulation, SimulationOutcome, Workload};
 use dmhpc::experiments::scenario::{synthetic_system, synthetic_workload};
 use dmhpc::experiments::Scale;
 use dmhpc::model::{ProfileId, ProfilePool};
 use proptest::prelude::*;
 
-fn faulty_run(policy: PolicyKind, faults: FaultConfig, seed: u64) -> SimulationOutcome {
+fn faulty_run(policy: PolicySpec, faults: FaultConfig, seed: u64) -> SimulationOutcome {
     let cfg = synthetic_system(Scale::Small, MemoryMix::new(4096, 16384, 0.5))
         .with_restart(RestartStrategy::CheckpointRestart)
         .with_faults(faults);
     let workload = synthetic_workload(Scale::Small, 0.5, 0.6, seed);
-    Simulation::new(cfg, workload, policy).with_seed(seed).run()
+    Simulation::from_policy(cfg, workload, policy.build())
+        .with_seed(seed)
+        .run()
 }
 
 /// One job that needs `peak` MB throughout, on a uniform small cluster.
@@ -47,13 +49,15 @@ fn uniform_system(nodes: u32, node_mb: u64) -> SystemConfig {
 #[test]
 fn nonzero_fault_rates_are_deterministic() {
     let faults = FaultConfig::heavy().with_seed(0xFA11);
-    for policy in PolicyKind::ALL {
+    // Every registered policy, the paper's three plus the parameterized
+    // extensions, must reproduce a faulty run exactly.
+    for policy in PolicySpec::all_default() {
         let a = faulty_run(policy, faults, 0xD15A);
         let b = faulty_run(policy, faults, 0xD15A);
         assert_eq!(a, b, "{policy:?}: faulty run must reproduce exactly");
     }
     // The heavy profile must actually exercise the fault machinery.
-    let dynamic = faulty_run(PolicyKind::Dynamic, faults, 0xD15A);
+    let dynamic = faulty_run(PolicySpec::Dynamic, faults, 0xD15A);
     assert!(
         dynamic.stats.fault_node_crashes > 0 || dynamic.stats.fault_pool_degrades > 0,
         "heavy profile injected no faults"
@@ -66,7 +70,7 @@ fn nonzero_fault_rates_are_deterministic() {
 #[test]
 fn fault_accounting_conserves_jobs() {
     let faults = FaultConfig::heavy().with_seed(0xACC0);
-    for policy in PolicyKind::ALL {
+    for policy in PolicySpec::all_default() {
         let out = faulty_run(policy, faults, 0xBEEF);
         let s = &out.stats;
         let total = synthetic_workload(Scale::Small, 0.5, 0.6, 0xBEEF).len() as u32;
@@ -231,9 +235,12 @@ proptest! {
         degrade_idx in 0usize..3,
         monitor_loss in 0.0f64..0.3,
         actuator_fail in 0.0f64..0.5,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..6,
     ) {
-        let policy = PolicyKind::ALL[policy_idx];
+        // One index per registered policy (all six at default params).
+        let all = PolicySpec::all_default();
+        prop_assert_eq!(all.len(), 6);
+        let policy = all[policy_idx];
         let mtbf = [0.0f64, 20_000.0, 100_000.0][mtbf_idx];
         let degrade = [0u64, 1024, 4096][degrade_idx];
         let faults = FaultConfig {
@@ -274,7 +281,7 @@ proptest! {
                     .collect();
                 Workload::try_new(jobs, ProfilePool::synthetic(4, 1)).unwrap()
             };
-            Simulation::new(cfg, workload, policy).with_seed(sim_seed).run()
+            Simulation::from_policy(cfg, workload, policy.build()).with_seed(sim_seed).run()
         };
         let out = mk();
         let s = &out.stats;

@@ -12,9 +12,12 @@ use dmhpc::core::config::SystemConfig;
 use dmhpc::core::dynmem::{decide, Decision};
 use dmhpc::core::job::{Job, JobId, MemoryUsageTrace};
 use dmhpc::core::policy::{
-    place_spread_reference, place_spread_with, plan_growth, plan_growth_reference, PlacementScratch,
+    place_spread_reference, place_spread_with, plan_growth, plan_growth_reference,
+    PlacementScratch, PolicySpec,
 };
-use dmhpc::core::sim::{MemManagement, MemoryPolicy, Simulation, StaticAlloc, Workload};
+use dmhpc::core::sim::{
+    DynamicAlloc, MemManagement, MemoryPolicy, Simulation, StaticAlloc, Workload,
+};
 use dmhpc::model::{ProfileId, ProfilePool};
 
 #[derive(Debug, Default)]
@@ -238,6 +241,61 @@ fn oom_hook_routes_through_policy_growth_plan() {
     assert_eq!(out.stats.completed, 0);
     assert!(out.stats.oom_kills >= 3, "got {}", out.stats.oom_kills);
     assert_eq!(out.stats.failed_restarts, 1);
+}
+
+/// The mixed workload the equivalence goldens run: flat and ramping
+/// usage, varied requests, enough jobs to force queueing on two nodes.
+fn golden_jobs() -> Vec<Job> {
+    (0..6)
+        .map(|i| {
+            let usage = if i % 2 == 0 {
+                MemoryUsageTrace::flat(700 + 50 * u64::from(i))
+            } else {
+                MemoryUsageTrace::new(vec![(0.0, 300), (0.5, 900 + 40 * u64::from(i))]).unwrap()
+            };
+            job(
+                i,
+                600.0 + 50.0 * f64::from(i),
+                1000 + 100 * u64::from(i),
+                usage,
+            )
+        })
+        .collect()
+}
+
+fn golden_run(policy: Box<dyn MemoryPolicy>) -> dmhpc::core::sim::SimulationOutcome {
+    Simulation::from_policy(two_node_cfg(), workload(golden_jobs()), policy)
+        .with_seed(11)
+        .run()
+}
+
+#[test]
+fn predictive_without_history_matches_static_exactly() {
+    // With history off, Predictive sizes every allocation at the full
+    // request and pins it — there is nothing left to distinguish it
+    // from the static policy, so the outcomes must be bit-identical.
+    let predictive = golden_run(PolicySpec::Predictive { history: false }.build());
+    let reference = golden_run(Box::new(StaticAlloc));
+    assert_eq!(predictive, reference);
+}
+
+#[test]
+fn overcommit_unit_factor_matches_dynamic_exactly() {
+    // factor=1.0 sizes admission at exactly the request; every other
+    // hook equals DynamicAlloc, so the bet-free overcommit run must be
+    // bit-identical to the dynamic policy.
+    let overcommit = golden_run(PolicySpec::Overcommit { factor: 1.0 }.build());
+    let reference = golden_run(Box::new(DynamicAlloc));
+    assert_eq!(overcommit, reference);
+}
+
+#[test]
+fn conservative_unit_quantum_matches_dynamic_exactly() {
+    // quantum=1 MB collapses the hysteresis band and the growth padding
+    // to the dynamic policy's exact-fit behaviour.
+    let conservative = golden_run(PolicySpec::Conservative { quantum_mb: 1 }.build());
+    let reference = golden_run(Box::new(DynamicAlloc));
+    assert_eq!(conservative, reference);
 }
 
 #[test]
