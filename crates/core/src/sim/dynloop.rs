@@ -26,12 +26,7 @@ impl Runner {
         let job = self.job(jid);
         let s = &self.st[jid.0 as usize];
         let p_now = s.work_done_s / job.base_runtime_s;
-        let p_exceed = job
-            .usage
-            .points()
-            .iter()
-            .find(|&&(p, m)| m > job.mem_request_mb && p >= p_now)
-            .map(|&(p, _)| p)?;
+        let p_exceed = first_exceed_at(job.usage.points(), job.mem_request_mb, p_now)?;
         Some(((p_exceed - p_now).max(0.0) * job.base_runtime_s) / s.speed)
     }
 
@@ -94,7 +89,7 @@ impl Runner {
         let demand = self
             .monitor
             .sample_demand(&job.usage, progress, s.speed, base);
-        let bw = self.pool.get(job.profile).bandwidth_gbs;
+        let bw = self.workload.pool.get(job.profile).bandwidth_gbs;
 
         let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
         let mut lenders_before = std::mem::take(&mut self.scratch.lenders);
@@ -274,5 +269,66 @@ impl Runner {
             self.now.plus_secs(backoff),
             EventKind::MemUpdate { job: jid, epoch },
         );
+    }
+}
+
+/// Progress of the first trace point at or past `p_now` whose usage
+/// exceeds `request`. Points are sorted by progress, so the probe binary
+/// searches to the first eligible point (`partition_point`) and scans
+/// forward only from there — a kill probe re-armed late in a long trace
+/// no longer walks the whole prefix it has already lived through.
+fn first_exceed_at(points: &[(f64, u64)], request: u64, p_now: f64) -> Option<f64> {
+    let start = points.partition_point(|&(p, _)| p < p_now);
+    points[start..]
+        .iter()
+        .find(|&&(_, m)| m > request)
+        .map(|&(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::first_exceed_at;
+    use dmhpc_model::rng::Rng64;
+
+    /// The linear scan `first_exceed_at` replaced, kept as the oracle.
+    fn linear_reference(points: &[(f64, u64)], request: u64, p_now: f64) -> Option<f64> {
+        points
+            .iter()
+            .find(|&&(p, m)| m > request && p >= p_now)
+            .map(|&(p, _)| p)
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        let mut rng = Rng64::stream(0xE7CE, 0xED);
+        for case in 0..200 {
+            let n = (case % 17) + 1;
+            let mut points: Vec<(f64, u64)> = Vec::new();
+            let mut p = 0.0;
+            for _ in 0..n {
+                p += rng.range_f64(0.0, 0.2);
+                points.push((p.min(1.0), (rng.range_f64(0.0, 8.0) as u64) * 100));
+            }
+            for request in [0, 150, 350, 800] {
+                for p_now in [0.0, 0.25, 0.5, 0.99, 1.5] {
+                    assert_eq!(
+                        first_exceed_at(&points, request, p_now),
+                        linear_reference(&points, request, p_now),
+                        "case {case}, request {request}, p_now {p_now}: {points:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_boundary_traces() {
+        assert_eq!(first_exceed_at(&[], 100, 0.0), None);
+        // Exactly at p_now counts (`p >= p_now`).
+        assert_eq!(first_exceed_at(&[(0.5, 200)], 100, 0.5), Some(0.5));
+        // Just before p_now does not.
+        assert_eq!(first_exceed_at(&[(0.49, 200)], 100, 0.5), None);
+        // Equal to the request is not an exceed (`m > request`).
+        assert_eq!(first_exceed_at(&[(0.5, 100)], 100, 0.0), None);
     }
 }

@@ -125,7 +125,7 @@ impl Runner {
                     break;
                 }
             }
-            let bw = self.pool.get(self.job(b).profile).bandwidth_gbs;
+            let bw = self.workload.pool.get(self.job(b).profile).bandwidth_gbs;
             let lost = self.cluster.revoke_lender(b, lender, bw);
             if !lost.is_empty() {
                 revoked.push((b, lost));
@@ -146,7 +146,7 @@ impl Runner {
             {
                 continue; // already killed earlier in this handler
             }
-            let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
+            let bw = self.workload.pool.get(self.job(jid).profile).bandwidth_gbs;
             let mut compute_ids = std::mem::take(&mut self.scratch.compute_ids);
             compute_ids.clear();
             compute_ids.extend(

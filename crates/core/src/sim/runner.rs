@@ -13,9 +13,10 @@ use crate::job::{Job, JobId};
 use crate::policy::PolicyKind;
 use crate::sched::PendingQueue;
 use dmhpc_model::rng::Rng64;
-use dmhpc_model::{ContentionModel, ProfilePool};
+use dmhpc_model::ContentionModel;
 
 use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
+use std::sync::Arc;
 
 use super::hooks::{MemManagement, MemoryPolicy};
 use super::schedule::SchedScratch;
@@ -31,7 +32,7 @@ const STREAM_SIM_FAULTS: u64 = 0xFA57_0001;
 #[derive(Clone, Debug)]
 pub struct Simulation {
     cfg: SystemConfig,
-    workload: Workload,
+    workload: Arc<Workload>,
     policy: Box<dyn MemoryPolicy>,
     seed: u64,
     max_restarts: u32,
@@ -43,7 +44,14 @@ pub struct Simulation {
 impl Simulation {
     /// Create a simulation of `workload` on `cfg` under the policy the
     /// config enum resolves to.
-    pub fn new(cfg: SystemConfig, workload: Workload, policy: PolicyKind) -> Self {
+    ///
+    /// The workload is taken as `impl Into<Arc<Workload>>`: passing an
+    /// owned [`Workload`] moves it into a fresh `Arc`, while passing an
+    /// `Arc<Workload>` shares it — a sweep builds each workload once and
+    /// every point of the memory × policy grid reads the same jobs and
+    /// profile pool. Sharing is sound because the runner keeps all
+    /// mutable per-job state in [`JobState`], never in the workload.
+    pub fn new(cfg: SystemConfig, workload: impl Into<Arc<Workload>>, policy: PolicyKind) -> Self {
         Self::from_policy(cfg, workload, policy.build())
     }
 
@@ -52,12 +60,12 @@ impl Simulation {
     /// executes, so custom and test policies plug in here.
     pub fn from_policy(
         cfg: SystemConfig,
-        workload: Workload,
+        workload: impl Into<Arc<Workload>>,
         policy: Box<dyn MemoryPolicy>,
     ) -> Self {
         Self {
             cfg,
-            workload,
+            workload: workload.into(),
             policy,
             seed: 0x5EED,
             max_restarts: 64,
@@ -120,8 +128,10 @@ impl Simulation {
 pub(crate) struct Runner {
     pub(crate) cfg: SystemConfig,
     pub(crate) policy: Box<dyn MemoryPolicy>,
-    pub(crate) jobs: Vec<Job>,
-    pub(crate) pool: ProfilePool,
+    /// The immutable problem statement: jobs and profile pool, shared
+    /// (not copied) with whoever built the simulation. All per-job
+    /// mutable state lives in `st`.
+    pub(crate) workload: Arc<Workload>,
     pub(crate) model: ContentionModel,
     pub(crate) max_restarts: u32,
 
@@ -243,8 +253,7 @@ impl Runner {
             monitor,
             cfg: sim.cfg,
             policy: sim.policy,
-            jobs: sim.workload.jobs,
-            pool: sim.workload.pool,
+            workload: sim.workload,
             model,
             max_restarts: sim.max_restarts,
             cluster,
@@ -268,7 +277,7 @@ impl Runner {
     }
 
     pub(crate) fn job(&self, id: JobId) -> &Job {
-        &self.jobs[id.0 as usize]
+        &self.workload.jobs[id.0 as usize]
     }
 
     /// The per-node MB the scheduler asks the policy to place for this
@@ -278,7 +287,7 @@ impl Runner {
     /// mode is always pinned at its full request — the
     /// static-guaranteed promise of §2.2.
     pub(crate) fn effective_request(&self, jid: JobId) -> u64 {
-        let job = &self.jobs[jid.0 as usize];
+        let job = &self.workload.jobs[jid.0 as usize];
         if self.st[jid.0 as usize].static_mode {
             return job.mem_request_mb;
         }
@@ -292,7 +301,7 @@ impl Runner {
     /// placed below the submitted request.
     pub(crate) fn job_management(&self, jid: JobId) -> MemManagement {
         let s = &self.st[jid.0 as usize];
-        let undersized = s.sized_mb < self.jobs[jid.0 as usize].mem_request_mb;
+        let undersized = s.sized_mb < self.workload.jobs[jid.0 as usize].mem_request_mb;
         self.policy.management_for(s.static_mode, undersized)
     }
 
@@ -467,6 +476,7 @@ impl Runner {
         let (resp, waits) = self.metrics.finish(&mut self.stats, &self.cluster);
         let feasible = self.stats.unschedulable == 0;
         let job_records = self
+            .workload
             .jobs
             .iter()
             .map(|job| {

@@ -81,7 +81,7 @@ impl Runner {
         let mut head_blocked: Option<(JobId, Option<crate::sched::Reservation>)> = None;
         let mut backfill_seen = 0usize;
         for &jid in &window {
-            let job = &self.jobs[jid.0 as usize];
+            let job = &self.workload.jobs[jid.0 as usize];
             let (nodes, time_limit_s) = (job.nodes, job.time_limit_s);
             // Placement, reservation, and dominance all key on the
             // policy-sized request, not the raw submission.
@@ -150,7 +150,7 @@ impl Runner {
         releases.clear();
         releases.extend(self.running.iter().map(|&r| {
             let s = &self.st[r.0 as usize];
-            let j = &self.jobs[r.0 as usize];
+            let j = &self.workload.jobs[r.0 as usize];
             let est_end = (s.start.as_secs() + j.time_limit_s).max(self.now.as_secs());
             let mem = self.cluster.alloc_of(r).map(|a| a.total_mb()).unwrap_or(0);
             Release {
@@ -189,7 +189,7 @@ impl Runner {
     pub(crate) fn start_job(&mut self, jid: JobId, alloc: crate::cluster::JobAlloc, sized_mb: u64) {
         let mut lenders = std::mem::take(&mut self.scratch.lenders);
         alloc.lenders_into(&mut lenders);
-        let bw = self.pool.get(self.job(jid).profile).bandwidth_gbs;
+        let bw = self.workload.pool.get(self.job(jid).profile).bandwidth_gbs;
         self.cluster.start_job(jid, alloc, bw);
         let s = &mut self.st[jid.0 as usize];
         s.status = Status::Running;
@@ -280,7 +280,7 @@ impl Runner {
                 .model
                 .pressure(self.cluster.hottest_lender_demand_gbs(jid)),
         };
-        let profile = self.pool.get(self.job(jid).profile);
+        let profile = self.workload.pool.get(self.job(jid).profile);
         let slowdown = self.model.slowdown(profile, access);
         let new_speed = 1.0 / slowdown;
         self.advance_work(jid);

@@ -1,0 +1,320 @@
+//! The Huge-tier pipeline benchmark behind `dmhpc bench-huge`.
+//!
+//! Runs one stress sweep leg (50% large jobs, +60% overestimation) at
+//! [`Scale::Huge`] end-to-end through the zero-copy pipeline — workload
+//! build, memory-axis × policy simulations, aggregation — timing every
+//! phase, and measures the per-point workload-provisioning cost both
+//! ways in the same run: the deep `Workload::clone` the sweep used to
+//! pay per point, and the `Arc::clone` it pays now. The ratio is the
+//! acceptance gate, mirroring how `bench-sched` gates the indexed
+//! scheduler against its retained full-scan reference.
+//!
+//! The smoke preset trims the leg (fewer nodes/jobs/points) to a few
+//! seconds so `scripts/verify.sh` can run the whole pipeline — including
+//! a threads-1-vs-N determinism comparison — on every commit.
+
+use crate::runner::run_parallel_progress;
+use crate::scale::Scale;
+use crate::scenario::{median_response, memory_axis, simulate, BASE_SEED};
+use crate::sweep::{aggregate, SweepPoint, TraceSpec};
+use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::config::SystemConfig;
+use dmhpc_core::policy::PolicySpec;
+use dmhpc_core::sim::Workload;
+use dmhpc_traces::{CirneModel, WorkloadBuilder};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One leg configuration for the benchmark. `full()` is the real Huge
+/// tier; `smoke()` trims every axis so CI finishes in seconds while
+/// still exercising the identical pipeline code.
+#[derive(Clone, Debug)]
+pub struct HugeLegConfig {
+    /// Synthetic system size in nodes.
+    pub nodes: u32,
+    /// Jobs in the leg workload.
+    pub jobs: usize,
+    /// Largest job size in nodes.
+    pub max_job_nodes: u32,
+    /// Google-like shape pool size.
+    pub google_pool: usize,
+    /// Memory-axis points to simulate, `(percent, mix)`.
+    pub mem_points: Vec<(u32, MemoryMix)>,
+    /// Policies simulated per memory point.
+    pub policies: Vec<PolicySpec>,
+    /// Samples for the per-point provisioning micro-measurement.
+    pub samples: usize,
+}
+
+impl HugeLegConfig {
+    /// The paper's three policies: the leg every figure sweeps.
+    fn paper_policies() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Baseline,
+            PolicySpec::Static,
+            PolicySpec::Dynamic,
+        ]
+    }
+
+    /// The real stress tier: ≥10k nodes, ≥100k jobs, the full memory
+    /// axis. Expect tens of minutes on one core.
+    pub fn full() -> Self {
+        Self {
+            nodes: Scale::Huge.synthetic_nodes(),
+            jobs: Scale::Huge.synthetic_jobs(),
+            max_job_nodes: Scale::Huge.max_job_nodes(),
+            google_pool: Scale::Huge.google_pool(),
+            mem_points: memory_axis(),
+            policies: Self::paper_policies(),
+            samples: 32,
+        }
+    }
+
+    /// CI preset: Full-tier nodes, a few thousand jobs, three memory
+    /// points. Same pipeline, seconds of runtime.
+    pub fn smoke() -> Self {
+        let axis = memory_axis();
+        Self {
+            nodes: Scale::Full.synthetic_nodes(),
+            jobs: 2000,
+            max_job_nodes: Scale::Full.max_job_nodes(),
+            google_pool: Scale::Medium.google_pool(),
+            mem_points: axis
+                .into_iter()
+                .filter(|&(pct, _)| matches!(pct, 37 | 62 | 100))
+                .collect(),
+            policies: Self::paper_policies(),
+            samples: 8,
+        }
+    }
+}
+
+/// One simulated point with its wallclock cost.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// System memory percent on the axis.
+    pub mem_pct: u32,
+    /// Policy simulated.
+    pub policy: PolicySpec,
+    /// Wallclock seconds of this simulation.
+    pub sim_s: f64,
+    /// Completed jobs.
+    pub completed: u32,
+    /// Whether every job could run.
+    pub feasible: bool,
+}
+
+/// Everything `bench-huge` measured, ready for JSON/CSV rendering.
+#[derive(Clone, Debug)]
+pub struct BenchHugeReport {
+    /// The leg configuration that ran.
+    pub cfg: HugeLegConfig,
+    /// Jobs actually built.
+    pub workload_jobs: usize,
+    /// Total usage-trace points across all jobs.
+    pub usage_points: usize,
+    /// Seconds to build the leg workload (phase 1).
+    pub build_s: f64,
+    /// Per-simulation timings (phase 2), axis-major like the sweep.
+    pub sim_points: Vec<BenchPoint>,
+    /// Wallclock seconds of the whole simulation phase.
+    pub simulate_s: f64,
+    /// Seconds to aggregate the raw points (phase 3).
+    pub aggregate_s: f64,
+    /// Aggregated sweep points (one per `(mem, policy)` here — a single
+    /// week — kept for the determinism CSV comparison).
+    pub points: Vec<SweepPoint>,
+    /// Median ns of one deep `Workload::clone` — what the pre-zero-copy
+    /// pipeline paid per sweep point.
+    pub clone_ns: f64,
+    /// Median ns of one `Arc::clone` of the same workload — what the
+    /// shared pipeline pays per point.
+    pub share_ns: f64,
+    /// Per-point clone cost summed over the leg's points, in seconds:
+    /// the end-to-end overhead the shared pipeline removed.
+    pub clone_overhead_s: f64,
+}
+
+impl BenchHugeReport {
+    /// Per-point provisioning speedup: deep clone vs `Arc` share. This
+    /// is the gated ratio.
+    pub fn provisioning_speedup(&self) -> f64 {
+        self.clone_ns / self.share_ns
+    }
+
+    /// End-to-end leg seconds through the shared pipeline.
+    pub fn shared_total_s(&self) -> f64 {
+        self.build_s + self.simulate_s + self.aggregate_s
+    }
+
+    /// End-to-end leg seconds the per-point-clone pipeline would take:
+    /// the measured shared run plus the measured per-point clone cost at
+    /// every point. (Derived from quantities measured in this run, not
+    /// a second full execution.)
+    pub fn cloned_total_s(&self) -> f64 {
+        self.shared_total_s() + self.clone_overhead_s
+    }
+}
+
+fn build_workload(cfg: &HugeLegConfig, large_fraction: f64, overestimation: f64) -> Workload {
+    let cirne = CirneModel {
+        max_nodes: cfg.max_job_nodes,
+        ..CirneModel::default()
+    };
+    WorkloadBuilder::new(BASE_SEED ^ 0x51)
+        .jobs(cfg.jobs)
+        .large_job_fraction(large_fraction)
+        .overestimation(overestimation)
+        .google_pool(cfg.google_pool)
+        .cirne(cirne)
+        .build_for(&SystemConfig::with_nodes(cfg.nodes).with_memory_mix(MemoryMix::all_large()))
+}
+
+/// Median of `samples` timings of `op`, in ns.
+fn median_ns<T>(samples: usize, mut op: impl FnMut() -> T) -> f64 {
+    let mut ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let out = std::hint::black_box(op());
+        ns.push(start.elapsed().as_nanos() as f64);
+        drop(out);
+    }
+    median_response(&mut ns)
+}
+
+/// Run the benchmark: build the leg workload, measure both provisioning
+/// paths, simulate the leg through the shared pipeline, aggregate.
+pub fn run(cfg: HugeLegConfig, threads: usize) -> BenchHugeReport {
+    let t0 = Instant::now();
+    let workload = build_workload(&cfg, 0.5, 0.6);
+    let build_s = t0.elapsed().as_secs_f64();
+    let workload_jobs = workload.len();
+    let usage_points: usize = workload.jobs.iter().map(|j| j.usage.points().len()).sum();
+
+    // The two provisioning paths, measured on the workload the leg
+    // actually simulates. At least one sample each so the ratio is
+    // always defined.
+    let samples = cfg.samples.max(1);
+    let clone_ns = median_ns(samples, || workload.clone());
+    let workload = Arc::new(workload);
+    let share_ns = median_ns(samples.max(64), || Arc::clone(&workload)).max(1.0);
+
+    // Phase 2: one sweep leg, axis-major, sharing the workload. Seeds
+    // follow the sweep's formula with this as leg 0.
+    let mut tasks: Vec<(u32, MemoryMix, PolicySpec)> = Vec::new();
+    for &(pct, mix) in &cfg.mem_points {
+        for &policy in &cfg.policies {
+            tasks.push((pct, mix, policy));
+        }
+    }
+    let trace = TraceSpec::Synthetic {
+        large_fraction: 0.5,
+    };
+    let t1 = Instant::now();
+    let timed: Vec<(SweepPoint, f64)> =
+        run_parallel_progress(tasks, threads, "bench-huge", |&(pct, mix, policy)| {
+            let system = SystemConfig::with_nodes(cfg.nodes).with_memory_mix(mix);
+            let ts = Instant::now();
+            let mut out = simulate(
+                system,
+                Arc::clone(&workload),
+                policy,
+                BASE_SEED ^ pct as u64,
+            );
+            let sim_s = ts.elapsed().as_secs_f64();
+            let median = median_response(&mut out.response_times_s);
+            let point = SweepPoint {
+                trace: trace.label(),
+                overest: 0.6,
+                mem_pct: pct,
+                policy,
+                throughput_jps: out.stats.throughput_jps,
+                feasible: out.feasible,
+                completed: out.stats.completed,
+                oom_kills: out.stats.oom_kills,
+                jobs_oom_killed: out.stats.jobs_oom_killed,
+                median_response_s: median,
+            };
+            (point, sim_s)
+        });
+    let simulate_s = t1.elapsed().as_secs_f64();
+    let sim_points: Vec<BenchPoint> = timed
+        .iter()
+        .map(|(p, s)| BenchPoint {
+            mem_pct: p.mem_pct,
+            policy: p.policy,
+            sim_s: *s,
+            completed: p.completed,
+            feasible: p.feasible,
+        })
+        .collect();
+
+    // Phase 3: aggregation (single week ⇒ a pass-through fold, timed
+    // for completeness; multi-week legs are where the HashMap pays).
+    let raw: Vec<SweepPoint> = timed.into_iter().map(|(p, _)| p).collect();
+    let n_points = raw.len();
+    let t2 = Instant::now();
+    let points = aggregate(raw);
+    let aggregate_s = t2.elapsed().as_secs_f64();
+
+    BenchHugeReport {
+        cfg,
+        workload_jobs,
+        usage_points,
+        build_s,
+        sim_points,
+        simulate_s,
+        aggregate_s,
+        points,
+        clone_ns,
+        share_ns,
+        clone_overhead_s: clone_ns * n_points as f64 / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HugeLegConfig {
+        HugeLegConfig {
+            nodes: 64,
+            jobs: 40,
+            max_job_nodes: 8,
+            google_pool: 100,
+            mem_points: memory_axis()
+                .into_iter()
+                .filter(|&(pct, _)| pct == 100)
+                .collect(),
+            policies: vec![PolicySpec::Baseline, PolicySpec::Dynamic],
+            samples: 2,
+        }
+    }
+
+    #[test]
+    fn report_covers_every_point_and_is_deterministic() {
+        let a = run(tiny(), 1);
+        let b = run(tiny(), 2);
+        assert_eq!(a.workload_jobs, 40);
+        assert_eq!(a.sim_points.len(), 2);
+        assert_eq!(a.points.len(), 2);
+        assert!(a.build_s >= 0.0 && a.simulate_s > 0.0);
+        assert!(a.clone_ns > 0.0 && a.share_ns > 0.0);
+        assert!(a.provisioning_speedup() > 0.0);
+        assert!(a.cloned_total_s() >= a.shared_total_s());
+        // Thread count must not change simulated bits.
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let full = HugeLegConfig::full();
+        assert!(full.nodes >= 10_000);
+        assert!(full.jobs >= 100_000);
+        assert_eq!(full.mem_points.len(), 8);
+        let smoke = HugeLegConfig::smoke();
+        assert!(smoke.jobs * 10 <= full.jobs);
+        assert_eq!(smoke.mem_points.len(), 3);
+        assert_eq!(smoke.policies, full.policies);
+    }
+}

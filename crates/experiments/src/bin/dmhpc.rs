@@ -2,12 +2,12 @@
 //! line.
 //!
 //! ```text
-//! dmhpc <command> [--scale small|medium|full] [--threads N] [--csv]
+//! dmhpc <command> [--scale small|medium|full|huge] [--threads N] [--csv]
 //!
 //! commands: table1 table2 table3 table4
 //!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
 //!           ablate fault-sweep validate all policies
-//!           export simulate chart bench-sched trace-run help
+//!           export simulate chart bench-sched bench-huge trace-run help
 //! ```
 
 use dmhpc_core::policy::PolicySpec;
@@ -45,9 +45,12 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, Strin
                 threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
             }
             "--csv" => csv = true,
-            // trace-run's only valueless flag: record presence in opts.
+            // Valueless flags: record presence in opts.
             "--summary" => {
                 opts.insert("summary".to_string(), "1".to_string());
+            }
+            "--smoke" => {
+                opts.insert("smoke".to_string(), "1".to_string());
             }
             flag if flag.starts_with("--") => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -66,7 +69,7 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, Strin
 }
 
 fn usage() -> String {
-    "usage: dmhpc <command> [--scale small|medium|full] [--threads N] [--csv]\n\
+    "usage: dmhpc <command> [--scale small|medium|full|huge] [--threads N] [--csv]\n\
      commands:\n\
      \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
      \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
@@ -85,6 +88,11 @@ fn usage() -> String {
      \x20 bench-sched [--out FILE] [--samples N] [--queued N]\n\
      \x20                                        time schedule_pass (indexed vs reference scans)\n\
      \x20                                        and write BENCH_sched.json\n\
+     \x20 bench-huge  [--out FILE] [--points-out FILE] [--samples N] [--smoke]\n\
+     \x20                                        run one Huge-tier sweep leg end-to-end (build,\n\
+     \x20                                        simulate, aggregate), gate the shared-workload\n\
+     \x20                                        provisioning speedup, write BENCH_huge.json;\n\
+     \x20                                        --smoke trims the leg for CI\n\
      \x20 trace-run [--policy P] [--seed S] [--fault-profile none|light|heavy] [--fault-seed S]\n\
      \x20           [--out FILE] [--filter kind=K1,K2] [--from S] [--to S] [--summary]\n\
      \x20           [--diff A,B] [--check FILE] [--sample-s S]\n\
@@ -401,6 +409,134 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
     } else {
         Err(format!(
             "schedule_pass speedup {accept_speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
+        ))
+    }
+}
+
+/// Run one Huge-tier sweep leg end-to-end through the zero-copy
+/// pipeline and gate the per-point workload-provisioning speedup (deep
+/// `Workload::clone` vs `Arc::clone`, both measured in this run) the
+/// way `bench-sched` gates the indexed scheduler against its full-scan
+/// reference. Writes `BENCH_huge.json`; `--points-out` additionally
+/// writes the aggregated sweep points as CSV so `scripts/verify.sh` can
+/// diff a threads-1 run against a threads-N run byte for byte.
+fn cmd_bench_huge(
+    threads: usize,
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(), String> {
+    use dmhpc_experiments::bench_huge::{self, HugeLegConfig};
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_huge.json".to_string());
+    let smoke = opts.contains_key("smoke");
+    let mut cfg = if smoke {
+        HugeLegConfig::smoke()
+    } else {
+        HugeLegConfig::full()
+    };
+    cfg.samples = opt_parse(opts, "samples", cfg.samples)?;
+    const ACCEPT_SPEEDUP: f64 = 2.0;
+
+    let label = if smoke { "smoke" } else { "full" };
+    println!(
+        "bench-huge ({label}): {} nodes, {} jobs, {} mem points x {} policies",
+        cfg.nodes,
+        cfg.jobs,
+        cfg.mem_points.len(),
+        cfg.policies.len()
+    );
+    let report = bench_huge::run(cfg, threads);
+    let cfg = &report.cfg;
+    println!(
+        "  build: {:.2}s ({} jobs, {} usage points)",
+        report.build_s, report.workload_jobs, report.usage_points
+    );
+    let mut sims = String::new();
+    for (i, p) in report.sim_points.iter().enumerate() {
+        println!(
+            "  sim {:>3}% {:<12} {:>8.2}s   completed {:>6}   feasible {}",
+            p.mem_pct, p.policy, p.sim_s, p.completed, p.feasible
+        );
+        if i > 0 {
+            sims.push_str(",\n");
+        }
+        sims.push_str(&format!(
+            "    {{\"mem_pct\": {}, \"policy\": \"{}\", \"sim_s\": {:.3}, \"completed\": {}, \"feasible\": {}}}",
+            p.mem_pct, p.policy, p.sim_s, p.completed, p.feasible
+        ));
+    }
+    println!(
+        "  simulate: {:.2}s total   aggregate: {:.4}s",
+        report.simulate_s, report.aggregate_s
+    );
+    let speedup = report.provisioning_speedup();
+    let end_to_end_speedup = report.cloned_total_s() / report.shared_total_s();
+    println!(
+        "  provisioning per point: deep clone {:.0} ns vs Arc share {:.0} ns ({speedup:.0}x)",
+        report.clone_ns, report.share_ns
+    );
+    println!(
+        "  end-to-end leg: shared {:.2}s vs per-point-clone {:.2}s (clone overhead {:.3}s, {end_to_end_speedup:.4}x)",
+        report.shared_total_s(),
+        report.cloned_total_s(),
+        report.clone_overhead_s
+    );
+    let policies: Vec<String> = cfg.policies.iter().map(|p| format!("\"{p}\"")).collect();
+    let pass = speedup >= ACCEPT_SPEEDUP;
+    let json = format!(
+        "{{\n  \"bench\": \"huge_sweep_leg\",\n  \"mode\": \"{label}\",\n  \"nodes\": {},\n  \"jobs\": {},\n  \"usage_points\": {},\n  \"leg\": {{\"trace\": \"large 50%\", \"overest\": 0.6, \"mem_points\": {}, \"policies\": [{}]}},\n  \"phases_s\": {{\"build\": {:.3}, \"simulate\": {:.3}, \"aggregate\": {:.6}}},\n  \"sims\": [\n{sims}\n  ],\n  \"provisioning\": {{\"samples\": {}, \"clone_ns\": {:.0}, \"share_ns\": {:.0}, \"speedup\": {speedup:.1}}},\n  \"end_to_end\": {{\"shared_s\": {:.3}, \"clone_overhead_s\": {:.4}, \"cloned_s\": {:.3}, \"speedup\": {end_to_end_speedup:.4}}},\n  \"acceptance\": {{\"metric\": \"per_point_workload_provisioning\", \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {speedup:.1}, \"pass\": {pass}}}\n}}\n",
+        cfg.nodes,
+        cfg.jobs,
+        report.usage_points,
+        cfg.mem_points.len(),
+        policies.join(", "),
+        report.build_s,
+        report.simulate_s,
+        report.aggregate_s,
+        cfg.samples,
+        report.clone_ns,
+        report.share_ns,
+        report.shared_total_s(),
+        report.clone_overhead_s,
+        report.cloned_total_s(),
+    );
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    if let Some(points_out) = opts.get("points-out") {
+        let mut t = TextTable::new(vec![
+            "trace",
+            "overest",
+            "mem_pct",
+            "policy",
+            "throughput_jps",
+            "feasible",
+            "completed",
+            "median_response_s",
+        ]);
+        for p in &report.points {
+            t.row(vec![
+                p.trace.clone(),
+                format!("{}", p.overest),
+                p.mem_pct.to_string(),
+                p.policy.to_string(),
+                format!("{:.9}", p.throughput_jps),
+                p.feasible.to_string(),
+                p.completed.to_string(),
+                format!("{:.6}", p.median_response_s),
+            ]);
+        }
+        std::fs::write(points_out, t.to_csv()).map_err(|e| format!("write {points_out}: {e}"))?;
+    }
+    println!(
+        "acceptance (workload provisioning per point): {speedup:.0}x (>= {ACCEPT_SPEEDUP}x required) -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!("wrote {out}");
+    if pass {
+        Ok(())
+    } else {
+        Err(format!(
+            "workload provisioning speedup {speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
         ))
     }
 }
@@ -853,6 +989,7 @@ fn main() {
         "fault-sweep" => cmd_fault_sweep(args.scale, args.threads, args.csv, &args.opts),
         "simulate" => cmd_simulate(args.scale, &args.opts),
         "bench-sched" => cmd_bench_sched(&args.opts),
+        "bench-huge" => cmd_bench_huge(args.threads, &args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
         cmd => run_command(cmd, args.scale, args.threads, args.csv, &args.opts),
     };
@@ -1028,11 +1165,33 @@ mod tests {
             "simulate",
             "chart",
             "bench-sched",
+            "bench-huge",
             "trace-run",
             "help",
         ] {
             assert!(u.contains(cmd), "usage() is missing '{cmd}'");
         }
+    }
+
+    #[test]
+    fn bench_huge_flags_parse() {
+        let args = parse(&[
+            "bench-huge",
+            "--smoke",
+            "--samples",
+            "4",
+            "--points-out",
+            "/tmp/pts.csv",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(args.command, "bench-huge");
+        assert!(args.opts.contains_key("smoke"));
+        assert_eq!(args.threads, 2);
+        let samples: usize = opt_parse(&args.opts, "samples", 32).unwrap();
+        assert_eq!(samples, 4);
+        assert_eq!(args.opts.get("points-out").unwrap(), "/tmp/pts.csv");
     }
 
     #[test]

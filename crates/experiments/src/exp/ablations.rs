@@ -13,12 +13,13 @@
 
 use crate::runner::run_parallel;
 use crate::scale::Scale;
-use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
+use crate::scenario::{median_response, simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
 use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::config::{RestartStrategy, SystemConfig};
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
+use std::sync::Arc;
 
 /// One ablation result row.
 #[derive(Clone, Debug)]
@@ -46,15 +47,9 @@ fn stress_system(scale: Scale) -> SystemConfig {
     synthetic_system(scale, MemoryMix::new(64 * 1024, 128 * 1024, 0.25))
 }
 
-fn run_one(system: SystemConfig, workload: Workload, label: String) -> AblationRow {
-    let out = simulate(system, workload, PolicySpec::Dynamic, BASE_SEED ^ 0xAB);
-    let median = if out.response_times_s.is_empty() {
-        0.0
-    } else {
-        let mut r = out.response_times_s.clone();
-        r.sort_unstable_by(f64::total_cmp);
-        r[r.len() / 2]
-    };
+fn run_one(system: SystemConfig, workload: Arc<Workload>, label: String) -> AblationRow {
+    let mut out = simulate(system, workload, PolicySpec::Dynamic, BASE_SEED ^ 0xAB);
+    let median = median_response(&mut out.response_times_s);
     AblationRow {
         variant: label,
         throughput_jps: out.stats.throughput_jps,
@@ -66,7 +61,7 @@ fn run_one(system: SystemConfig, workload: Workload, label: String) -> AblationR
 
 /// Run every ablation.
 pub fn run(scale: Scale, threads: usize) -> Ablations {
-    let workload = synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xAB1);
+    let workload = Arc::new(synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xAB1));
     let mut tasks: Vec<(String, SystemConfig)> = Vec::new();
     // Restart strategy.
     for (name, strat) in [

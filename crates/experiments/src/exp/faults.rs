@@ -76,7 +76,7 @@ pub fn run_opts(
         }
         None => PROFILES.to_vec(),
     };
-    let workload = synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA);
+    let workload = std::sync::Arc::new(synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA));
     let total_jobs = workload.len() as u32;
     let mut tasks: Vec<(String, PolicySpec, SystemConfig)> = Vec::new();
     for prof in profiles {

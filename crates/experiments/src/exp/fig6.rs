@@ -84,9 +84,10 @@ fn fig6_policies() -> Vec<PolicySpec> {
 /// Run the Figure 6 experiment.
 pub fn run(scale: Scale, threads: usize) -> Fig6 {
     let overs = [0.0, 0.6];
-    // One workload per overestimation (50% large jobs).
+    // One workload per overestimation (50% large jobs), shared across
+    // every cell via `Arc` rather than deep-copied.
     let workloads: Vec<_> = run_parallel(overs.to_vec(), threads, |&o| {
-        synthetic_workload(scale, 0.5, o, BASE_SEED ^ 0x66)
+        std::sync::Arc::new(synthetic_workload(scale, 0.5, o, BASE_SEED ^ 0x66))
     });
     let mut tasks = Vec::new();
     for (oi, &over) in overs.iter().enumerate() {

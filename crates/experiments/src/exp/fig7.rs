@@ -59,7 +59,7 @@ pub fn run(scale: Scale, threads: usize) -> Fig7 {
         .flat_map(|&f| OVERS.iter().map(move |&o| (f, o)))
         .collect();
     let workloads = run_parallel(legs.clone(), threads, |&(f, o)| {
-        synthetic_workload(scale, f, o, BASE_SEED ^ 0x77)
+        std::sync::Arc::new(synthetic_workload(scale, f, o, BASE_SEED ^ 0x77))
     });
     let policies: Vec<PolicySpec> = PolicySpec::all_default()
         .into_iter()

@@ -20,10 +20,12 @@
 //! | Fault sweep (ours) | [`exp::faults`] | `dmhpc fault-sweep` |
 //!
 //! Scales: `small` (tests/benches), `medium` (default), `full` (the
-//! paper's 1024/1490-node configuration).
+//! paper's 1024/1490-node configuration), `huge` (the 10,240-node /
+//! 100k-job stress tier behind `dmhpc bench-huge`).
 
 #![warn(missing_docs)]
 
+pub mod bench_huge;
 pub mod chart;
 pub mod exp;
 pub mod runner;

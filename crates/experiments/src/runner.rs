@@ -7,7 +7,6 @@
 //! results land in their input order regardless of completion order, so
 //! output is reproducible.
 
-use parking_lot::Mutex;
 use std::io::IsTerminal;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -35,23 +34,37 @@ where
     if threads == 1 {
         return inputs.iter().map(&f).collect();
     }
+    // Workers claim items off a shared atomic index and buffer
+    // `(index, output)` pairs privately; the main thread scatters them
+    // into place after joining. No per-item allocation or lock — the
+    // only shared write is the work counter.
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&inputs[i]);
-                *slots[i].lock() = Some(out);
-            });
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, O)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&inputs[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(out);
+            }
         }
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().expect("worker must fill its slot"))
+        .map(|s| s.expect("worker must fill its slot"))
         .collect()
 }
 

@@ -18,6 +18,10 @@ pub enum Scale {
     Medium,
     /// The paper's configuration: 1024/1490 nodes, thousands of jobs.
     Full,
+    /// Stress tier: 10,240 nodes, 100k jobs. An order of magnitude past
+    /// the paper, sized to keep the incremental indexes, the SchedScratch
+    /// hot path and the zero-copy sweep pipeline honest at cluster scale.
+    Huge,
 }
 
 impl Scale {
@@ -27,7 +31,8 @@ impl Scale {
             "small" | "s" => Ok(Scale::Small),
             "medium" | "m" => Ok(Scale::Medium),
             "full" | "f" | "paper" => Ok(Scale::Full),
-            other => Err(format!("unknown scale '{other}' (small|medium|full)")),
+            "huge" | "h" | "stress" => Ok(Scale::Huge),
+            other => Err(format!("unknown scale '{other}' (small|medium|full|huge)")),
         }
     }
 
@@ -37,6 +42,7 @@ impl Scale {
             Scale::Small => 96,
             Scale::Medium => 256,
             Scale::Full => 1024,
+            Scale::Huge => 10_240,
         }
     }
 
@@ -46,6 +52,7 @@ impl Scale {
             Scale::Small => 320,
             Scale::Medium => 1200,
             Scale::Full => 5000,
+            Scale::Huge => 100_000,
         }
     }
 
@@ -55,6 +62,7 @@ impl Scale {
             Scale::Small => 16,
             Scale::Medium => 32,
             Scale::Full => 128,
+            Scale::Huge => 256,
         }
     }
 
@@ -64,10 +72,14 @@ impl Scale {
             Scale::Small => 600,
             Scale::Medium => 1500,
             Scale::Full => 4000,
+            Scale::Huge => 8000,
         }
     }
 
     /// Grizzly dataset configuration (paper: 1490 nodes, 26 weeks).
+    /// Huge scales the machine, not the calendar: ~7× the nodes over
+    /// enough weeks for the ≥70% utilisation selection to find several
+    /// candidates, without paying for 26 weeks of synthesis.
     pub fn grizzly(self, seed: u64) -> GrizzlyConfig {
         match self {
             Scale::Small => GrizzlyConfig {
@@ -86,6 +98,12 @@ impl Scale {
                 seed,
                 ..GrizzlyConfig::default()
             },
+            Scale::Huge => GrizzlyConfig {
+                weeks: 8,
+                nodes: 10_240,
+                seed,
+                ..GrizzlyConfig::default()
+            },
         }
     }
 
@@ -95,6 +113,7 @@ impl Scale {
             Scale::Small => "small",
             Scale::Medium => "medium",
             Scale::Full => "full",
+            Scale::Huge => "huge",
         }
     }
 }
@@ -108,7 +127,19 @@ mod tests {
         assert_eq!(Scale::parse("small").unwrap(), Scale::Small);
         assert_eq!(Scale::parse("M").unwrap(), Scale::Medium);
         assert_eq!(Scale::parse("paper").unwrap(), Scale::Full);
+        assert_eq!(Scale::parse("huge").unwrap(), Scale::Huge);
+        assert_eq!(Scale::parse("stress").unwrap(), Scale::Huge);
         assert!(Scale::parse("gigantic").is_err());
+    }
+
+    #[test]
+    fn huge_is_a_stress_tier() {
+        // The ROADMAP floor: ≥10k synthetic nodes, ≥100k jobs, and a
+        // Grizzly config at the same machine size.
+        assert!(Scale::Huge.synthetic_nodes() >= 10_000);
+        assert!(Scale::Huge.synthetic_jobs() >= 100_000);
+        assert_eq!(Scale::Huge.grizzly(1).nodes, Scale::Huge.synthetic_nodes());
+        assert!(Scale::Huge.max_job_nodes() > Scale::Full.max_job_nodes());
     }
 
     #[test]
@@ -123,6 +154,8 @@ mod tests {
     fn scales_are_ordered() {
         assert!(Scale::Small.synthetic_nodes() < Scale::Medium.synthetic_nodes());
         assert!(Scale::Medium.synthetic_nodes() < Scale::Full.synthetic_nodes());
+        assert!(Scale::Full.synthetic_nodes() < Scale::Huge.synthetic_nodes());
         assert!(Scale::Small.synthetic_jobs() < Scale::Full.synthetic_jobs());
+        assert!(Scale::Full.synthetic_jobs() < Scale::Huge.synthetic_jobs());
     }
 }

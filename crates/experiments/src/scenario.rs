@@ -10,6 +10,7 @@ use dmhpc_model::rng::Rng64;
 use dmhpc_traces::grizzly::GrizzlyDataset;
 use dmhpc_traces::workload::{grizzly_workload, WorkloadBuilder};
 use dmhpc_traces::CirneModel;
+use std::sync::Arc;
 
 /// Base seed for all experiments; combined with per-experiment offsets.
 pub const BASE_SEED: u64 = 0xD15A_66E6;
@@ -87,15 +88,35 @@ pub fn grizzly_rep_workload(
 /// `spec` resolves to. [`PolicySpec`] accepts the paper's three
 /// policies plus the parameterized extensions; `PolicyKind` callers
 /// convert via `PolicySpec::from`.
+///
+/// The workload is `impl Into<Arc<Workload>>`: a sweep that simulates
+/// the same workload at many `(memory, policy)` points passes an
+/// `Arc<Workload>` clone per point (a reference-count bump) instead of
+/// deep-copying every job and usage trace; one-off callers keep passing
+/// an owned [`Workload`].
 pub fn simulate(
     system: SystemConfig,
-    workload: Workload,
+    workload: impl Into<Arc<Workload>>,
     policy: PolicySpec,
     seed: u64,
 ) -> SimulationOutcome {
     Simulation::from_policy(system, workload, policy.build())
         .with_seed(seed)
         .run()
+}
+
+/// Median of `times` (the upper median `sorted[len/2]`, matching the
+/// previous clone-and-full-sort implementation) computed in place with
+/// `select_nth_unstable_by` — O(n) instead of O(n log n), and no clone
+/// of the response vector. `total_cmp` is a total order, so the selected
+/// order statistic is exactly the element the sorted version indexed.
+pub fn median_response(times: &mut [f64]) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    let mid = times.len() / 2;
+    let (_, m, _) = times.select_nth_unstable_by(mid, f64::total_cmp);
+    *m
 }
 
 /// Normalised throughput: `outcome / reference`, or `None` when the
@@ -135,6 +156,20 @@ mod tests {
         for &w in &weeks {
             assert!(w < ds.weeks.len());
         }
+    }
+
+    #[test]
+    fn median_matches_sort_based_reference() {
+        let mut rng = Rng64::stream(0x3D1A, 7);
+        for n in [1usize, 2, 3, 10, 101, 1000] {
+            let times: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let expect = sorted[sorted.len() / 2];
+            let mut scratch = times.clone();
+            assert_eq!(median_response(&mut scratch), expect, "n={n}");
+        }
+        assert_eq!(median_response(&mut []), 0.0);
     }
 
     #[test]

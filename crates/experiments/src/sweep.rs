@@ -5,12 +5,15 @@
 use crate::runner::{run_parallel, run_parallel_progress};
 use crate::scale::Scale;
 use crate::scenario::{
-    grizzly_bundle, grizzly_rep_workload, grizzly_system, memory_axis, norm_throughput, simulate,
-    synthetic_system, synthetic_workload, BASE_SEED,
+    grizzly_bundle, grizzly_rep_workload, grizzly_system, median_response, memory_axis,
+    norm_throughput, simulate, synthetic_system, synthetic_workload, BASE_SEED,
 };
 use dmhpc_core::cluster::MemoryMix;
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which trace a sweep leg runs.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -38,7 +41,7 @@ impl TraceSpec {
 }
 
 /// One simulated point of the sweep.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepPoint {
     /// Trace label (see [`TraceSpec::label`]).
     pub trace: String,
@@ -127,14 +130,25 @@ impl ThroughputSweep {
                 }
             }
         }
-        let workloads: Vec<Workload> =
+        // Each workload is built exactly once and shared via `Arc`:
+        // every (mem, policy) point of a leg reads the same jobs and
+        // profile pool instead of receiving a deep copy.
+        let workloads: Vec<Arc<Workload>> =
             run_parallel(legs.clone(), threads, |&(t, o, week)| match t {
-                TraceSpec::Synthetic { large_fraction } => {
-                    synthetic_workload(scale, large_fraction, o, BASE_SEED ^ 0x51)
-                }
+                TraceSpec::Synthetic { large_fraction } => Arc::new(synthetic_workload(
+                    scale,
+                    large_fraction,
+                    o,
+                    BASE_SEED ^ 0x51,
+                )),
                 TraceSpec::Grizzly => {
                     let (ds, weeks) = grizzly.as_ref().expect("grizzly built");
-                    grizzly_rep_workload(ds, &weeks[week..], o, BASE_SEED ^ 0x312)
+                    Arc::new(grizzly_rep_workload(
+                        ds,
+                        &weeks[week..],
+                        o,
+                        BASE_SEED ^ 0x312,
+                    ))
                 }
             });
         // Phase 2: simulate every (leg, mem, policy) point.
@@ -155,19 +169,13 @@ impl ThroughputSweep {
                     grizzly_system(mix, &grizzly.as_ref().expect("grizzly built").0)
                 }
             };
-            let out = simulate(
+            let mut out = simulate(
                 system,
-                workloads[leg_idx].clone(),
+                Arc::clone(&workloads[leg_idx]),
                 policy,
                 BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64,
             );
-            let median = if out.response_times_s.is_empty() {
-                0.0
-            } else {
-                let mut r = out.response_times_s.clone();
-                r.sort_unstable_by(f64::total_cmp);
-                r[r.len() / 2]
-            };
+            let median = median_response(&mut out.response_times_s);
             SweepPoint {
                 trace: trace.label(),
                 overest: over,
@@ -185,30 +193,9 @@ impl ThroughputSweep {
         // (trace, over, mem, policy). All weeks of one trace share the
         // same normalisation reference, so averaging raw throughputs is
         // averaging normalised ones.
-        let mut points: Vec<SweepPoint> = Vec::new();
-        let mut counts: Vec<u32> = Vec::new();
-        for p in raw {
-            if let Some(i) = points.iter().position(|q| {
-                q.trace == p.trace
-                    && q.overest == p.overest
-                    && q.mem_pct == p.mem_pct
-                    && q.policy == p.policy
-            }) {
-                let q = &mut points[i];
-                let k = counts[i] as f64;
-                q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
-                q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
-                q.feasible &= p.feasible;
-                q.completed += p.completed;
-                q.oom_kills += p.oom_kills;
-                q.jobs_oom_killed += p.jobs_oom_killed;
-                counts[i] += 1;
-            } else {
-                points.push(p);
-                counts.push(1);
-            }
+        Self {
+            points: aggregate(raw),
         }
-        Self { points }
     }
 
     /// The normalisation reference for a trace: Baseline throughput at
@@ -241,6 +228,58 @@ impl ThroughputSweep {
             .iter()
             .filter(move |p| p.trace == trace && p.overest == overest)
     }
+}
+
+/// Aggregation key of one raw sweep point. The overestimation factor is
+/// keyed by its bit pattern — legs copy one `f64` around and never
+/// recompute it, so equal legs are bit-equal — and the policy by its
+/// canonical display form, which is injective over registered specs
+/// (`PolicySpec` carries `f64` parameters, so it cannot derive `Hash`
+/// itself).
+type AggKey = (String, u64, u32, String);
+
+fn agg_key(p: &SweepPoint) -> AggKey {
+    (
+        p.trace.clone(),
+        p.overest.to_bits(),
+        p.mem_pct,
+        p.policy.to_string(),
+    )
+}
+
+/// Fold raw per-week points into one point per `(trace, overest,
+/// mem_pct, policy)`, preserving first-seen order. The fold target is
+/// found through a `HashMap` in O(1) per raw point; the previous
+/// per-point linear `position` scan made aggregation quadratic in sweep
+/// size (~2.9M comparisons for a full two-trace sweep). The merge
+/// arithmetic is untouched, so output is bit-identical to the linear
+/// version — pinned by `hashmap_aggregation_matches_linear_reference`.
+pub(crate) fn aggregate(raw: Vec<SweepPoint>) -> Vec<SweepPoint> {
+    let mut points: Vec<SweepPoint> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut index: HashMap<AggKey, usize> = HashMap::with_capacity(raw.len());
+    for p in raw {
+        match index.entry(agg_key(&p)) {
+            Entry::Occupied(e) => {
+                let i = *e.get();
+                let q = &mut points[i];
+                let k = counts[i] as f64;
+                q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
+                q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.feasible &= p.feasible;
+                q.completed += p.completed;
+                q.oom_kills += p.oom_kills;
+                q.jobs_oom_killed += p.jobs_oom_killed;
+                counts[i] += 1;
+            }
+            Entry::Vacant(e) => {
+                e.insert(points.len());
+                points.push(p);
+                counts.push(1);
+            }
+        }
+    }
+    points
 }
 
 /// Minimal outcome wrapper so normalisation flows through the same
@@ -327,6 +366,112 @@ mod tests {
             &[0.6],
             1,
         );
+    }
+
+    /// The linear-scan aggregation `aggregate` replaced, kept verbatim
+    /// as the oracle for the bit-identity golden.
+    fn aggregate_linear_reference(raw: Vec<SweepPoint>) -> Vec<SweepPoint> {
+        let mut points: Vec<SweepPoint> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for p in raw {
+            if let Some(i) = points.iter().position(|q| {
+                q.trace == p.trace
+                    && q.overest == p.overest
+                    && q.mem_pct == p.mem_pct
+                    && q.policy == p.policy
+            }) {
+                let q = &mut points[i];
+                let k = counts[i] as f64;
+                q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
+                q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.feasible &= p.feasible;
+                q.completed += p.completed;
+                q.oom_kills += p.oom_kills;
+                q.jobs_oom_killed += p.jobs_oom_killed;
+                counts[i] += 1;
+            } else {
+                points.push(p);
+                counts.push(1);
+            }
+        }
+        points
+    }
+
+    /// Raw points shaped like a real multi-week sweep: grizzly legs
+    /// repeat each (overest, mem, policy) cell once per week with
+    /// week-dependent values, interleaved with single-week synthetic
+    /// legs, in the exact leg-major order phase 2 emits.
+    fn multiweek_raw() -> Vec<SweepPoint> {
+        let policies = PolicySpec::all_default();
+        let mut raw = Vec::new();
+        let mut salt = 0u32;
+        for (trace, weeks) in [("grizzly", 3usize), ("large 50%", 1)] {
+            for over in [0.0, 0.6] {
+                for week in 0..weeks {
+                    for mem_pct in [37u32, 62, 100] {
+                        for &policy in &policies {
+                            salt += 1;
+                            raw.push(SweepPoint {
+                                trace: trace.to_string(),
+                                overest: over,
+                                mem_pct,
+                                policy,
+                                throughput_jps: 0.017 * (salt as f64) + week as f64,
+                                feasible: !salt.is_multiple_of(7),
+                                completed: 100 + salt,
+                                oom_kills: salt % 5,
+                                jobs_oom_killed: salt % 3,
+                                median_response_s: 3600.0 / salt as f64,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        raw
+    }
+
+    #[test]
+    fn hashmap_aggregation_matches_linear_reference() {
+        let raw = multiweek_raw();
+        let fast = aggregate(raw.clone());
+        let slow = aggregate_linear_reference(raw);
+        // Bit-identical: same order, same f64 bits, same counters.
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f, s);
+            assert_eq!(
+                f.throughput_jps.to_bits(),
+                s.throughput_jps.to_bits(),
+                "{} {} {} {}",
+                f.trace,
+                f.overest,
+                f.mem_pct,
+                f.policy
+            );
+            assert_eq!(f.median_response_s.to_bits(), s.median_response_s.to_bits());
+        }
+        // Three grizzly weeks folded into one point per cell: 2 traces ×
+        // 2 overs × 3 mem × 6 policies.
+        assert_eq!(fast.len(), 72);
+    }
+
+    #[test]
+    fn aggregation_preserves_first_seen_order() {
+        let raw = multiweek_raw();
+        let first_seen: Vec<AggKey> = {
+            let mut seen = Vec::new();
+            for p in &raw {
+                let k = agg_key(p);
+                if !seen.contains(&k) {
+                    seen.push(k);
+                }
+            }
+            seen
+        };
+        let folded = aggregate(raw);
+        let got: Vec<AggKey> = folded.iter().map(agg_key).collect();
+        assert_eq!(got, first_seen);
     }
 
     #[test]

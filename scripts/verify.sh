@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 
 echo "== tier-1: release build =="
 cargo build --release
+# The smoke groups below drive the release CLI; build every workspace
+# member so target/release/dmhpc exists even on a cold target dir.
+cargo build --release --workspace
 
 echo "== tier-1: tests =="
 cargo test -q
@@ -33,6 +36,18 @@ for name in baseline static dynamic predictive overcommit conservative; do
     grep -q "$name" /tmp/policy_sweep_a.csv
 done
 rm -f /tmp/policy_sweep_a.csv /tmp/policy_sweep_b.csv
+
+echo "== bench-huge smoke (trimmed stress leg: gate + threads-1-vs-N bits) =="
+./target/release/dmhpc bench-huge --smoke --threads 1 \
+    --out /tmp/bench_huge_a.json --points-out /tmp/bench_huge_a.csv
+./target/release/dmhpc bench-huge --smoke --threads 4 \
+    --out /tmp/bench_huge_b.json --points-out /tmp/bench_huge_b.csv
+# The aggregated sweep points must be byte-identical across thread
+# counts (the zero-copy pipeline may not change simulated bits).
+cmp /tmp/bench_huge_a.csv /tmp/bench_huge_b.csv
+grep -q '"pass": true' /tmp/bench_huge_a.json
+rm -f /tmp/bench_huge_a.json /tmp/bench_huge_b.json \
+      /tmp/bench_huge_a.csv /tmp/bench_huge_b.csv
 
 echo "== trace smoke (JSONL parses, sim-time monotone, diff pinpoints) =="
 ./target/release/dmhpc trace-run --scale small --fault-profile heavy --out /tmp/trace_smoke.jsonl
