@@ -23,6 +23,16 @@ pub enum CoreError {
         /// Human-readable description of the failure.
         msg: String,
     },
+    /// A filesystem or stream operation failed (manifest journal, JSONL
+    /// trace writer). Carries the path (or stream label) and the OS
+    /// error text, since `std::io::Error` is neither `Clone` nor
+    /// `PartialEq`.
+    Io {
+        /// The file path or stream label the operation targeted.
+        path: String,
+        /// The underlying I/O error, stringified.
+        msg: String,
+    },
 }
 
 impl CoreError {
@@ -56,6 +66,14 @@ impl CoreError {
             msg: msg.into(),
         }
     }
+
+    /// I/O error on `path` (a file path or stream label).
+    pub fn io(path: impl Into<String>, err: impl std::fmt::Display) -> Self {
+        CoreError::Io {
+            path: path.into(),
+            msg: err.to_string(),
+        }
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -66,6 +84,7 @@ impl std::fmt::Display for CoreError {
             | CoreError::Ledger(msg) => f.write_str(msg),
             CoreError::Parse { line: 0, msg } => f.write_str(msg),
             CoreError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            CoreError::Io { path, msg } => write!(f, "{path}: {msg}"),
         }
     }
 }
@@ -96,6 +115,10 @@ mod tests {
         assert_eq!(
             CoreError::parse("missing header").to_string(),
             "missing header"
+        );
+        assert_eq!(
+            CoreError::io("/tmp/m.jsonl", "No space left on device").to_string(),
+            "/tmp/m.jsonl: No space left on device"
         );
     }
 

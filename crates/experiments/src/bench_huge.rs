@@ -13,7 +13,7 @@
 //! seconds so `scripts/verify.sh` can run the whole pipeline — including
 //! a threads-1-vs-N determinism comparison — on every commit.
 
-use crate::runner::run_parallel_progress;
+use crate::durable::{DurableError, DurableOptions, Fingerprint, Journaled, Payload};
 use crate::scale::Scale;
 use crate::scenario::{median_response, memory_axis, simulate, BASE_SEED};
 use crate::sweep::{aggregate, SweepPoint, TraceSpec};
@@ -86,6 +86,31 @@ impl HugeLegConfig {
             policies: Self::paper_policies(),
             samples: 8,
         }
+    }
+}
+
+/// A sweep point plus the wall-clock seconds its simulation took —
+/// journaled as one unit, so a resumed benchmark keeps the timing
+/// measured when the point actually ran.
+#[derive(Clone, Debug)]
+struct TimedPoint {
+    point: SweepPoint,
+    sim_s: f64,
+}
+
+impl Journaled for TimedPoint {
+    fn encode(&self) -> Payload {
+        let mut p = Payload::new();
+        p.push_map("point", self.point.encode());
+        p.push_f64_bits("sim_s", self.sim_s);
+        p
+    }
+
+    fn decode(p: &Payload) -> Result<Self, String> {
+        Ok(TimedPoint {
+            point: SweepPoint::decode(p.map("point")?)?,
+            sim_s: p.f64_bits("sim_s")?,
+        })
     }
 }
 
@@ -185,6 +210,23 @@ fn median_ns<T>(samples: usize, mut op: impl FnMut() -> T) -> f64 {
 /// Run the benchmark: build the leg workload, measure both provisioning
 /// paths, simulate the leg through the shared pipeline, aggregate.
 pub fn run(cfg: HugeLegConfig, threads: usize) -> BenchHugeReport {
+    match run_durable(cfg, threads, &DurableOptions::default()) {
+        Ok(report) => report,
+        Err(e) => panic!("bench-huge failed: {e}"),
+    }
+}
+
+/// [`run`] through the durable execution layer: each `(mem, policy)`
+/// simulation is journaled to `opts.manifest` the moment it completes
+/// and skipped on resume. The workload build and the clone-vs-share
+/// micro-measurements always re-run (they are timings of *this*
+/// process, not simulated values); only the expensive simulations are
+/// checkpointed.
+pub fn run_durable(
+    cfg: HugeLegConfig,
+    threads: usize,
+    opts: &DurableOptions,
+) -> Result<BenchHugeReport, DurableError> {
     let t0 = Instant::now();
     let workload = build_workload(&cfg, 0.5, 0.6);
     let build_s = t0.elapsed().as_secs_f64();
@@ -210,9 +252,28 @@ pub fn run(cfg: HugeLegConfig, threads: usize) -> BenchHugeReport {
     let trace = TraceSpec::Synthetic {
         large_fraction: 0.5,
     };
+    let fps: Vec<String> = tasks
+        .iter()
+        .map(|&(pct, _mix, policy)| {
+            Fingerprint::new("bench-point")
+                .field_u64("nodes", cfg.nodes as u64)
+                .field_u64("jobs", cfg.jobs as u64)
+                .field_u64("max_job_nodes", cfg.max_job_nodes as u64)
+                .field_u64("google_pool", cfg.google_pool as u64)
+                .field_u64("mem_pct", pct as u64)
+                .field("policy", &policy.to_string())
+                .field_hex("seed", BASE_SEED ^ pct as u64)
+                .finish()
+        })
+        .collect();
     let t1 = Instant::now();
-    let timed: Vec<(SweepPoint, f64)> =
-        run_parallel_progress(tasks, threads, "bench-huge", |&(pct, mix, policy)| {
+    let timed: Vec<TimedPoint> = crate::durable::run_durable(
+        "bench-huge",
+        tasks,
+        fps,
+        threads,
+        opts,
+        |&(pct, mix, policy)| {
             let system = SystemConfig::with_nodes(cfg.nodes).with_memory_mix(mix);
             let ts = Instant::now();
             let mut out = simulate(
@@ -235,29 +296,30 @@ pub fn run(cfg: HugeLegConfig, threads: usize) -> BenchHugeReport {
                 jobs_oom_killed: out.stats.jobs_oom_killed,
                 median_response_s: median,
             };
-            (point, sim_s)
-        });
+            TimedPoint { point, sim_s }
+        },
+    )?;
     let simulate_s = t1.elapsed().as_secs_f64();
     let sim_points: Vec<BenchPoint> = timed
         .iter()
-        .map(|(p, s)| BenchPoint {
-            mem_pct: p.mem_pct,
-            policy: p.policy,
-            sim_s: *s,
-            completed: p.completed,
-            feasible: p.feasible,
+        .map(|t| BenchPoint {
+            mem_pct: t.point.mem_pct,
+            policy: t.point.policy,
+            sim_s: t.sim_s,
+            completed: t.point.completed,
+            feasible: t.point.feasible,
         })
         .collect();
 
     // Phase 3: aggregation (single week ⇒ a pass-through fold, timed
     // for completeness; multi-week legs are where the HashMap pays).
-    let raw: Vec<SweepPoint> = timed.into_iter().map(|(p, _)| p).collect();
+    let raw: Vec<SweepPoint> = timed.into_iter().map(|t| t.point).collect();
     let n_points = raw.len();
     let t2 = Instant::now();
     let points = aggregate(raw);
     let aggregate_s = t2.elapsed().as_secs_f64();
 
-    BenchHugeReport {
+    Ok(BenchHugeReport {
         cfg,
         workload_jobs,
         usage_points,
@@ -269,7 +331,7 @@ pub fn run(cfg: HugeLegConfig, threads: usize) -> BenchHugeReport {
         clone_ns,
         share_ns,
         clone_overhead_s: clone_ns * n_points as f64 / 1e9,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -11,9 +11,36 @@
 //! ```
 
 use dmhpc_core::policy::PolicySpec;
+use dmhpc_experiments::durable::{
+    install_sigint_drain, DurableError, DurableOptions, PointStatus, ResumeState, EXIT_INTERRUPTED,
+};
 use dmhpc_experiments::exp;
 use dmhpc_experiments::scale::Scale;
 use dmhpc_experiments::table::TextTable;
+
+/// Why `dmhpc` is exiting nonzero. Usage errors exit 2, run failures
+/// (including failed sweep points) exit 1, and a gracefully drained
+/// interruption exits [`EXIT_INTERRUPTED`] so scripts can tell
+/// "interrupted cleanly, resume me" from "crashed".
+enum Failure {
+    Run(String),
+    Interrupted(String),
+}
+
+impl From<String> for Failure {
+    fn from(msg: String) -> Self {
+        Failure::Run(msg)
+    }
+}
+
+impl From<DurableError> for Failure {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Interrupted { .. } => Failure::Interrupted(e.to_string()),
+            other => Failure::Run(other.to_string()),
+        }
+    }
+}
 
 struct Args {
     command: String,
@@ -55,6 +82,10 @@ fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, Strin
             flag if flag.starts_with("--") => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 opts.insert(flag[2..].to_string(), v);
+            }
+            // `sweep-status <manifest>` takes its path positionally.
+            other if command == "sweep-status" && !opts.contains_key("manifest") => {
+                opts.insert("manifest".to_string(), other.to_string());
             }
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
@@ -99,11 +130,25 @@ fn usage() -> String {
      \x20                                        dump one run's event trace as JSONL;\n\
      \x20                                        --diff reports the first event where two\n\
      \x20                                        sim seeds part, --check validates a file\n\
+     \x20 sweep-status <manifest>                inspect a durable-sweep journal: header,\n\
+     \x20                                        completed/failed/pending counts, per-point\n\
+     \x20                                        attempts and wall time\n\
      \x20 help                                   show this message\n\
      \n\
      fig5 and fig8 also accept --policies SPECS, a comma-separated list of\n\
      policy specs like 'baseline,dynamic,overcommit:factor=0.8' (see\n\
-     `dmhpc policies` for the registry; defaults to every policy)"
+     `dmhpc policies` for the registry; defaults to every policy)\n\
+     \n\
+     fig5, fig8, chart, fault-sweep and bench-huge run through the durable\n\
+     execution layer and accept:\n\
+     \x20 --manifest PATH    journal each point to PATH as it completes\n\
+     \x20 --resume PATH      skip points already journaled in PATH, append new ones\n\
+     \x20 --retries N        extra attempts for a panicking point (default 1)\n\
+     \x20 --backoff-ms MS    base retry backoff, doubled per attempt (default 250)\n\
+     \x20 --point-limit K    stop draining after K points (deterministic Ctrl-C\n\
+     \x20                    stand-in for tests; exits 75 like an interrupt)\n\
+     Ctrl-C finishes in-flight points, flushes the manifest, and exits 75;\n\
+     a second Ctrl-C aborts immediately (exit 130)"
         .to_string()
 }
 
@@ -145,6 +190,91 @@ fn cmd_policies(csv: bool) {
         &t,
         csv,
     );
+}
+
+/// Build the durable-execution options shared by the sweep commands
+/// from `--manifest`, `--resume`, `--retries`, `--backoff-ms` and
+/// `--point-limit`. When a manifest is in play the SIGINT drain is
+/// installed so Ctrl-C finishes in-flight points, flushes the journal,
+/// and exits with [`EXIT_INTERRUPTED`].
+fn durable_from_opts(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<DurableOptions, String> {
+    let mut d = DurableOptions {
+        retries: opt_parse(opts, "retries", 1u32)?,
+        backoff_ms: opt_parse(opts, "backoff-ms", 250u64)?,
+        ..DurableOptions::default()
+    };
+    if let Some(v) = opts.get("point-limit") {
+        d.point_limit = Some(v.parse().map_err(|e| format!("--point-limit: {e}"))?);
+    }
+    if let Some(path) = opts.get("resume") {
+        if let Some(m) = opts.get("manifest") {
+            if m != path {
+                return Err(format!(
+                    "--manifest {m} conflicts with --resume {path}: \
+                     resume appends to the manifest it resumes from"
+                ));
+            }
+        }
+        d.resume = Some(ResumeState::load(path).map_err(|e| format!("--resume: {e}"))?);
+        d.manifest = Some(path.clone());
+    } else if let Some(m) = opts.get("manifest") {
+        d.manifest = Some(m.clone());
+    }
+    if d.manifest.is_some() {
+        d.interrupt = Some(install_sigint_drain());
+    }
+    Ok(d)
+}
+
+/// `dmhpc sweep-status <manifest>`: inspect a durable-sweep journal —
+/// header identity, completed/failed/pending counts, and per-point
+/// attempts and wall time.
+fn cmd_sweep_status(opts: &std::collections::HashMap<String, String>) -> Result<(), String> {
+    let path = opts
+        .get("manifest")
+        .ok_or("sweep-status requires a manifest path")?;
+    let state = ResumeState::load(path).map_err(|e| e.to_string())?;
+    let (done, failed, pending) = state.counts();
+    let h = &state.header;
+    println!("manifest {path}");
+    println!(
+        "run {}  format {}  version {}  config {}",
+        h.run, h.format, h.version, h.config
+    );
+    println!(
+        "points {}  completed {done}  failed {failed}  pending {pending}",
+        h.points
+    );
+    if state.records.is_empty() {
+        return Ok(());
+    }
+    let mut t = TextTable::new(vec!["status", "attempts", "wall_s", "point"]);
+    for (fp, status) in &state.records {
+        match status {
+            PointStatus::Done {
+                attempts, wall_ms, ..
+            } => {
+                t.row(vec![
+                    "done".to_string(),
+                    attempts.to_string(),
+                    format!("{:.3}", *wall_ms as f64 / 1000.0),
+                    fp.clone(),
+                ]);
+            }
+            PointStatus::Failed { attempts, error } => {
+                t.row(vec![
+                    "failed".to_string(),
+                    attempts.to_string(),
+                    "-".to_string(),
+                    format!("{fp}  [{}]", error.lines().next().unwrap_or("")),
+                ]);
+            }
+        }
+    }
+    print!("{}", t.render());
+    Ok(())
 }
 
 fn opt_parse<T: std::str::FromStr>(
@@ -216,7 +346,7 @@ fn cmd_chart(
     scale: Scale,
     threads: usize,
     opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), Failure> {
     use dmhpc_experiments::chart::sweep_panel;
     use dmhpc_experiments::{ThroughputSweep, TraceSpec};
     let large: f64 = opt_parse(opts, "large", 0.5)?;
@@ -231,7 +361,16 @@ fn cmd_chart(
         vec![0.0, over]
     };
     let policies = policies_from_opts(opts)?;
-    let sweep = ThroughputSweep::run_with_policies(scale, &[trace], &overs, threads, &policies);
+    let durable = durable_from_opts(opts)?;
+    let sweep = ThroughputSweep::run_durable(
+        "chart",
+        scale,
+        &[trace],
+        &overs,
+        threads,
+        &policies,
+        &durable,
+    )?;
     print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
     Ok(())
 }
@@ -423,7 +562,7 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
 fn cmd_bench_huge(
     threads: usize,
     opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), Failure> {
     use dmhpc_experiments::bench_huge::{self, HugeLegConfig};
     let out = opts
         .get("out")
@@ -446,7 +585,8 @@ fn cmd_bench_huge(
         cfg.mem_points.len(),
         cfg.policies.len()
     );
-    let report = bench_huge::run(cfg, threads);
+    let durable = durable_from_opts(opts)?;
+    let report = bench_huge::run_durable(cfg, threads, &durable)?;
     let cfg = &report.cfg;
     println!(
         "  build: {:.2}s ({} jobs, {} usage points)",
@@ -537,7 +677,8 @@ fn cmd_bench_huge(
     } else {
         Err(format!(
             "workload provisioning speedup {speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
-        ))
+        )
+        .into())
     }
 }
 
@@ -797,12 +938,12 @@ fn cmd_fault_sweep(
     threads: usize,
     csv: bool,
     opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), Failure> {
     let seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
     let profile = opts.get("fault-profile").map(String::as_str);
     let policies = policies_from_opts(opts)?;
-    let sweep = exp::faults::run_opts(scale, threads, seed, profile, &policies)
-        .map_err(|e| format!("fault-sweep: {e}"))?;
+    let durable = durable_from_opts(opts)?;
+    let sweep = exp::faults::run_opts_durable(scale, threads, seed, profile, &policies, &durable)?;
     emit(
         "Fault sweep: resilience under injected faults (stress scenario, C/R)",
         &sweep.table(),
@@ -838,7 +979,7 @@ fn run_command(
     threads: usize,
     csv: bool,
     opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+) -> Result<(), Failure> {
     match cmd {
         "table1" => emit("Table 1: trace sources", &exp::tables::table1(), csv),
         "table2" => emit(
@@ -887,7 +1028,12 @@ fn run_command(
             }
         }
         "fig5" => {
-            let f = exp::fig5::run_with_policies(scale, threads, &policies_from_opts(opts)?);
+            let f = exp::fig5::run_durable(
+                scale,
+                threads,
+                &policies_from_opts(opts)?,
+                &durable_from_opts(opts)?,
+            )?;
             emit("Figure 5: normalized throughput", &f.table(), csv);
             if !csv {
                 if let Some((trace, over, mem, gain)) = f.max_dynamic_gain() {
@@ -921,7 +1067,12 @@ fn run_command(
             }
         }
         "fig8" => {
-            let f = exp::fig8::run_with_policies(scale, threads, &policies_from_opts(opts)?);
+            let f = exp::fig8::run_durable(
+                scale,
+                threads,
+                &policies_from_opts(opts)?,
+                &durable_from_opts(opts)?,
+            )?;
             emit("Figure 8: throughput vs overestimation", &f.table(), csv);
             if !csv {
                 if let Some(gap) = f.gap_at_37("large 50%", 1.0) {
@@ -948,7 +1099,7 @@ fn run_command(
             let v = exp::validate::run(scale, threads);
             emit("Validation of the paper's headline claims", &v.table(), csv);
             if !v.all_pass() {
-                return Err("some claims failed validation".into());
+                return Err("some claims failed validation".to_string().into());
             }
         }
         "policies" => cmd_policies(csv),
@@ -965,7 +1116,7 @@ fn run_command(
             emit("Figure 9: min memory for 95% throughput", &f9.table(), csv);
             run_command("ablate", scale, threads, csv, opts)?;
         }
-        other => return Err(format!("unknown command '{other}'\n{}", usage())),
+        other => return Err(format!("unknown command '{other}'\n{}", usage()).into()),
     }
     Ok(())
 }
@@ -984,20 +1135,30 @@ fn main() {
     }
     let start = std::time::Instant::now();
     let result = match args.command.as_str() {
-        "export" => cmd_export(args.scale, &args.opts),
-        "trace-run" => cmd_trace_run(args.scale, &args.opts),
+        "export" => cmd_export(args.scale, &args.opts).map_err(Failure::Run),
+        "trace-run" => cmd_trace_run(args.scale, &args.opts).map_err(Failure::Run),
         "fault-sweep" => cmd_fault_sweep(args.scale, args.threads, args.csv, &args.opts),
-        "simulate" => cmd_simulate(args.scale, &args.opts),
-        "bench-sched" => cmd_bench_sched(&args.opts),
+        "simulate" => cmd_simulate(args.scale, &args.opts).map_err(Failure::Run),
+        "bench-sched" => cmd_bench_sched(&args.opts).map_err(Failure::Run),
         "bench-huge" => cmd_bench_huge(args.threads, &args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
+        "sweep-status" => cmd_sweep_status(&args.opts).map_err(Failure::Run),
         cmd => run_command(cmd, args.scale, args.threads, args.csv, &args.opts),
     };
-    if let Err(e) = result {
-        eprintln!("{e}");
-        std::process::exit(1);
+    match result {
+        Ok(()) => {}
+        Err(Failure::Run(e)) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        Err(Failure::Interrupted(e)) => {
+            eprintln!("{e}");
+            std::process::exit(EXIT_INTERRUPTED);
+        }
     }
-    if !args.csv {
+    // sweep-status only reads a manifest; a scale/timing banner would
+    // suggest it ran a sweep at some scale, which it did not.
+    if !args.csv && args.command != "sweep-status" {
         eprintln!(
             "[{} @ {} scale in {:.1}s]",
             args.command,
@@ -1167,10 +1328,81 @@ mod tests {
             "bench-sched",
             "bench-huge",
             "trace-run",
+            "sweep-status",
             "help",
         ] {
             assert!(u.contains(cmd), "usage() is missing '{cmd}'");
         }
+        // The durable-execution flags are documented too.
+        for flag in [
+            "--manifest",
+            "--resume",
+            "--retries",
+            "--backoff-ms",
+            "--point-limit",
+        ] {
+            assert!(u.contains(flag), "usage() is missing '{flag}'");
+        }
+    }
+
+    #[test]
+    fn sweep_status_takes_its_manifest_positionally() {
+        let args = parse(&["sweep-status", "/tmp/run.jsonl"]).unwrap();
+        assert_eq!(args.command, "sweep-status");
+        assert_eq!(args.opts.get("manifest").unwrap(), "/tmp/run.jsonl");
+        // --manifest still works, and a second positional is an error.
+        let args = parse(&["sweep-status", "--manifest", "/tmp/run.jsonl"]).unwrap();
+        assert_eq!(args.opts.get("manifest").unwrap(), "/tmp/run.jsonl");
+        assert!(parse(&["sweep-status", "/tmp/a.jsonl", "/tmp/b.jsonl"]).is_err());
+        // Other commands keep rejecting positionals.
+        assert!(parse(&["fig5", "/tmp/run.jsonl"]).is_err());
+    }
+
+    #[test]
+    fn durable_flags_build_options() {
+        let args = parse(&[
+            "fault-sweep",
+            "--manifest",
+            "/tmp/m.jsonl",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "10",
+            "--point-limit",
+            "4",
+        ])
+        .unwrap();
+        let d = durable_from_opts(&args.opts).unwrap();
+        assert_eq!(d.manifest.as_deref(), Some("/tmp/m.jsonl"));
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.backoff_ms, 10);
+        assert_eq!(d.point_limit, Some(4));
+        assert!(d.resume.is_none());
+        assert!(d.interrupt.is_some(), "journaling installs the drain");
+        // Defaults: one retry, 250 ms backoff, no journal, no drain.
+        let d = durable_from_opts(&parse(&["fig5"]).unwrap().opts).unwrap();
+        assert!(d.manifest.is_none());
+        assert_eq!((d.retries, d.backoff_ms), (1, 250));
+        assert!(d.interrupt.is_none());
+    }
+
+    #[test]
+    fn resume_conflicts_and_missing_files_are_loud() {
+        // --resume of a nonexistent manifest is an error, not a fresh run.
+        let args = parse(&["fig5", "--resume", "/nonexistent/m.jsonl"]).unwrap();
+        let err = durable_from_opts(&args.opts).unwrap_err();
+        assert!(err.starts_with("--resume:"), "{err}");
+        // --manifest naming a different file than --resume is rejected.
+        let args = parse(&[
+            "fig5",
+            "--resume",
+            "/tmp/a.jsonl",
+            "--manifest",
+            "/tmp/b.jsonl",
+        ])
+        .unwrap();
+        let err = durable_from_opts(&args.opts).unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
     }
 
     #[test]
@@ -1197,7 +1429,10 @@ mod tests {
     #[test]
     fn unknown_command_error_lists_trace_run() {
         let opts = std::collections::HashMap::new();
-        let err = run_command("bogus", Scale::Small, 1, false, &opts).unwrap_err();
+        let err = match run_command("bogus", Scale::Small, 1, false, &opts).unwrap_err() {
+            Failure::Run(e) => e,
+            Failure::Interrupted(e) => panic!("unexpected interruption: {e}"),
+        };
         assert!(err.contains("unknown command 'bogus'"), "{err}");
         assert!(err.contains("trace-run"), "{err}");
     }

@@ -10,7 +10,7 @@
 //! split is visible; the `none` profile doubles as a control that must
 //! match the fault-free simulator bit for bit.
 
-use crate::runner::run_parallel_progress;
+use crate::durable::{run_durable, DurableError, DurableOptions, Fingerprint, Journaled, Payload};
 use crate::scale::Scale;
 use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
@@ -38,6 +38,50 @@ pub struct FaultRow {
     pub throughput_jps: f64,
     /// Resilience counters extracted from the run.
     pub sample: ResilienceSample,
+}
+
+impl Journaled for FaultRow {
+    fn encode(&self) -> Payload {
+        let mut p = Payload::new();
+        p.push_str("profile", &self.profile);
+        p.push_str("policy", &self.policy.to_string());
+        p.push_f64_bits("throughput_jps", self.throughput_jps);
+        p.push_u64("total_jobs", self.sample.total_jobs as u64);
+        p.push_u64("completed", self.sample.completed as u64);
+        p.push_u64("fault_kills", self.sample.fault_kills as u64);
+        p.push_u64("jobs_fault_killed", self.sample.jobs_fault_killed as u64);
+        p.push_f64_bits("work_lost_s", self.sample.work_lost_s);
+        p.push_f64_bits("checkpoint_credit_s", self.sample.checkpoint_credit_s);
+        p.push_f64_bits("pool_availability", self.sample.pool_availability);
+        p.push_u64("actuator_retries", self.sample.actuator_retries as u64);
+        p.push_u64(
+            "actuator_escalations",
+            self.sample.actuator_escalations as u64,
+        );
+        p
+    }
+
+    fn decode(p: &Payload) -> Result<Self, String> {
+        Ok(FaultRow {
+            profile: p.str("profile")?.to_string(),
+            policy: p
+                .str("policy")?
+                .parse::<PolicySpec>()
+                .map_err(|e| e.to_string())?,
+            throughput_jps: p.f64_bits("throughput_jps")?,
+            sample: ResilienceSample {
+                total_jobs: p.u64("total_jobs")? as u32,
+                completed: p.u64("completed")? as u32,
+                fault_kills: p.u64("fault_kills")? as u32,
+                jobs_fault_killed: p.u64("jobs_fault_killed")? as u32,
+                work_lost_s: p.f64_bits("work_lost_s")?,
+                checkpoint_credit_s: p.f64_bits("checkpoint_credit_s")?,
+                pool_availability: p.f64_bits("pool_availability")?,
+                actuator_retries: p.u64("actuator_retries")? as u32,
+                actuator_escalations: p.u64("actuator_escalations")? as u32,
+            },
+        })
+    }
 }
 
 /// All sweep rows, profile-major in [`PROFILES`] order.
@@ -69,6 +113,32 @@ pub fn run_opts(
     profile: Option<&str>,
     policies: &[PolicySpec],
 ) -> Result<FaultSweep, CoreError> {
+    match run_opts_durable(
+        scale,
+        threads,
+        fault_seed,
+        profile,
+        policies,
+        &DurableOptions::default(),
+    ) {
+        Ok(sweep) => Ok(sweep),
+        Err(DurableError::Core(e)) => Err(e),
+        Err(e) => panic!("fault sweep failed: {e}"),
+    }
+}
+
+/// [`run_opts`] through the durable execution layer: each
+/// `(profile, policy)` point is fingerprinted over the scale, profile,
+/// policy spec, and both seeds, journaled to `opts.manifest` the
+/// moment it completes, and skipped on resume when already journaled.
+pub fn run_opts_durable(
+    scale: Scale,
+    threads: usize,
+    fault_seed: u64,
+    profile: Option<&str>,
+    policies: &[PolicySpec],
+    opts: &DurableOptions,
+) -> Result<FaultSweep, DurableError> {
     let profiles: Vec<&str> = match profile {
         Some(p) => {
             FaultConfig::profile(p)?; // validate the name up front
@@ -89,25 +159,44 @@ pub fn run_opts(
             ));
         }
     }
-    let rows = run_parallel_progress(tasks, threads, "fault-sweep", |(prof, policy, sys)| {
-        let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
-        FaultRow {
-            profile: prof.clone(),
-            policy: *policy,
-            throughput_jps: out.stats.throughput_jps,
-            sample: ResilienceSample {
-                total_jobs,
-                completed: out.stats.completed,
-                fault_kills: out.stats.fault_job_kills,
-                jobs_fault_killed: out.stats.jobs_fault_killed,
-                work_lost_s: out.stats.fault_work_lost_s,
-                checkpoint_credit_s: out.stats.fault_checkpoint_credit_s,
-                pool_availability: out.stats.avg_pool_availability,
-                actuator_retries: out.stats.actuator_retries,
-                actuator_escalations: out.stats.actuator_escalations,
-            },
-        }
-    });
+    let fps: Vec<String> = tasks
+        .iter()
+        .map(|(prof, policy, _)| {
+            Fingerprint::new("fault-point")
+                .field("scale", scale.label())
+                .field("profile", prof)
+                .field("policy", &policy.to_string())
+                .field_hex("fault_seed", fault_seed)
+                .field_hex("seed", BASE_SEED ^ 0xFA17)
+                .finish()
+        })
+        .collect();
+    let rows = run_durable(
+        "fault-sweep",
+        tasks,
+        fps,
+        threads,
+        opts,
+        |(prof, policy, sys)| {
+            let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
+            FaultRow {
+                profile: prof.clone(),
+                policy: *policy,
+                throughput_jps: out.stats.throughput_jps,
+                sample: ResilienceSample {
+                    total_jobs,
+                    completed: out.stats.completed,
+                    fault_kills: out.stats.fault_job_kills,
+                    jobs_fault_killed: out.stats.jobs_fault_killed,
+                    work_lost_s: out.stats.fault_work_lost_s,
+                    checkpoint_credit_s: out.stats.fault_checkpoint_credit_s,
+                    pool_availability: out.stats.avg_pool_availability,
+                    actuator_retries: out.stats.actuator_retries,
+                    actuator_escalations: out.stats.actuator_escalations,
+                },
+            }
+        },
+    )?;
     Ok(FaultSweep { rows })
 }
 

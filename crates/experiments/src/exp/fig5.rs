@@ -3,6 +3,7 @@
 //! +60% overestimation, under every registered policy (the paper's
 //! three plus the predictive/overcommit/conservative extensions).
 
+use crate::durable::{DurableError, DurableOptions};
 use crate::scale::Scale;
 use crate::sweep::{SweepPoint, ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
@@ -28,14 +29,31 @@ pub fn run(scale: Scale, threads: usize) -> Fig5 {
 /// Run the Figure 5 experiment over an explicit policy list (must
 /// include baseline, the normalisation reference).
 pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig5 {
+    match run_durable(scale, threads, policies, &DurableOptions::default()) {
+        Ok(fig) => fig,
+        Err(e) => panic!("fig5 sweep failed: {e}"),
+    }
+}
+
+/// [`run_with_policies`] through the durable execution layer: journals
+/// each point to `opts.manifest`, resumes from `opts.resume`, and
+/// drains gracefully on interruption (see `crate::durable`).
+pub fn run_durable(
+    scale: Scale,
+    threads: usize,
+    policies: &[PolicySpec],
+    opts: &DurableOptions,
+) -> Result<Fig5, DurableError> {
     let mut traces: Vec<TraceSpec> = LARGE_MIXES
         .iter()
         .map(|&f| TraceSpec::Synthetic { large_fraction: f })
         .collect();
     traces.push(TraceSpec::Grizzly);
-    Fig5 {
-        sweep: ThroughputSweep::run_with_policies(scale, &traces, &OVERS, threads, policies),
-    }
+    Ok(Fig5 {
+        sweep: ThroughputSweep::run_durable(
+            "fig5", scale, &traces, &OVERS, threads, policies, opts,
+        )?,
+    })
 }
 
 impl Fig5 {

@@ -2,6 +2,7 @@
 //! {0, 25, 50, 60, 75, 100}%, for the synthetic trace at 50% large jobs
 //! and the Grizzly trace.
 
+use crate::durable::{DurableError, DurableOptions};
 use crate::scale::Scale;
 use crate::sweep::{ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
@@ -24,15 +25,32 @@ pub fn run(scale: Scale, threads: usize) -> Fig8 {
 /// Run the Figure 8 experiment over an explicit policy list (must
 /// include baseline, the normalisation reference).
 pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig8 {
+    match run_durable(scale, threads, policies, &DurableOptions::default()) {
+        Ok(fig) => fig,
+        Err(e) => panic!("fig8 sweep failed: {e}"),
+    }
+}
+
+/// [`run_with_policies`] through the durable execution layer: journals
+/// each point to `opts.manifest`, resumes from `opts.resume`, and
+/// drains gracefully on interruption (see `crate::durable`).
+pub fn run_durable(
+    scale: Scale,
+    threads: usize,
+    policies: &[PolicySpec],
+    opts: &DurableOptions,
+) -> Result<Fig8, DurableError> {
     let traces = [
         TraceSpec::Synthetic {
             large_fraction: 0.5,
         },
         TraceSpec::Grizzly,
     ];
-    Fig8 {
-        sweep: ThroughputSweep::run_with_policies(scale, &traces, &OVERS, threads, policies),
-    }
+    Ok(Fig8 {
+        sweep: ThroughputSweep::run_durable(
+            "fig8", scale, &traces, &OVERS, threads, policies, opts,
+        )?,
+    })
 }
 
 impl Fig8 {

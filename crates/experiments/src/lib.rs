@@ -27,6 +27,7 @@
 
 pub mod bench_huge;
 pub mod chart;
+pub mod durable;
 pub mod exp;
 pub mod runner;
 pub mod scale;

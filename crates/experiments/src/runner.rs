@@ -6,18 +6,34 @@
 //! parallelises across OS threads with a shared atomic work index —
 //! results land in their input order regardless of completion order, so
 //! output is reproducible.
+//!
+//! There is exactly one thread-scatter implementation,
+//! [`run_parallel_observed`]; [`run_parallel`] and
+//! [`run_parallel_progress`] are thin parameterisations of it, and the
+//! durable layer ([`crate::durable`]) wraps the same code path with a
+//! journaling observer.
 
 use std::io::IsTerminal;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Run `f` over all `inputs` on up to `threads` worker threads (0 =
-/// hardware parallelism), returning outputs in input order.
-pub fn run_parallel<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+/// hardware parallelism), returning outputs in input order. `observe`
+/// is called once per completed input, on the worker thread that ran
+/// it, with the input index and a reference to the fresh output —
+/// progress ticks and durable journaling hang off this hook so every
+/// caller shares one scatter implementation.
+pub fn run_parallel_observed<I, O, F, Obs>(
+    inputs: Vec<I>,
+    threads: usize,
+    f: F,
+    observe: Obs,
+) -> Vec<O>
 where
     I: Send + Sync,
     O: Send,
     F: Fn(&I) -> O + Sync,
+    Obs: Fn(usize, &O) + Sync,
 {
     let n = inputs.len();
     if n == 0 {
@@ -32,7 +48,15 @@ where
     }
     .min(n);
     if threads == 1 {
-        return inputs.iter().map(&f).collect();
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let out = f(input);
+                observe(i, &out);
+                out
+            })
+            .collect();
     }
     // Workers claim items off a shared atomic index and buffer
     // `(index, output)` pairs privately; the main thread scatters them
@@ -50,7 +74,9 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(&inputs[i])));
+                        let out = f(&inputs[i]);
+                        observe(i, &out);
+                        local.push((i, out));
                     }
                     local
                 })
@@ -68,43 +94,104 @@ where
         .collect()
 }
 
+/// Run `f` over all `inputs` on up to `threads` worker threads (0 =
+/// hardware parallelism), returning outputs in input order.
+pub fn run_parallel<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_parallel_observed(inputs, threads, f, |_, _| {})
+}
+
 /// Live progress for a sweep: `label: done/total (pct, ETA)` redrawn on
 /// stderr. The ETA comes from a monotonic [`Instant`] held entirely
 /// outside simulation state, so reporting can never perturb a run's
 /// determinism; output goes to stderr (stdout stays machine-readable)
 /// and only when stderr is a terminal, so piped and CI runs stay quiet.
+///
+/// The estimate extrapolates the *work fraction* completed this run,
+/// not the point count: each point carries a weight (uniform by
+/// default), and points completed in a previous run (resume) are
+/// excluded from the rate so a sweep that restarts 90% done does not
+/// report a 10× inflated ETA — see [`eta_seconds`].
 pub struct Progress {
     label: String,
     total: usize,
+    pre_done: usize,
+    weights: Vec<f64>,
+    work_total: f64,
     done: AtomicUsize,
+    work_done_bits: AtomicU64,
     start: Instant,
     active: bool,
 }
 
 impl Progress {
-    /// Start reporting a sweep of `total` runs under `label`.
+    /// Start reporting a sweep of `total` uniform-weight runs under
+    /// `label`, none pre-completed.
     pub fn new(label: &str, total: usize) -> Self {
+        Self::with_plan(label, &vec![1.0; total], &vec![false; total])
+    }
+
+    /// Start reporting a sweep whose point `i` costs `weights[i]` units
+    /// of work (relative scale is all that matters) and is already
+    /// complete from a previous run when `pre_done[i]`. Pre-completed
+    /// points count toward the displayed `done/total` but contribute
+    /// neither elapsed time nor remaining work to the ETA.
+    pub fn with_plan(label: &str, weights: &[f64], pre_done: &[bool]) -> Self {
+        assert_eq!(weights.len(), pre_done.len(), "plan length mismatch");
+        let total = weights.len();
+        let pre = pre_done.iter().filter(|&&d| d).count();
+        let work_total: f64 = weights
+            .iter()
+            .zip(pre_done)
+            .filter(|&(_, &d)| !d)
+            .map(|(&w, _)| w)
+            .sum();
         Self {
             label: label.to_string(),
             total,
+            pre_done: pre,
+            weights: weights.to_vec(),
+            work_total,
             done: AtomicUsize::new(0),
+            work_done_bits: AtomicU64::new(0f64.to_bits()),
             start: Instant::now(),
-            active: std::io::stderr().is_terminal() && total > 1,
+            active: std::io::stderr().is_terminal() && total.saturating_sub(pre) > 1,
         }
     }
 
-    /// Record one completed run and redraw the status line.
-    pub fn tick(&self) {
-        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+    /// Record the completion of plan point `index` and redraw the
+    /// status line.
+    pub fn tick(&self, index: usize) {
+        let weight = self.weights.get(index).copied().unwrap_or(1.0);
+        // f64 add via CAS on the bit pattern — no atomic f64 in std.
+        let mut cur = self.work_done_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + weight).to_bits();
+            match self.work_done_bits.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let done = self.pre_done + self.done.fetch_add(1, Ordering::Relaxed) + 1;
         if !self.active {
             return;
         }
-        let line = format_progress(
-            &self.label,
-            done,
-            self.total,
+        let work_done = f64::from_bits(self.work_done_bits.load(Ordering::Relaxed));
+        let eta = eta_seconds(
             self.start.elapsed().as_secs_f64(),
+            work_done,
+            self.work_total - work_done,
         );
+        let line = format_progress(&self.label, done, self.total, eta);
         if done >= self.total {
             eprintln!("\r{line}");
         } else {
@@ -113,16 +200,27 @@ impl Progress {
     }
 }
 
+/// Extrapolated seconds remaining after `elapsed_s` seconds spent
+/// completing `work_done` of `work_done + work_remaining` units of
+/// work *this run*: `elapsed × remaining ÷ done`. Returns `None` until
+/// some work has finished (no rate to extrapolate) and once nothing
+/// remains. Callers must not feed pre-completed (resumed) work into
+/// `work_done` — it took none of `elapsed_s`, so counting it would
+/// deflate the estimate just as point-counting inflated it.
+pub fn eta_seconds(elapsed_s: f64, work_done: f64, work_remaining: f64) -> Option<f64> {
+    if work_done <= 0.0 || work_remaining <= 0.0 {
+        return None;
+    }
+    Some(elapsed_s * work_remaining / work_done)
+}
+
 /// Render one progress line: `label: done/total (pct%, ETA Ns)`. The
-/// ETA extrapolates the mean time per completed run; it is omitted
-/// until the first completion and once the sweep is done.
-pub fn format_progress(label: &str, done: usize, total: usize, elapsed_s: f64) -> String {
+/// ETA is omitted when `None` (nothing finished yet, or nothing left).
+pub fn format_progress(label: &str, done: usize, total: usize, eta: Option<f64>) -> String {
     let pct = (done * 100).checked_div(total).unwrap_or(100);
-    let eta = if done > 0 && done < total {
-        let remaining_s = elapsed_s / done as f64 * (total - done) as f64;
-        format!(", ETA {remaining_s:.0}s")
-    } else {
-        String::new()
+    let eta = match eta {
+        Some(s) => format!(", ETA {s:.0}s"),
+        None => String::new(),
     };
     format!("{label}: {done}/{total} ({pct}%{eta})")
 }
@@ -135,16 +233,13 @@ where
     F: Fn(&I) -> O + Sync,
 {
     let progress = Progress::new(label, inputs.len());
-    run_parallel(inputs, threads, |i| {
-        let out = f(i);
-        progress.tick();
-        out
-    })
+    run_parallel_observed(inputs, threads, f, |i, _| progress.tick(i))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_input_order() {
@@ -172,17 +267,79 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_every_completion_once() {
+        for threads in [1, 4] {
+            let seen = Mutex::new(vec![0u32; 64]);
+            let out = run_parallel_observed(
+                (0..64u64).collect::<Vec<_>>(),
+                threads,
+                |&x| x * 10,
+                |i, &o| {
+                    assert_eq!(o, i as u64 * 10, "observer gets the point's own output");
+                    seen.lock().unwrap()[i] += 1;
+                },
+            );
+            assert_eq!(out.len(), 64);
+            assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
     fn progress_formatting() {
         // No ETA before the first completion…
-        assert_eq!(format_progress("sweep", 0, 8, 0.0), "sweep: 0/8 (0%)");
-        // …mean-per-run extrapolation in the middle…
+        assert_eq!(format_progress("sweep", 0, 8, None), "sweep: 0/8 (0%)");
+        // …work-fraction extrapolation in the middle…
         assert_eq!(
-            format_progress("sweep", 2, 8, 10.0),
+            format_progress("sweep", 2, 8, eta_seconds(10.0, 2.0, 6.0)),
             "sweep: 2/8 (25%, ETA 30s)"
         );
         // …and none once everything finished.
-        assert_eq!(format_progress("sweep", 8, 8, 40.0), "sweep: 8/8 (100%)");
-        assert_eq!(format_progress("x", 0, 0, 0.0), "x: 0/0 (100%)");
+        assert_eq!(format_progress("sweep", 8, 8, None), "sweep: 8/8 (100%)");
+        assert_eq!(format_progress("x", 0, 0, None), "x: 0/0 (100%)");
+    }
+
+    #[test]
+    fn eta_uses_work_fraction_not_point_count() {
+        // Synthetic schedule from the Huge tier: one 4,283 s static
+        // point, then seven 17 s dynamic points. After the heavy point
+        // finishes (4,283 s elapsed, 1/8 points done), a count-based
+        // estimator would predict 7 × 4,283 ≈ 30,000 s; the work
+        // estimator knows only 119 units remain.
+        let weights = [4283.0, 17.0, 17.0, 17.0, 17.0, 17.0, 17.0, 17.0];
+        let done: f64 = weights[0];
+        let remaining: f64 = weights[1..].iter().sum();
+        let eta = eta_seconds(4283.0, done, remaining).unwrap();
+        assert!((eta - 119.0).abs() < 1e-9, "eta = {eta}");
+        // Count-based for comparison: wildly off.
+        let naive = 4283.0 / 1.0 * 7.0;
+        assert!(naive > 100.0 * eta);
+    }
+
+    #[test]
+    fn eta_excludes_resumed_work_from_rate() {
+        // 10-point uniform plan, 8 pre-completed on a previous run. The
+        // rate must come only from this run's 2 points: after 1 of them
+        // (30 s), ETA is 30 s — not 30/9ths of a second, which is what
+        // feeding all 9 "done" points into the rate would produce.
+        let eta = eta_seconds(30.0, 1.0, 1.0).unwrap();
+        assert!((eta - 30.0).abs() < 1e-9);
+        // Nothing-left and nothing-done edges.
+        assert_eq!(eta_seconds(30.0, 2.0, 0.0), None);
+        assert_eq!(eta_seconds(0.0, 0.0, 5.0), None);
+    }
+
+    #[test]
+    fn with_plan_counts_pre_done() {
+        let p = Progress::with_plan("resume", &[1.0; 4], &[true, true, false, false]);
+        assert_eq!(p.pre_done, 2);
+        assert_eq!(p.total, 4);
+        assert!((p.work_total - 2.0).abs() < 1e-12);
+        // Ticking the remaining points accumulates only their weight.
+        p.tick(2);
+        p.tick(3);
+        let done = f64::from_bits(p.work_done_bits.load(Ordering::Relaxed));
+        assert!((done - 2.0).abs() < 1e-12);
+        assert_eq!(p.done.load(Ordering::Relaxed), 2);
     }
 
     #[test]

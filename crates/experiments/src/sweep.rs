@@ -2,7 +2,8 @@
 //! × memory axis × policies, normalised against the baseline policy on a
 //! fully provisioned system.
 
-use crate::runner::{run_parallel, run_parallel_progress};
+use crate::durable::{DurableError, DurableOptions, Fingerprint, Journaled, Payload};
+use crate::runner::run_parallel;
 use crate::scale::Scale;
 use crate::scenario::{
     grizzly_bundle, grizzly_rep_workload, grizzly_system, median_response, memory_axis,
@@ -65,6 +66,41 @@ pub struct SweepPoint {
     pub median_response_s: f64,
 }
 
+impl Journaled for SweepPoint {
+    fn encode(&self) -> Payload {
+        let mut p = Payload::new();
+        p.push_str("trace", &self.trace);
+        p.push_f64_bits("overest", self.overest);
+        p.push_u64("mem_pct", self.mem_pct as u64);
+        p.push_str("policy", &self.policy.to_string());
+        p.push_f64_bits("throughput_jps", self.throughput_jps);
+        p.push_bool("feasible", self.feasible);
+        p.push_u64("completed", self.completed as u64);
+        p.push_u64("oom_kills", self.oom_kills as u64);
+        p.push_u64("jobs_oom_killed", self.jobs_oom_killed as u64);
+        p.push_f64_bits("median_response_s", self.median_response_s);
+        p
+    }
+
+    fn decode(p: &Payload) -> Result<Self, String> {
+        Ok(SweepPoint {
+            trace: p.str("trace")?.to_string(),
+            overest: p.f64_bits("overest")?,
+            mem_pct: p.u64("mem_pct")? as u32,
+            policy: p
+                .str("policy")?
+                .parse::<PolicySpec>()
+                .map_err(|e| e.to_string())?,
+            throughput_jps: p.f64_bits("throughput_jps")?,
+            feasible: p.bool("feasible")?,
+            completed: p.u64("completed")? as u32,
+            oom_kills: p.u64("oom_kills")? as u32,
+            jobs_oom_killed: p.u64("jobs_oom_killed")? as u32,
+            median_response_s: p.f64_bits("median_response_s")?,
+        })
+    }
+}
+
 /// A finished sweep with its normalisation references.
 #[derive(Clone, Debug)]
 pub struct ThroughputSweep {
@@ -100,6 +136,37 @@ impl ThroughputSweep {
         threads: usize,
         policies: &[PolicySpec],
     ) -> Self {
+        match Self::run_durable(
+            "sweep",
+            scale,
+            traces,
+            overs,
+            threads,
+            policies,
+            &DurableOptions::default(),
+        ) {
+            Ok(sweep) => sweep,
+            Err(e) => panic!("sweep failed: {e}"),
+        }
+    }
+
+    /// [`Self::run_with_policies`] through the durable execution layer
+    /// (`crate::durable`): each `(leg, mem, policy)` point is
+    /// fingerprinted, journaled to `opts.manifest` the moment it
+    /// completes, isolated against panics, and skipped on resume when
+    /// its outcome is already journaled. Simulated values are
+    /// bit-identical to the plain sweep — the layer only decides
+    /// *whether* a point runs, never how.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_durable(
+        label: &str,
+        scale: Scale,
+        traces: &[TraceSpec],
+        overs: &[f64],
+        threads: usize,
+        policies: &[PolicySpec],
+        opts: &DurableOptions,
+    ) -> Result<Self, DurableError> {
         assert!(
             policies.contains(&PolicySpec::Baseline),
             "sweep needs the baseline policy for normalisation"
@@ -161,41 +228,66 @@ impl ThroughputSweep {
                 }
             }
         }
-        let raw = run_parallel_progress(tasks, threads, "sweep", |&(leg_idx, pct, mix, policy)| {
-            let (trace, over, _week) = legs[leg_idx];
-            let system = match trace {
-                TraceSpec::Synthetic { .. } => synthetic_system(scale, mix),
-                TraceSpec::Grizzly => {
-                    grizzly_system(mix, &grizzly.as_ref().expect("grizzly built").0)
+        // Fingerprint every point over everything that decides its
+        // result: scale, trace, overestimation bits, week, memory
+        // point, policy spec, and the derived simulation seed.
+        let fps: Vec<String> = tasks
+            .iter()
+            .map(|&(leg_idx, pct, _mix, policy)| {
+                let (trace, over, week) = legs[leg_idx];
+                Fingerprint::new("sweep-point")
+                    .field("scale", scale.label())
+                    .field("trace", &trace.label())
+                    .field_bits("overest", over)
+                    .field_u64("week", week as u64)
+                    .field_u64("mem_pct", pct as u64)
+                    .field("policy", &policy.to_string())
+                    .field_hex("seed", BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64)
+                    .finish()
+            })
+            .collect();
+        let raw = crate::durable::run_durable(
+            label,
+            tasks,
+            fps,
+            threads,
+            opts,
+            |&(leg_idx, pct, mix, policy)| {
+                let (trace, over, _week) = legs[leg_idx];
+                let system = match trace {
+                    TraceSpec::Synthetic { .. } => synthetic_system(scale, mix),
+                    TraceSpec::Grizzly => {
+                        grizzly_system(mix, &grizzly.as_ref().expect("grizzly built").0)
+                    }
+                };
+                let mut out = simulate(
+                    system,
+                    Arc::clone(&workloads[leg_idx]),
+                    policy,
+                    BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64,
+                );
+                let median = median_response(&mut out.response_times_s);
+                SweepPoint {
+                    trace: trace.label(),
+                    overest: over,
+                    mem_pct: pct,
+                    policy,
+                    throughput_jps: out.stats.throughput_jps,
+                    feasible: out.feasible,
+                    completed: out.stats.completed,
+                    oom_kills: out.stats.oom_kills,
+                    jobs_oom_killed: out.stats.jobs_oom_killed,
+                    median_response_s: median,
                 }
-            };
-            let mut out = simulate(
-                system,
-                Arc::clone(&workloads[leg_idx]),
-                policy,
-                BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64,
-            );
-            let median = median_response(&mut out.response_times_s);
-            SweepPoint {
-                trace: trace.label(),
-                overest: over,
-                mem_pct: pct,
-                policy,
-                throughput_jps: out.stats.throughput_jps,
-                feasible: out.feasible,
-                completed: out.stats.completed,
-                oom_kills: out.stats.oom_kills,
-                jobs_oom_killed: out.stats.jobs_oom_killed,
-                median_response_s: median,
-            }
-        });
+            },
+        )?;
         // Phase 3: aggregate multi-week legs into one point per
         // (trace, over, mem, policy). All weeks of one trace share the
         // same normalisation reference, so averaging raw throughputs is
         // averaging normalised ones.
-        Self {
+        Ok(Self {
             points: aggregate(raw),
-        }
+        })
     }
 
     /// The normalisation reference for a trace: Baseline throughput at

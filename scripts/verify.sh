@@ -49,6 +49,26 @@ grep -q '"pass": true' /tmp/bench_huge_a.json
 rm -f /tmp/bench_huge_a.json /tmp/bench_huge_b.json \
       /tmp/bench_huge_a.csv /tmp/bench_huge_b.csv
 
+echo "== durable-sweep smoke (journal, interrupt at 75, resume, bit-identical) =="
+M=/tmp/durable_sweep.jsonl
+rm -f "$M"
+# Reference: the same sweep uninterrupted.
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv > /tmp/durable_ref.csv
+# Interrupted run: --point-limit is the deterministic stand-in for
+# Ctrl-C — drain after 3 points, flush the manifest, exit 75.
+code=0
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv \
+    --manifest "$M" --point-limit 3 > /tmp/durable_int.csv 2> /tmp/durable_int.err || code=$?
+[ "$code" -eq 75 ] || { echo "expected interrupted exit 75, got $code"; exit 1; }
+[ ! -s /tmp/durable_int.csv ] || { echo "interrupted run must not emit a partial CSV"; exit 1; }
+grep -q "interrupted:" /tmp/durable_int.err
+# Resume: skip journaled points, finish the rest, reproduce the bytes.
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv --resume "$M" > /tmp/durable_res.csv
+cmp /tmp/durable_ref.csv /tmp/durable_res.csv
+# The journal must report itself fully drained.
+./target/release/dmhpc sweep-status "$M" | grep -q "pending 0"
+rm -f "$M" /tmp/durable_ref.csv /tmp/durable_res.csv /tmp/durable_int.csv /tmp/durable_int.err
+
 echo "== trace smoke (JSONL parses, sim-time monotone, diff pinpoints) =="
 ./target/release/dmhpc trace-run --scale small --fault-profile heavy --out /tmp/trace_smoke.jsonl
 ./target/release/dmhpc trace-run --check /tmp/trace_smoke.jsonl
