@@ -1,6 +1,6 @@
 //! Simulated system configurations (paper Table 4).
 
-use crate::cluster::MemoryMix;
+use crate::cluster::{MemoryMix, TopologySpec};
 use crate::error::CoreError;
 use crate::faults::FaultConfig;
 use serde::{Deserialize, Serialize};
@@ -84,6 +84,11 @@ pub struct SystemConfig {
     /// Fault-injection configuration; all rates zero by default
     /// (fault-free runs are bit-identical to pre-fault-model builds).
     pub faults: FaultConfig,
+    /// Fabric topology; flat by default (flat runs are bit-identical to
+    /// pre-topology builds). `serde(default)` keeps configs serialized
+    /// before the topology layer loading cleanly.
+    #[serde(default)]
+    pub topology: TopologySpec,
 }
 
 impl SystemConfig {
@@ -115,6 +120,7 @@ impl SystemConfig {
             cost_per_128gb_usd: 1_280.0,
             link_capacity_gbs: 12.5,
             faults: FaultConfig::none(),
+            topology: TopologySpec::Flat,
         }
     }
 
@@ -151,6 +157,12 @@ impl SystemConfig {
     /// Replace the fault-injection configuration.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replace the fabric topology.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -193,6 +205,7 @@ impl SystemConfig {
                 self.link_capacity_gbs
             ));
         }
+        self.topology.validate()?;
         self.faults.validate()
     }
 

@@ -199,7 +199,7 @@ impl EventQueue {
     }
 
     /// Whether the stale fraction warrants a [`compact`](Self::compact)
-    /// sweep (heap at least [`COMPACT_MIN_LEN`] long and more than half
+    /// sweep (heap at least `COMPACT_MIN_LEN` long and more than half
     /// stale).
     pub fn should_compact(&self) -> bool {
         self.heap.len() >= COMPACT_MIN_LEN && self.stale * 2 > self.heap.len()

@@ -67,7 +67,7 @@ pub mod sched;
 pub mod sim;
 pub mod trace;
 
-pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId};
+pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId, Topology, TopologySpec};
 pub use config::{OomMitigation, RestartStrategy, SystemConfig};
 pub use engine::SimTime;
 pub use error::CoreError;

@@ -55,6 +55,10 @@ pub struct PlacementScratch {
     fit: Vec<(u64, NodeId)>,
     /// Phase-2 compute-node selection as `(free, id)`.
     compute: Vec<(u64, NodeId)>,
+    /// Racked phase-2 drain overlay as `(lender, mb already planned)`:
+    /// rack-aware lender iteration restarts per entry, so drained
+    /// amounts are tracked on the side instead of in a single stream.
+    taken: Vec<(NodeId, u64)>,
 }
 
 impl PlacementScratch {
@@ -264,6 +268,9 @@ pub fn place_spread_with(
         return Some(JobAlloc { entries });
     }
     entries.clear();
+    if !cluster.is_flat() {
+        return place_spread_racked(cluster, n, request_mb, scratch);
+    }
     // Phase 2: the n nodes with the most free memory become compute
     // nodes; the rest of the free pool lends.
     scratch.compute.clear();
@@ -294,6 +301,76 @@ pub fn place_spread_with(
                     current = Some(lender_iter.next()?); // pool exhausted
                 }
             }
+        }
+        entries.push(AllocEntry {
+            node: id,
+            local_mb: local,
+            remote,
+        });
+    }
+    Some(JobAlloc { entries })
+}
+
+/// Phase-2 spread placement on a racked topology. Compute nodes are
+/// still the globally most-free schedulable nodes — rack boundaries do
+/// not change where a job *runs* — but each entry's borrows walk the
+/// locality-aware lender order (own rack first, then cross-rack) and
+/// cross-rack borrowing is capped at the topology's per-plan budget.
+/// Because the lender order restarts per entry, drained amounts are
+/// tracked in the `scratch.taken` overlay rather than a single
+/// partially-consumed stream.
+fn place_spread_racked(
+    cluster: &Cluster,
+    n: usize,
+    request_mb: u64,
+    scratch: &mut PlacementScratch,
+) -> Option<JobAlloc> {
+    scratch.compute.clear();
+    scratch
+        .compute
+        .extend(cluster.schedulable_by_free_desc().take(n));
+    scratch.taken.clear();
+    let PlacementScratch { compute, taken, .. } = scratch;
+    let compute = &compute[..];
+    let mut entries = Vec::with_capacity(n);
+    for &(free, id) in compute {
+        let local = free.min(request_mb);
+        let mut need = request_mb - local;
+        let mut cross_budget = cluster.topology().cross_budget(need);
+        let mut remote = Vec::new();
+        for (lfree, lid) in cluster.lenders_from(id) {
+            if need == 0 {
+                break;
+            }
+            if compute.iter().any(|&(_, c)| c == lid) {
+                continue;
+            }
+            let already = taken
+                .iter()
+                .find(|&&(t, _)| t == lid)
+                .map_or(0, |&(_, a)| a);
+            let avail = lfree - already;
+            let is_cross = cluster.is_cross(id, lid);
+            let take = if is_cross {
+                avail.min(need).min(cross_budget)
+            } else {
+                avail.min(need)
+            };
+            if take == 0 {
+                continue;
+            }
+            remote.push((lid, take));
+            need -= take;
+            if is_cross {
+                cross_budget -= take;
+            }
+            match taken.iter_mut().find(|&&mut (t, _)| t == lid) {
+                Some(slot) => slot.1 += take,
+                None => taken.push((lid, take)),
+            }
+        }
+        if need > 0 {
+            return None; // pool (or cross-rack budget) exhausted
         }
         entries.push(AllocEntry {
             node: id,
@@ -403,6 +480,9 @@ pub fn place_spread_reference(cluster: &Cluster, nodes: u32, request_mb: u64) ->
                 .collect(),
         });
     }
+    if !cluster.is_flat() {
+        return place_spread_racked_reference(cluster, sched, n, request_mb);
+    }
     // Phase 2: nodes with the most free memory + borrowing.
     // Sort descending by free, ascending by id for determinism.
     sched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
@@ -444,6 +524,81 @@ pub fn place_spread_reference(cluster: &Cluster, nodes: u32, request_mb: u64) ->
     Some(JobAlloc { entries })
 }
 
+/// Full-scan twin of [`place_spread_racked`], kept as the equivalence
+/// oracle: the lender pool is re-sorted per entry by
+/// `(cross-rack?, free desc, id asc)` with original free-memory keys,
+/// and drained amounts live in a side overlay exactly like the indexed
+/// implementation.
+fn place_spread_racked_reference(
+    cluster: &Cluster,
+    mut sched: Vec<(u64, NodeId)>,
+    n: usize,
+    request_mb: u64,
+) -> Option<JobAlloc> {
+    sched.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let compute = &sched[..n];
+    let compute_ids: Vec<NodeId> = compute.iter().map(|&(_, id)| id).collect();
+    let lenders: Vec<(u64, NodeId)> = cluster
+        .iter()
+        .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
+        .map(|(id, node)| (node.free_mb(), id))
+        .collect();
+    let mut taken: Vec<(NodeId, u64)> = Vec::new();
+    let mut entries = Vec::with_capacity(n);
+    for &(free, id) in compute {
+        let local = free.min(request_mb);
+        let mut need = request_mb - local;
+        let mut cross_budget = cluster.topology().cross_budget(need);
+        // Re-order the pool for *this* entry: own-rack lenders first.
+        let mut order = lenders.clone();
+        order.sort_unstable_by(|a, b| {
+            cluster
+                .is_cross(id, a.1)
+                .cmp(&cluster.is_cross(id, b.1))
+                .then(b.0.cmp(&a.0))
+                .then(a.1.cmp(&b.1))
+        });
+        let mut remote = Vec::new();
+        for (lfree, lid) in order {
+            if need == 0 {
+                break;
+            }
+            let already = taken
+                .iter()
+                .find(|&&(t, _)| t == lid)
+                .map_or(0, |&(_, a)| a);
+            let avail = lfree - already;
+            let is_cross = cluster.is_cross(id, lid);
+            let take = if is_cross {
+                avail.min(need).min(cross_budget)
+            } else {
+                avail.min(need)
+            };
+            if take == 0 {
+                continue;
+            }
+            remote.push((lid, take));
+            need -= take;
+            if is_cross {
+                cross_budget -= take;
+            }
+            match taken.iter_mut().find(|&&mut (t, _)| t == lid) {
+                Some(slot) => slot.1 += take,
+                None => taken.push((lid, take)),
+            }
+        }
+        if need > 0 {
+            return None; // pool (or cross-rack budget) exhausted
+        }
+        entries.push(AllocEntry {
+            node: id,
+            local_mb: local,
+            remote,
+        });
+    }
+    Some(JobAlloc { entries })
+}
+
 /// Plan the growth of one compute-node entry by `need_mb`: local memory
 /// first, then borrows from the lenders with the most free memory
 /// (paper §2.2: "allocate memory locally, if possible, and then remotely
@@ -466,6 +621,39 @@ pub fn plan_growth(
     let mut need = need_mb - local;
     if need == 0 {
         return Some((local, vec![]));
+    }
+    if !cluster.is_flat() {
+        // Racked: walk the locality-aware order (own rack first) under
+        // the cross-rack budget.
+        let mut cross_budget = cluster.topology().cross_budget(need);
+        let mut borrows = Vec::new();
+        for (free, id) in cluster.lenders_from(entry_node) {
+            if compute_ids.contains(&id) {
+                continue;
+            }
+            let is_cross = cluster.is_cross(entry_node, id);
+            let take = if is_cross {
+                free.min(need).min(cross_budget)
+            } else {
+                free.min(need)
+            };
+            if take == 0 {
+                continue;
+            }
+            borrows.push((id, take));
+            need -= take;
+            if is_cross {
+                cross_budget -= take;
+            }
+            if need == 0 {
+                break;
+            }
+        }
+        return if need > 0 {
+            None
+        } else {
+            Some((local, borrows))
+        };
     }
     // Lenders stream off the free index (most free first) instead of a
     // collect-and-sort pass over every node.
@@ -509,6 +697,43 @@ pub fn plan_growth_reference(
         .filter(|(id, node)| node.free_mb() > 0 && !compute_ids.contains(id))
         .map(|(id, node)| (node.free_mb(), id))
         .collect();
+    if !cluster.is_flat() {
+        // Racked twin: sort by (cross-rack?, free desc, id asc) and walk
+        // under the cross-rack budget.
+        lenders.sort_unstable_by(|a, b| {
+            cluster
+                .is_cross(entry_node, a.1)
+                .cmp(&cluster.is_cross(entry_node, b.1))
+                .then(b.0.cmp(&a.0))
+                .then(a.1.cmp(&b.1))
+        });
+        let mut cross_budget = cluster.topology().cross_budget(need);
+        let mut borrows = Vec::new();
+        for (free, id) in lenders {
+            if need == 0 {
+                break;
+            }
+            let is_cross = cluster.is_cross(entry_node, id);
+            let take = if is_cross {
+                free.min(need).min(cross_budget)
+            } else {
+                free.min(need)
+            };
+            if take == 0 {
+                continue;
+            }
+            borrows.push((id, take));
+            need -= take;
+            if is_cross {
+                cross_budget -= take;
+            }
+        }
+        return if need > 0 {
+            None
+        } else {
+            Some((local, borrows))
+        };
+    }
     lenders.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     let mut borrows = Vec::new();
     for (free, id) in lenders {

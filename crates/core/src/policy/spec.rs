@@ -1,7 +1,7 @@
 //! The parameterized policy-construction API.
 //!
 //! [`PolicySpec`] is the open-ended successor to the closed
-//! [`PolicyKind`](crate::policy::PolicyKind) enum: every policy the
+//! [`PolicyKind`] enum: every policy the
 //! simulator ships is named in one [`registry`](PolicySpec::registry),
 //! parameterized specs round-trip through strings
 //! (`overcommit:factor=0.8`, `conservative:quantum=4096`), and

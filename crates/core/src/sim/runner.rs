@@ -50,7 +50,7 @@ impl Simulation {
     /// `Arc<Workload>` shares it — a sweep builds each workload once and
     /// every point of the memory × policy grid reads the same jobs and
     /// profile pool. Sharing is sound because the runner keeps all
-    /// mutable per-job state in [`JobState`], never in the workload.
+    /// mutable per-job state in `JobState`, never in the workload.
     pub fn new(cfg: SystemConfig, workload: impl Into<Arc<Workload>>, policy: PolicyKind) -> Self {
         Self::from_policy(cfg, workload, policy.build())
     }

@@ -271,11 +271,13 @@ impl Runner {
         if self.st[jid.0 as usize].status != Status::Running {
             return;
         }
-        let Some(alloc) = self.cluster.alloc_of(jid) else {
+        if self.cluster.alloc_of(jid).is_none() {
             return;
-        };
+        }
+        // Topology-priced: cross-rack slices weigh extra on racked
+        // topologies; exactly `alloc.remote_fraction()` on flat.
         let access = RemoteAccess {
-            remote_fraction: alloc.remote_fraction(),
+            remote_fraction: self.cluster.priced_remote_fraction(jid),
             pressure: self
                 .model
                 .pressure(self.cluster.hottest_lender_demand_gbs(jid)),

@@ -63,6 +63,15 @@ pub struct Stats {
     /// Mean fraction of total memory capacity online over the makespan
     /// (1.0 in fault-free runs).
     pub avg_pool_availability: f64,
+    /// Time-weighted fraction of allocated memory that was borrowed
+    /// (remote), over the makespan. Zero under the baseline policy.
+    #[serde(default)]
+    pub avg_remote_fraction: f64,
+    /// Time-weighted fraction of allocated memory borrowed across rack
+    /// boundaries. Always zero on the flat topology — this is the
+    /// quantity `cross_cap` prices.
+    #[serde(default)]
+    pub avg_cross_rack_fraction: f64,
 }
 
 impl Stats {
@@ -125,6 +134,8 @@ pub(crate) struct Metrics {
     pub(crate) busy_integral: f64,
     pub(crate) mem_integral: f64,
     pub(crate) offline_integral: f64,
+    pub(crate) remote_integral: f64,
+    pub(crate) cross_integral: f64,
 }
 
 impl Metrics {
@@ -137,6 +148,8 @@ impl Metrics {
             self.busy_integral += dt * busy as f64;
             self.mem_integral += dt * cluster.total_allocated_mb() as f64;
             self.offline_integral += dt * cluster.total_offline_mb() as f64;
+            self.remote_integral += dt * cluster.total_remote_mb() as f64;
+            self.cross_integral += dt * cluster.total_cross_rack_mb() as f64;
             self.util_last = to;
         }
     }
@@ -186,6 +199,12 @@ impl Metrics {
         } else {
             0.0
         };
+        // Remote/cross fractions are of allocated byte-seconds, not
+        // capacity: "how much of what jobs held was remote".
+        if self.mem_integral > 0.0 {
+            stats.avg_remote_fraction = self.remote_integral / self.mem_integral;
+            stats.avg_cross_rack_fraction = self.cross_integral / self.mem_integral;
+        }
         (self.resp, self.waits)
     }
 }

@@ -17,7 +17,7 @@ use crate::durable::{DurableError, DurableOptions, Fingerprint, Journaled, Paylo
 use crate::scale::Scale;
 use crate::scenario::{median_response, memory_axis, simulate, BASE_SEED};
 use crate::sweep::{aggregate, SweepPoint, TraceSpec};
-use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::cluster::{MemoryMix, TopologySpec};
 use dmhpc_core::config::SystemConfig;
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
@@ -42,6 +42,8 @@ pub struct HugeLegConfig {
     pub mem_points: Vec<(u32, MemoryMix)>,
     /// Policies simulated per memory point.
     pub policies: Vec<PolicySpec>,
+    /// Fabric topology the leg runs on (the CLI's `--topology`).
+    pub topology: TopologySpec,
     /// Samples for the per-point provisioning micro-measurement.
     pub samples: usize,
 }
@@ -66,6 +68,7 @@ impl HugeLegConfig {
             google_pool: Scale::Huge.google_pool(),
             mem_points: memory_axis(),
             policies: Self::paper_policies(),
+            topology: TopologySpec::Flat,
             samples: 32,
         }
     }
@@ -84,6 +87,7 @@ impl HugeLegConfig {
                 .filter(|&(pct, _)| matches!(pct, 37 | 62 | 100))
                 .collect(),
             policies: Self::paper_policies(),
+            topology: TopologySpec::Flat,
             samples: 8,
         }
     }
@@ -262,6 +266,7 @@ pub fn run_durable(
                 .field_u64("google_pool", cfg.google_pool as u64)
                 .field_u64("mem_pct", pct as u64)
                 .field("policy", &policy.to_string())
+                .field("topology", &cfg.topology.to_string())
                 .field_hex("seed", BASE_SEED ^ pct as u64)
                 .finish()
         })
@@ -274,7 +279,9 @@ pub fn run_durable(
         threads,
         opts,
         |&(pct, mix, policy)| {
-            let system = SystemConfig::with_nodes(cfg.nodes).with_memory_mix(mix);
+            let system = SystemConfig::with_nodes(cfg.nodes)
+                .with_memory_mix(mix)
+                .with_topology(cfg.topology);
             let ts = Instant::now();
             let mut out = simulate(
                 system,
@@ -289,12 +296,14 @@ pub fn run_durable(
                 overest: 0.6,
                 mem_pct: pct,
                 policy,
+                topology: cfg.topology,
                 throughput_jps: out.stats.throughput_jps,
                 feasible: out.feasible,
                 completed: out.stats.completed,
                 oom_kills: out.stats.oom_kills,
                 jobs_oom_killed: out.stats.jobs_oom_killed,
                 median_response_s: median,
+                cross_rack_fraction: out.stats.avg_cross_rack_fraction,
             };
             TimedPoint { point, sim_s }
         },
@@ -349,6 +358,7 @@ mod tests {
                 .filter(|&(pct, _)| pct == 100)
                 .collect(),
             policies: vec![PolicySpec::Baseline, PolicySpec::Dynamic],
+            topology: TopologySpec::Flat,
             samples: 2,
         }
     }

@@ -10,10 +10,13 @@
 //!           export simulate chart bench-sched bench-huge trace-run help
 //! ```
 
+use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
-use dmhpc_experiments::durable::{
-    install_sigint_drain, DurableError, DurableOptions, PointStatus, ResumeState, EXIT_INTERRUPTED,
+use dmhpc_experiments::cli::{
+    durable_from_opts, opt_parse, parse_args_from, policies_from_opts, topologies_from_opts, usage,
+    Args, OptMap,
 };
+use dmhpc_experiments::durable::{DurableError, PointStatus, ResumeState, EXIT_INTERRUPTED};
 use dmhpc_experiments::exp;
 use dmhpc_experiments::scale::Scale;
 use dmhpc_experiments::table::TextTable;
@@ -42,132 +45,8 @@ impl From<DurableError> for Failure {
     }
 }
 
-struct Args {
-    command: String,
-    scale: Scale,
-    threads: usize,
-    csv: bool,
-    /// Free-form `--key value` options for export/simulate.
-    opts: std::collections::HashMap<String, String>,
-}
-
 fn parse_args() -> Result<Args, String> {
     parse_args_from(std::env::args().skip(1))
-}
-
-fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
-    let command = args.next().ok_or_else(usage)?;
-    let mut scale = Scale::Medium;
-    let mut threads = 0usize;
-    let mut csv = false;
-    let mut opts = std::collections::HashMap::new();
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--scale" => {
-                let v = args.next().ok_or("--scale needs a value")?;
-                scale = Scale::parse(&v)?;
-            }
-            "--threads" => {
-                let v = args.next().ok_or("--threads needs a value")?;
-                threads = v.parse().map_err(|e| format!("--threads: {e}"))?;
-            }
-            "--csv" => csv = true,
-            // Valueless flags: record presence in opts.
-            "--summary" => {
-                opts.insert("summary".to_string(), "1".to_string());
-            }
-            "--smoke" => {
-                opts.insert("smoke".to_string(), "1".to_string());
-            }
-            flag if flag.starts_with("--") => {
-                let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
-                opts.insert(flag[2..].to_string(), v);
-            }
-            // `sweep-status <manifest>` takes its path positionally.
-            other if command == "sweep-status" && !opts.contains_key("manifest") => {
-                opts.insert("manifest".to_string(), other.to_string());
-            }
-            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
-        }
-    }
-    Ok(Args {
-        command,
-        scale,
-        threads,
-        csv,
-        opts,
-    })
-}
-
-fn usage() -> String {
-    "usage: dmhpc <command> [--scale small|medium|full|huge] [--threads N] [--csv]\n\
-     commands:\n\
-     \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
-     \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
-     \x20 ablate                                 design-choice ablations\n\
-     \x20 fault-sweep [--fault-seed S] [--fault-profile none|light|heavy] [--policies SPECS]\n\
-     \x20                                        resilience under injected faults\n\
-     \x20 validate                               PASS/FAIL the headline claims\n\
-     \x20 all                                    everything above\n\
-     \x20 policies                               list the policy registry (specs & defaults)\n\
-     \x20 export  --out DIR [--jobs N] [--large F] [--over O] [--seed S]\n\
-     \x20                                        write workload.swf + usage.txt\n\
-     \x20 simulate --swf FILE [--usage FILE] [--policy P] [--nodes N] [--large-nodes F]\n\
-     \x20                                        run an SWF trace through the simulator\n\
-     \x20 chart   [--large F] [--over O] [--width N] [--policies SPECS]\n\
-     \x20                                        ASCII throughput panel for one sweep leg\n\
-     \x20 bench-sched [--out FILE] [--samples N] [--queued N]\n\
-     \x20                                        time schedule_pass (indexed vs reference scans)\n\
-     \x20                                        and write BENCH_sched.json\n\
-     \x20 bench-huge  [--out FILE] [--points-out FILE] [--samples N] [--smoke]\n\
-     \x20                                        run one Huge-tier sweep leg end-to-end (build,\n\
-     \x20                                        simulate, aggregate), gate the shared-workload\n\
-     \x20                                        provisioning speedup, write BENCH_huge.json;\n\
-     \x20                                        --smoke trims the leg for CI\n\
-     \x20 trace-run [--policy P] [--seed S] [--fault-profile none|light|heavy] [--fault-seed S]\n\
-     \x20           [--out FILE] [--filter kind=K1,K2] [--from S] [--to S] [--summary]\n\
-     \x20           [--diff A,B] [--check FILE] [--sample-s S]\n\
-     \x20                                        dump one run's event trace as JSONL;\n\
-     \x20                                        --diff reports the first event where two\n\
-     \x20                                        sim seeds part, --check validates a file\n\
-     \x20 sweep-status <manifest>                inspect a durable-sweep journal: header,\n\
-     \x20                                        completed/failed/pending counts, per-point\n\
-     \x20                                        attempts and wall time\n\
-     \x20 help                                   show this message\n\
-     \n\
-     fig5 and fig8 also accept --policies SPECS, a comma-separated list of\n\
-     policy specs like 'baseline,dynamic,overcommit:factor=0.8' (see\n\
-     `dmhpc policies` for the registry; defaults to every policy)\n\
-     \n\
-     fig5, fig8, chart, fault-sweep and bench-huge run through the durable\n\
-     execution layer and accept:\n\
-     \x20 --manifest PATH    journal each point to PATH as it completes\n\
-     \x20 --resume PATH      skip points already journaled in PATH, append new ones\n\
-     \x20 --retries N        extra attempts for a panicking point (default 1)\n\
-     \x20 --backoff-ms MS    base retry backoff, doubled per attempt (default 250)\n\
-     \x20 --point-limit K    stop draining after K points (deterministic Ctrl-C\n\
-     \x20                    stand-in for tests; exits 75 like an interrupt)\n\
-     Ctrl-C finishes in-flight points, flushes the manifest, and exits 75;\n\
-     a second Ctrl-C aborts immediately (exit 130)"
-        .to_string()
-}
-
-/// Parse `--policies spec,spec,...` from the option map, defaulting to
-/// every registered policy. The baseline policy is always included —
-/// sweeps normalise against it.
-fn policies_from_opts(
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<Vec<PolicySpec>, String> {
-    match opts.get("policies") {
-        Some(s) => {
-            let mut list = PolicySpec::parse_list(s).map_err(|e| format!("--policies: {e}"))?;
-            if !list.contains(&PolicySpec::Baseline) {
-                list.insert(0, PolicySpec::Baseline);
-            }
-            Ok(list)
-        }
-        None => Ok(PolicySpec::all_default()),
-    }
 }
 
 /// `dmhpc policies`: the registry as a table.
@@ -192,46 +71,28 @@ fn cmd_policies(csv: bool) {
     );
 }
 
-/// Build the durable-execution options shared by the sweep commands
-/// from `--manifest`, `--resume`, `--retries`, `--backoff-ms` and
-/// `--point-limit`. When a manifest is in play the SIGINT drain is
-/// installed so Ctrl-C finishes in-flight points, flushes the journal,
-/// and exits with [`EXIT_INTERRUPTED`].
-fn durable_from_opts(
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<DurableOptions, String> {
-    let mut d = DurableOptions {
-        retries: opt_parse(opts, "retries", 1u32)?,
-        backoff_ms: opt_parse(opts, "backoff-ms", 250u64)?,
-        ..DurableOptions::default()
-    };
-    if let Some(v) = opts.get("point-limit") {
-        d.point_limit = Some(v.parse().map_err(|e| format!("--point-limit: {e}"))?);
+/// `dmhpc topologies`: the fabric-topology registry as a table.
+fn cmd_topologies(csv: bool) {
+    let mut t = TextTable::new(vec!["name", "parameters", "default spec", "description"]);
+    for info in TopologySpec::registry() {
+        t.row(vec![
+            info.name.to_string(),
+            if info.params.is_empty() {
+                "-".to_string()
+            } else {
+                info.params.to_string()
+            },
+            info.default_spec.to_string(),
+            info.description.to_string(),
+        ]);
     }
-    if let Some(path) = opts.get("resume") {
-        if let Some(m) = opts.get("manifest") {
-            if m != path {
-                return Err(format!(
-                    "--manifest {m} conflicts with --resume {path}: \
-                     resume appends to the manifest it resumes from"
-                ));
-            }
-        }
-        d.resume = Some(ResumeState::load(path).map_err(|e| format!("--resume: {e}"))?);
-        d.manifest = Some(path.clone());
-    } else if let Some(m) = opts.get("manifest") {
-        d.manifest = Some(m.clone());
-    }
-    if d.manifest.is_some() {
-        d.interrupt = Some(install_sigint_drain());
-    }
-    Ok(d)
+    emit("Fabric-topology registry (--topology specs)", &t, csv);
 }
 
 /// `dmhpc sweep-status <manifest>`: inspect a durable-sweep journal —
 /// header identity, completed/failed/pending counts, and per-point
 /// attempts and wall time.
-fn cmd_sweep_status(opts: &std::collections::HashMap<String, String>) -> Result<(), String> {
+fn cmd_sweep_status(opts: &OptMap) -> Result<(), String> {
     let path = opts
         .get("manifest")
         .ok_or("sweep-status requires a manifest path")?;
@@ -277,24 +138,7 @@ fn cmd_sweep_status(opts: &std::collections::HashMap<String, String>) -> Result<
     Ok(())
 }
 
-fn opt_parse<T: std::str::FromStr>(
-    opts: &std::collections::HashMap<String, String>,
-    key: &str,
-    default: T,
-) -> Result<T, String>
-where
-    T::Err: std::fmt::Display,
-{
-    match opts.get(key) {
-        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
-        None => Ok(default),
-    }
-}
-
-fn cmd_export(
-    scale: Scale,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+fn cmd_export(scale: Scale, opts: &OptMap) -> Result<(), String> {
     use dmhpc_core::config::SystemConfig;
     let out = opts.get("out").ok_or("export requires --out DIR")?.clone();
     let jobs: usize = opt_parse(opts, "jobs", scale.synthetic_jobs())?;
@@ -342,11 +186,7 @@ fn cmd_export(
     Ok(())
 }
 
-fn cmd_chart(
-    scale: Scale,
-    threads: usize,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), Failure> {
+fn cmd_chart(scale: Scale, threads: usize, opts: &OptMap) -> Result<(), Failure> {
     use dmhpc_experiments::chart::sweep_panel;
     use dmhpc_experiments::{ThroughputSweep, TraceSpec};
     let large: f64 = opt_parse(opts, "large", 0.5)?;
@@ -361,6 +201,7 @@ fn cmd_chart(
         vec![0.0, over]
     };
     let policies = policies_from_opts(opts)?;
+    let topologies = topologies_from_opts(opts)?;
     let durable = durable_from_opts(opts)?;
     let sweep = ThroughputSweep::run_durable(
         "chart",
@@ -369,16 +210,14 @@ fn cmd_chart(
         &overs,
         threads,
         &policies,
+        &topologies,
         &durable,
     )?;
     print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
     Ok(())
 }
 
-fn cmd_simulate(
-    scale: Scale,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+fn cmd_simulate(scale: Scale, opts: &OptMap) -> Result<(), String> {
     use dmhpc_core::cluster::MemoryMix;
     use dmhpc_core::config::SystemConfig;
     use dmhpc_core::sim::Simulation;
@@ -484,7 +323,7 @@ fn time_pass(fixture: &dmhpc_core::sim::SchedPassBench, samples: usize) -> f64 {
 /// Time the scheduling pass on the indexed hot path against the
 /// retained full-scan reference, at the synthetic scales plus the
 /// paper's 1490-node Grizzly scale, and record the speedups as JSON.
-fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(), String> {
+fn cmd_bench_sched(opts: &OptMap) -> Result<(), String> {
     use dmhpc_core::sim::SchedPassBench;
     let out = opts
         .get("out")
@@ -559,10 +398,7 @@ fn cmd_bench_sched(opts: &std::collections::HashMap<String, String>) -> Result<(
 /// reference. Writes `BENCH_huge.json`; `--points-out` additionally
 /// writes the aggregated sweep points as CSV so `scripts/verify.sh` can
 /// diff a threads-1 run against a threads-N run byte for byte.
-fn cmd_bench_huge(
-    threads: usize,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), Failure> {
+fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
     use dmhpc_experiments::bench_huge::{self, HugeLegConfig};
     let out = opts
         .get("out")
@@ -575,15 +411,27 @@ fn cmd_bench_huge(
         HugeLegConfig::full()
     };
     cfg.samples = opt_parse(opts, "samples", cfg.samples)?;
+    let topologies = topologies_from_opts(opts)?;
+    match topologies.as_slice() {
+        [topo] => cfg.topology = *topo,
+        _ => {
+            return Err(
+                "bench-huge runs one topology per invocation; pass a single --topology spec"
+                    .to_string()
+                    .into(),
+            )
+        }
+    }
     const ACCEPT_SPEEDUP: f64 = 2.0;
 
     let label = if smoke { "smoke" } else { "full" };
     println!(
-        "bench-huge ({label}): {} nodes, {} jobs, {} mem points x {} policies",
+        "bench-huge ({label}): {} nodes, {} jobs, {} mem points x {} policies, topology {}",
         cfg.nodes,
         cfg.jobs,
         cfg.mem_points.len(),
-        cfg.policies.len()
+        cfg.policies.len(),
+        cfg.topology
     );
     let durable = durable_from_opts(opts)?;
     let report = bench_huge::run_durable(cfg, threads, &durable)?;
@@ -648,10 +496,12 @@ fn cmd_bench_huge(
             "overest",
             "mem_pct",
             "policy",
+            "topology",
             "throughput_jps",
             "feasible",
             "completed",
             "median_response_s",
+            "cross_rack_fraction",
         ]);
         for p in &report.points {
             t.row(vec![
@@ -659,10 +509,12 @@ fn cmd_bench_huge(
                 format!("{}", p.overest),
                 p.mem_pct.to_string(),
                 p.policy.to_string(),
+                p.topology.to_string(),
                 format!("{:.9}", p.throughput_jps),
                 p.feasible.to_string(),
                 p.completed.to_string(),
                 format!("{:.6}", p.median_response_s),
+                format!("{:.9}", p.cross_rack_fraction),
             ]);
         }
         std::fs::write(points_out, t.to_csv()).map_err(|e| format!("write {points_out}: {e}"))?;
@@ -853,10 +705,7 @@ fn print_trace_summary(m: &dmhpc_core::RunMetrics) {
 
 /// `trace-run`: dump, filter, summarise, validate, or diff structured
 /// event traces of the stress scenario.
-fn cmd_trace_run(
-    scale: Scale,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), String> {
+fn cmd_trace_run(scale: Scale, opts: &OptMap) -> Result<(), String> {
     use dmhpc_experiments::scenario::BASE_SEED;
     // --check FILE: validate an existing stream and stop.
     if let Some(path) = opts.get("check") {
@@ -933,17 +782,21 @@ fn cmd_trace_run(
     Ok(())
 }
 
-fn cmd_fault_sweep(
-    scale: Scale,
-    threads: usize,
-    csv: bool,
-    opts: &std::collections::HashMap<String, String>,
-) -> Result<(), Failure> {
+fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Result<(), Failure> {
     let seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
     let profile = opts.get("fault-profile").map(String::as_str);
     let policies = policies_from_opts(opts)?;
+    let topologies = topologies_from_opts(opts)?;
     let durable = durable_from_opts(opts)?;
-    let sweep = exp::faults::run_opts_durable(scale, threads, seed, profile, &policies, &durable)?;
+    let sweep = exp::faults::run_opts_durable(
+        scale,
+        threads,
+        seed,
+        profile,
+        &policies,
+        &topologies,
+        &durable,
+    )?;
     emit(
         "Fault sweep: resilience under injected faults (stress scenario, C/R)",
         &sweep.table(),
@@ -978,7 +831,7 @@ fn run_command(
     scale: Scale,
     threads: usize,
     csv: bool,
-    opts: &std::collections::HashMap<String, String>,
+    opts: &OptMap,
 ) -> Result<(), Failure> {
     match cmd {
         "table1" => emit("Table 1: trace sources", &exp::tables::table1(), csv),
@@ -1032,6 +885,7 @@ fn run_command(
                 scale,
                 threads,
                 &policies_from_opts(opts)?,
+                &topologies_from_opts(opts)?,
                 &durable_from_opts(opts)?,
             )?;
             emit("Figure 5: normalized throughput", &f.table(), csv);
@@ -1071,6 +925,7 @@ fn run_command(
                 scale,
                 threads,
                 &policies_from_opts(opts)?,
+                &topologies_from_opts(opts)?,
                 &durable_from_opts(opts)?,
             )?;
             emit("Figure 8: throughput vs overestimation", &f.table(), csv);
@@ -1103,6 +958,7 @@ fn run_command(
             }
         }
         "policies" => cmd_policies(csv),
+        "topologies" => cmd_topologies(csv),
         "all" => {
             for c in [
                 "table1", "table2", "table3", "table4", "fig2", "fig4", "fig5", "fig6", "fig7",
@@ -1214,58 +1070,6 @@ mod tests {
     }
 
     #[test]
-    fn policy_specs_round_trip_through_args() {
-        let args = parse(&[
-            "fault-sweep",
-            "--policies",
-            "baseline,overcommit:factor=0.8,conservative:quantum=4096",
-        ])
-        .unwrap();
-        let specs = policies_from_opts(&args.opts).unwrap();
-        assert_eq!(
-            specs,
-            vec![
-                PolicySpec::Baseline,
-                PolicySpec::Overcommit { factor: 0.8 },
-                PolicySpec::Conservative { quantum_mb: 4096 },
-            ]
-        );
-        // Display → FromStr is the identity on every parsed spec.
-        for s in specs {
-            assert_eq!(s.to_string().parse::<PolicySpec>().unwrap(), s);
-        }
-        // No --policies flag means the full registry.
-        let args = parse(&["fault-sweep"]).unwrap();
-        assert_eq!(
-            policies_from_opts(&args.opts).unwrap(),
-            PolicySpec::all_default()
-        );
-        // Baseline is always added: the sweep normalises against it.
-        let args = parse(&["fig5", "--policies", "dynamic"]).unwrap();
-        assert_eq!(
-            policies_from_opts(&args.opts).unwrap(),
-            vec![PolicySpec::Baseline, PolicySpec::Dynamic]
-        );
-    }
-
-    #[test]
-    fn bad_policy_specs_are_rejected() {
-        for bad in [
-            "greedy",
-            "overcommit:factor=0",
-            "overcommit:factor=nan",
-            "conservative:quantum=0",
-            "predictive:history=maybe",
-            "dynamic:factor=2.0",
-            "",
-        ] {
-            let args = parse(&["fault-sweep", "--policies", bad]).unwrap();
-            let err = policies_from_opts(&args.opts).unwrap_err();
-            assert!(err.starts_with("--policies:"), "{bad}: {err}");
-        }
-    }
-
-    #[test]
     fn parsed_policy_builds_matching_boxed_impl() {
         for (name, kind) in [
             ("baseline", PolicyKind::Baseline),
@@ -1285,145 +1089,6 @@ mod tests {
         for name in ["none", "light", "heavy"] {
             FaultConfig::profile(name).unwrap();
         }
-    }
-
-    #[test]
-    fn fault_seed_round_trips_through_args() {
-        let args = parse(&["fault-sweep", "--fault-seed", "3735928559"]).unwrap();
-        assert_eq!(args.command, "fault-sweep");
-        let seed: u64 = opt_parse(&args.opts, "fault-seed", exp::faults::FAULT_SEED).unwrap();
-        assert_eq!(seed, 0xDEAD_BEEF);
-        // Absent flag falls back to the sweep's published default seed.
-        let args = parse(&["fault-sweep"]).unwrap();
-        let seed: u64 = opt_parse(&args.opts, "fault-seed", exp::faults::FAULT_SEED).unwrap();
-        assert_eq!(seed, exp::faults::FAULT_SEED);
-        // Garbage is a parse error, not a silent default.
-        let args = parse(&["fault-sweep", "--fault-seed", "not-a-number"]).unwrap();
-        assert!(opt_parse::<u64>(&args.opts, "fault-seed", 0).is_err());
-    }
-
-    #[test]
-    fn usage_lists_every_subcommand() {
-        let u = usage();
-        for cmd in [
-            "table1",
-            "table2",
-            "table3",
-            "table4",
-            "fig2",
-            "fig4",
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "ablate",
-            "fault-sweep",
-            "validate",
-            "all",
-            "policies",
-            "export",
-            "simulate",
-            "chart",
-            "bench-sched",
-            "bench-huge",
-            "trace-run",
-            "sweep-status",
-            "help",
-        ] {
-            assert!(u.contains(cmd), "usage() is missing '{cmd}'");
-        }
-        // The durable-execution flags are documented too.
-        for flag in [
-            "--manifest",
-            "--resume",
-            "--retries",
-            "--backoff-ms",
-            "--point-limit",
-        ] {
-            assert!(u.contains(flag), "usage() is missing '{flag}'");
-        }
-    }
-
-    #[test]
-    fn sweep_status_takes_its_manifest_positionally() {
-        let args = parse(&["sweep-status", "/tmp/run.jsonl"]).unwrap();
-        assert_eq!(args.command, "sweep-status");
-        assert_eq!(args.opts.get("manifest").unwrap(), "/tmp/run.jsonl");
-        // --manifest still works, and a second positional is an error.
-        let args = parse(&["sweep-status", "--manifest", "/tmp/run.jsonl"]).unwrap();
-        assert_eq!(args.opts.get("manifest").unwrap(), "/tmp/run.jsonl");
-        assert!(parse(&["sweep-status", "/tmp/a.jsonl", "/tmp/b.jsonl"]).is_err());
-        // Other commands keep rejecting positionals.
-        assert!(parse(&["fig5", "/tmp/run.jsonl"]).is_err());
-    }
-
-    #[test]
-    fn durable_flags_build_options() {
-        let args = parse(&[
-            "fault-sweep",
-            "--manifest",
-            "/tmp/m.jsonl",
-            "--retries",
-            "3",
-            "--backoff-ms",
-            "10",
-            "--point-limit",
-            "4",
-        ])
-        .unwrap();
-        let d = durable_from_opts(&args.opts).unwrap();
-        assert_eq!(d.manifest.as_deref(), Some("/tmp/m.jsonl"));
-        assert_eq!(d.retries, 3);
-        assert_eq!(d.backoff_ms, 10);
-        assert_eq!(d.point_limit, Some(4));
-        assert!(d.resume.is_none());
-        assert!(d.interrupt.is_some(), "journaling installs the drain");
-        // Defaults: one retry, 250 ms backoff, no journal, no drain.
-        let d = durable_from_opts(&parse(&["fig5"]).unwrap().opts).unwrap();
-        assert!(d.manifest.is_none());
-        assert_eq!((d.retries, d.backoff_ms), (1, 250));
-        assert!(d.interrupt.is_none());
-    }
-
-    #[test]
-    fn resume_conflicts_and_missing_files_are_loud() {
-        // --resume of a nonexistent manifest is an error, not a fresh run.
-        let args = parse(&["fig5", "--resume", "/nonexistent/m.jsonl"]).unwrap();
-        let err = durable_from_opts(&args.opts).unwrap_err();
-        assert!(err.starts_with("--resume:"), "{err}");
-        // --manifest naming a different file than --resume is rejected.
-        let args = parse(&[
-            "fig5",
-            "--resume",
-            "/tmp/a.jsonl",
-            "--manifest",
-            "/tmp/b.jsonl",
-        ])
-        .unwrap();
-        let err = durable_from_opts(&args.opts).unwrap_err();
-        assert!(err.contains("conflicts"), "{err}");
-    }
-
-    #[test]
-    fn bench_huge_flags_parse() {
-        let args = parse(&[
-            "bench-huge",
-            "--smoke",
-            "--samples",
-            "4",
-            "--points-out",
-            "/tmp/pts.csv",
-            "--threads",
-            "2",
-        ])
-        .unwrap();
-        assert_eq!(args.command, "bench-huge");
-        assert!(args.opts.contains_key("smoke"));
-        assert_eq!(args.threads, 2);
-        let samples: usize = opt_parse(&args.opts, "samples", 32).unwrap();
-        assert_eq!(samples, 4);
-        assert_eq!(args.opts.get("points-out").unwrap(), "/tmp/pts.csv");
     }
 
     #[test]
@@ -1508,20 +1173,5 @@ mod tests {
         assert!(n > 0, "the stress scenario must emit events");
         let m = m.unwrap();
         assert_eq!(m.total_events as usize, n, "CountingSink saw every line");
-    }
-
-    #[test]
-    fn freeform_flags_collect_into_opts() {
-        let args = parse(&[
-            "simulate", "--swf", "w.swf", "--policy", "static", "--scale", "small", "--csv",
-        ])
-        .unwrap();
-        assert_eq!(args.command, "simulate");
-        assert!(args.csv);
-        assert_eq!(args.opts.get("swf").unwrap(), "w.swf");
-        assert_eq!(args.opts.get("policy").unwrap(), "static");
-        // Flags needing values fail loudly when the value is missing.
-        assert!(parse(&["simulate", "--swf"]).is_err());
-        assert!(parse(&["table1", "stray"]).is_err());
     }
 }

@@ -51,24 +51,34 @@ pub fn bar_panel(
 }
 
 /// Render a throughput-sweep leg (one figure panel) as bars grouped by
-/// memory point, one bar per policy.
+/// memory point, one bar per `(policy, topology)`. Topology labels are
+/// only shown when the leg spans more than one topology, so single-
+/// topology (flat) charts render exactly as before.
 pub fn sweep_panel(
     sweep: &crate::sweep::ThroughputSweep,
     trace: &str,
     overest: f64,
     width: usize,
 ) -> String {
+    let multi_topo = sweep.topologies().len() > 1;
     let mut rows: Vec<(String, Option<f64>)> = Vec::new();
     let mut pts: Vec<_> = sweep.leg(trace, overest).collect();
-    pts.sort_by_key(|p| (p.mem_pct, format!("{}", p.policy)));
+    pts.sort_by_key(|p| (p.mem_pct, format!("{}", p.policy), p.topology.to_string()));
     // Wide enough for the longest parameterized spec label
     // ("conservative:quantum=4096"); bar_panel re-pads to the actual
     // longest label anyway, this just keeps short lists uniform.
     for p in &pts {
-        rows.push((
-            format!("{:>3}% {:<12}", p.mem_pct, p.policy.to_string()),
-            sweep.normalized(p),
-        ));
+        let label = if multi_topo {
+            format!(
+                "{:>3}% {:<12} {}",
+                p.mem_pct,
+                p.policy.to_string(),
+                p.topology
+            )
+        } else {
+            format!("{:>3}% {:<12}", p.mem_pct, p.policy.to_string())
+        };
+        rows.push((label, sweep.normalized(p)));
     }
     bar_panel(
         &format!("{trace} @ +{:.0}% overestimation", overest * 100.0),

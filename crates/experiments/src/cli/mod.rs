@@ -1,0 +1,18 @@
+//! Command-line parsing for the `dmhpc` binary.
+//!
+//! The binary (`src/bin/dmhpc.rs`) owns command *dispatch* — running
+//! experiments and rendering their output — while this module owns
+//! everything about the argument surface: the [`Args`] structure and
+//! its grammar ([`args`]), and the typed readers that turn the
+//! free-form `--key value` option map into policy lists, topology
+//! lists, and durable-execution options ([`opts`]).
+//!
+//! Keeping the surface in the library crate means the grammar is unit
+//! tested with `cargo test -p dmhpc-experiments` and other frontends
+//! (scripts, future TUIs) can reuse it verbatim.
+
+pub mod args;
+pub mod opts;
+
+pub use args::{parse_args_from, usage, Args};
+pub use opts::{durable_from_opts, opt_parse, policies_from_opts, topologies_from_opts, OptMap};

@@ -1,0 +1,286 @@
+//! Typed readers over the free-form `--key value` option map: scalar
+//! parsing with defaults, the policy and topology list flags, and the
+//! durable-execution options shared by the sweep commands.
+
+use crate::durable::{install_sigint_drain, DurableOptions, ResumeState};
+use dmhpc_core::cluster::TopologySpec;
+use dmhpc_core::policy::PolicySpec;
+
+/// The free-form option map [`parse_args_from`] collects.
+///
+/// [`parse_args_from`]: super::args::parse_args_from
+pub type OptMap = std::collections::HashMap<String, String>;
+
+/// Parse `opts[key]` as a `T`, falling back to `default` when the flag
+/// is absent.
+///
+/// # Errors
+/// Returns `--key: <parse error>` when the flag is present but
+/// malformed — garbage is never a silent default.
+pub fn opt_parse<T: std::str::FromStr>(opts: &OptMap, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("--{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// Parse `--policies spec,spec,...` from the option map, defaulting to
+/// every registered policy. The baseline policy is always included —
+/// sweeps normalise against it.
+///
+/// # Errors
+/// Returns `--policies: <error>` for unknown names or bad parameters
+/// (the error lists the registry).
+pub fn policies_from_opts(opts: &OptMap) -> Result<Vec<PolicySpec>, String> {
+    match opts.get("policies") {
+        Some(s) => {
+            let mut list = PolicySpec::parse_list(s).map_err(|e| format!("--policies: {e}"))?;
+            if !list.contains(&PolicySpec::Baseline) {
+                list.insert(0, PolicySpec::Baseline);
+            }
+            Ok(list)
+        }
+        None => Ok(PolicySpec::all_default()),
+    }
+}
+
+/// Parse `--topology spec,spec,...` from the option map, defaulting to
+/// the flat topology (today's single-domain fabric) so every command
+/// reproduces its pre-topology output bit for bit when the flag is
+/// absent.
+///
+/// # Errors
+/// Returns `--topology: <error>` for unknown names or bad parameters
+/// (the error lists the registry).
+pub fn topologies_from_opts(opts: &OptMap) -> Result<Vec<TopologySpec>, String> {
+    match opts.get("topology") {
+        Some(s) => TopologySpec::parse_list(s).map_err(|e| format!("--topology: {e}")),
+        None => Ok(vec![TopologySpec::Flat]),
+    }
+}
+
+/// Build the durable-execution options shared by the sweep commands
+/// from `--manifest`, `--resume`, `--retries`, `--backoff-ms` and
+/// `--point-limit`. When a manifest is in play the SIGINT drain is
+/// installed so Ctrl-C finishes in-flight points, flushes the journal,
+/// and exits with [`EXIT_INTERRUPTED`].
+///
+/// # Errors
+/// Returns a message when a flag is malformed, when `--resume` names an
+/// unreadable manifest, or when `--manifest` conflicts with `--resume`.
+///
+/// [`EXIT_INTERRUPTED`]: crate::durable::EXIT_INTERRUPTED
+pub fn durable_from_opts(opts: &OptMap) -> Result<DurableOptions, String> {
+    let mut d = DurableOptions {
+        retries: opt_parse(opts, "retries", 1u32)?,
+        backoff_ms: opt_parse(opts, "backoff-ms", 250u64)?,
+        ..DurableOptions::default()
+    };
+    if let Some(v) = opts.get("point-limit") {
+        d.point_limit = Some(v.parse().map_err(|e| format!("--point-limit: {e}"))?);
+    }
+    if let Some(path) = opts.get("resume") {
+        if let Some(m) = opts.get("manifest") {
+            if m != path {
+                return Err(format!(
+                    "--manifest {m} conflicts with --resume {path}: \
+                     resume appends to the manifest it resumes from"
+                ));
+            }
+        }
+        d.resume = Some(ResumeState::load(path).map_err(|e| format!("--resume: {e}"))?);
+        d.manifest = Some(path.clone());
+    } else if let Some(m) = opts.get("manifest") {
+        d.manifest = Some(m.clone());
+    }
+    if d.manifest.is_some() {
+        d.interrupt = Some(install_sigint_drain());
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::args::{parse_args_from, Args};
+    use crate::exp::faults::FAULT_SEED;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        parse_args_from(argv.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn policy_specs_round_trip_through_args() {
+        let args = parse(&[
+            "fault-sweep",
+            "--policies",
+            "baseline,overcommit:factor=0.8,conservative:quantum=4096",
+        ])
+        .unwrap();
+        let specs = policies_from_opts(&args.opts).unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                PolicySpec::Baseline,
+                PolicySpec::Overcommit { factor: 0.8 },
+                PolicySpec::Conservative { quantum_mb: 4096 },
+            ]
+        );
+        // Display → FromStr is the identity on every parsed spec.
+        for s in specs {
+            assert_eq!(s.to_string().parse::<PolicySpec>().unwrap(), s);
+        }
+        // No --policies flag means the full registry.
+        let args = parse(&["fault-sweep"]).unwrap();
+        assert_eq!(
+            policies_from_opts(&args.opts).unwrap(),
+            PolicySpec::all_default()
+        );
+        // Baseline is always added: the sweep normalises against it.
+        let args = parse(&["fig5", "--policies", "dynamic"]).unwrap();
+        assert_eq!(
+            policies_from_opts(&args.opts).unwrap(),
+            vec![PolicySpec::Baseline, PolicySpec::Dynamic]
+        );
+    }
+
+    #[test]
+    fn bad_policy_specs_are_rejected() {
+        for bad in [
+            "greedy",
+            "overcommit:factor=0",
+            "overcommit:factor=nan",
+            "conservative:quantum=0",
+            "predictive:history=maybe",
+            "dynamic:factor=2.0",
+            "",
+        ] {
+            let args = parse(&["fault-sweep", "--policies", bad]).unwrap();
+            let err = policies_from_opts(&args.opts).unwrap_err();
+            assert!(err.starts_with("--policies:"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn topology_specs_round_trip_through_args() {
+        let args = parse(&[
+            "fig5",
+            "--topology",
+            "flat,racks:size=8,cross_cap=0.25,racks",
+        ])
+        .unwrap();
+        let specs = topologies_from_opts(&args.opts).unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                TopologySpec::Flat,
+                TopologySpec::Racks {
+                    size: 8,
+                    cross_cap: 0.25,
+                },
+                TopologySpec::Racks {
+                    size: 16,
+                    cross_cap: 1.0,
+                },
+            ]
+        );
+        // Display → FromStr is the identity on every parsed spec.
+        for s in specs {
+            assert_eq!(s.to_string().parse::<TopologySpec>().unwrap(), s);
+        }
+        // No --topology flag defaults to flat — today's behavior.
+        let args = parse(&["fig5"]).unwrap();
+        assert_eq!(
+            topologies_from_opts(&args.opts).unwrap(),
+            vec![TopologySpec::Flat]
+        );
+    }
+
+    #[test]
+    fn bad_topology_specs_are_rejected_with_the_registry() {
+        for bad in [
+            "torus",
+            "racks:size=0",
+            "racks:cross_cap=1.5",
+            "racks:cross_cap=nan",
+            "flat:size=4",
+            "racks:hops=2",
+            "",
+        ] {
+            let args = parse(&["fig5", "--topology", bad]).unwrap();
+            let err = topologies_from_opts(&args.opts).unwrap_err();
+            assert!(err.starts_with("--topology:"), "{bad}: {err}");
+        }
+        // The unknown-name error enumerates the registry.
+        let args = parse(&["fig5", "--topology", "torus"]).unwrap();
+        let err = topologies_from_opts(&args.opts).unwrap_err();
+        for name in ["flat", "racks"] {
+            assert!(err.contains(name), "hint missing '{name}': {err}");
+        }
+    }
+
+    #[test]
+    fn fault_seed_round_trips_through_args() {
+        let args = parse(&["fault-sweep", "--fault-seed", "3735928559"]).unwrap();
+        assert_eq!(args.command, "fault-sweep");
+        let seed: u64 = opt_parse(&args.opts, "fault-seed", FAULT_SEED).unwrap();
+        assert_eq!(seed, 0xDEAD_BEEF);
+        // Absent flag falls back to the sweep's published default seed.
+        let args = parse(&["fault-sweep"]).unwrap();
+        let seed: u64 = opt_parse(&args.opts, "fault-seed", FAULT_SEED).unwrap();
+        assert_eq!(seed, FAULT_SEED);
+        // Garbage is a parse error, not a silent default.
+        let args = parse(&["fault-sweep", "--fault-seed", "not-a-number"]).unwrap();
+        assert!(opt_parse::<u64>(&args.opts, "fault-seed", 0).is_err());
+    }
+
+    #[test]
+    fn durable_flags_build_options() {
+        let args = parse(&[
+            "fault-sweep",
+            "--manifest",
+            "/tmp/m.jsonl",
+            "--retries",
+            "3",
+            "--backoff-ms",
+            "10",
+            "--point-limit",
+            "4",
+        ])
+        .unwrap();
+        let d = durable_from_opts(&args.opts).unwrap();
+        assert_eq!(d.manifest.as_deref(), Some("/tmp/m.jsonl"));
+        assert_eq!(d.retries, 3);
+        assert_eq!(d.backoff_ms, 10);
+        assert_eq!(d.point_limit, Some(4));
+        assert!(d.resume.is_none());
+        assert!(d.interrupt.is_some(), "journaling installs the drain");
+        // Defaults: one retry, 250 ms backoff, no journal, no drain.
+        let d = durable_from_opts(&parse(&["fig5"]).unwrap().opts).unwrap();
+        assert!(d.manifest.is_none());
+        assert_eq!((d.retries, d.backoff_ms), (1, 250));
+        assert!(d.interrupt.is_none());
+    }
+
+    #[test]
+    fn resume_conflicts_and_missing_files_are_loud() {
+        // --resume of a nonexistent manifest is an error, not a fresh run.
+        let args = parse(&["fig5", "--resume", "/nonexistent/m.jsonl"]).unwrap();
+        let err = durable_from_opts(&args.opts).unwrap_err();
+        assert!(err.starts_with("--resume:"), "{err}");
+        // --manifest naming a different file than --resume is rejected.
+        let args = parse(&[
+            "fig5",
+            "--resume",
+            "/tmp/a.jsonl",
+            "--manifest",
+            "/tmp/b.jsonl",
+        ])
+        .unwrap();
+        let err = durable_from_opts(&args.opts).unwrap_err();
+        assert!(err.contains("conflicts"), "{err}");
+    }
+}

@@ -14,7 +14,7 @@ use crate::durable::{run_durable, DurableError, DurableOptions, Fingerprint, Jou
 use crate::scale::Scale;
 use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
-use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::cluster::{MemoryMix, TopologySpec};
 use dmhpc_core::config::{RestartStrategy, SystemConfig};
 use dmhpc_core::error::CoreError;
 use dmhpc_core::faults::FaultConfig;
@@ -34,6 +34,8 @@ pub struct FaultRow {
     pub profile: String,
     /// Allocation policy simulated.
     pub policy: PolicySpec,
+    /// Fabric topology the system ran on.
+    pub topology: TopologySpec,
     /// Throughput in jobs/s.
     pub throughput_jps: f64,
     /// Resilience counters extracted from the run.
@@ -45,6 +47,7 @@ impl Journaled for FaultRow {
         let mut p = Payload::new();
         p.push_str("profile", &self.profile);
         p.push_str("policy", &self.policy.to_string());
+        p.push_str("topology", &self.topology.to_string());
         p.push_f64_bits("throughput_jps", self.throughput_jps);
         p.push_u64("total_jobs", self.sample.total_jobs as u64);
         p.push_u64("completed", self.sample.completed as u64);
@@ -68,6 +71,11 @@ impl Journaled for FaultRow {
                 .str("policy")?
                 .parse::<PolicySpec>()
                 .map_err(|e| e.to_string())?,
+            // Rows journaled before the topology layer were all flat.
+            topology: match p.str("topology") {
+                Ok(s) => s.parse::<TopologySpec>().map_err(|e| e.to_string())?,
+                Err(_) => TopologySpec::Flat,
+            },
             throughput_jps: p.f64_bits("throughput_jps")?,
             sample: ResilienceSample {
                 total_jobs: p.u64("total_jobs")? as u32,
@@ -97,21 +105,30 @@ fn stress_system(scale: Scale) -> SystemConfig {
         .with_restart(RestartStrategy::CheckpointRestart)
 }
 
-/// Run the default sweep: every profile × every registered policy.
+/// Run the default sweep: every profile × every registered policy on
+/// the flat topology.
 pub fn run(scale: Scale, threads: usize) -> FaultSweep {
-    run_opts(scale, threads, FAULT_SEED, None, &PolicySpec::all_default())
-        .expect("built-in fault profiles are valid")
+    run_opts(
+        scale,
+        threads,
+        FAULT_SEED,
+        None,
+        &PolicySpec::all_default(),
+        &[TopologySpec::Flat],
+    )
+    .expect("built-in fault profiles are valid")
 }
 
-/// Run the sweep with an explicit fault seed and policy list,
-/// optionally restricted to one profile (the CLI's `--fault-seed` /
-/// `--fault-profile` / `--policies`).
+/// Run the sweep with an explicit fault seed, policy list, and topology
+/// list, optionally restricted to one profile (the CLI's
+/// `--fault-seed` / `--fault-profile` / `--policies` / `--topology`).
 pub fn run_opts(
     scale: Scale,
     threads: usize,
     fault_seed: u64,
     profile: Option<&str>,
     policies: &[PolicySpec],
+    topologies: &[TopologySpec],
 ) -> Result<FaultSweep, CoreError> {
     match run_opts_durable(
         scale,
@@ -119,6 +136,7 @@ pub fn run_opts(
         fault_seed,
         profile,
         policies,
+        topologies,
         &DurableOptions::default(),
     ) {
         Ok(sweep) => Ok(sweep),
@@ -128,15 +146,18 @@ pub fn run_opts(
 }
 
 /// [`run_opts`] through the durable execution layer: each
-/// `(profile, policy)` point is fingerprinted over the scale, profile,
-/// policy spec, and both seeds, journaled to `opts.manifest` the
-/// moment it completes, and skipped on resume when already journaled.
+/// `(profile, policy, topology)` point is fingerprinted over the scale,
+/// profile, policy spec, topology spec, and both seeds, journaled to
+/// `opts.manifest` the moment it completes, and skipped on resume when
+/// already journaled.
+#[allow(clippy::too_many_arguments)]
 pub fn run_opts_durable(
     scale: Scale,
     threads: usize,
     fault_seed: u64,
     profile: Option<&str>,
     policies: &[PolicySpec],
+    topologies: &[TopologySpec],
     opts: &DurableOptions,
 ) -> Result<FaultSweep, DurableError> {
     let profiles: Vec<&str> = match profile {
@@ -146,26 +167,34 @@ pub fn run_opts_durable(
         }
         None => PROFILES.to_vec(),
     };
+    assert!(
+        !topologies.is_empty(),
+        "fault sweep needs at least one topology"
+    );
     let workload = std::sync::Arc::new(synthetic_workload(scale, 0.5, 0.6, BASE_SEED ^ 0xFA));
     let total_jobs = workload.len() as u32;
-    let mut tasks: Vec<(String, PolicySpec, SystemConfig)> = Vec::new();
+    let mut tasks: Vec<(String, PolicySpec, TopologySpec, SystemConfig)> = Vec::new();
     for prof in profiles {
         let faults = FaultConfig::profile(prof)?.with_seed(fault_seed);
         for &policy in policies {
-            tasks.push((
-                prof.to_string(),
-                policy,
-                stress_system(scale).with_faults(faults),
-            ));
+            for &topo in topologies {
+                tasks.push((
+                    prof.to_string(),
+                    policy,
+                    topo,
+                    stress_system(scale).with_faults(faults).with_topology(topo),
+                ));
+            }
         }
     }
     let fps: Vec<String> = tasks
         .iter()
-        .map(|(prof, policy, _)| {
+        .map(|(prof, policy, topo, _)| {
             Fingerprint::new("fault-point")
                 .field("scale", scale.label())
                 .field("profile", prof)
                 .field("policy", &policy.to_string())
+                .field("topology", &topo.to_string())
                 .field_hex("fault_seed", fault_seed)
                 .field_hex("seed", BASE_SEED ^ 0xFA17)
                 .finish()
@@ -177,11 +206,12 @@ pub fn run_opts_durable(
         fps,
         threads,
         opts,
-        |(prof, policy, sys)| {
+        |(prof, policy, topo, sys)| {
             let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
             FaultRow {
                 profile: prof.clone(),
                 policy: *policy,
+                topology: *topo,
                 throughput_jps: out.stats.throughput_jps,
                 sample: ResilienceSample {
                     total_jobs,
@@ -217,6 +247,7 @@ impl FaultSweep {
         let mut t = TextTable::new(vec![
             "profile",
             "policy",
+            "topology",
             "completed",
             "throughput_jps",
             "fault_kills",
@@ -230,6 +261,7 @@ impl FaultSweep {
             t.row(vec![
                 r.profile.clone(),
                 r.policy.to_string(),
+                r.topology.to_string(),
                 format!("{}/{}", r.sample.completed, r.sample.total_jobs),
                 format!("{:.5}", r.throughput_jps),
                 r.sample.fault_kills.to_string(),
@@ -251,7 +283,15 @@ mod tests {
     #[test]
     fn none_profile_is_a_clean_control() {
         let policies = PolicySpec::all_default();
-        let sweep = run_opts(Scale::Small, 0, FAULT_SEED, Some("none"), &policies).unwrap();
+        let sweep = run_opts(
+            Scale::Small,
+            0,
+            FAULT_SEED,
+            Some("none"),
+            &policies,
+            &[TopologySpec::Flat],
+        )
+        .unwrap();
         assert_eq!(sweep.rows.len(), policies.len());
         for r in &sweep.rows {
             assert_eq!(r.sample.fault_kills, 0, "{}", r.policy);
@@ -266,8 +306,9 @@ mod tests {
     #[test]
     fn sweep_is_deterministic_and_renders() {
         let policies = PolicySpec::all_default();
-        let a = run_opts(Scale::Small, 0, 7, Some("heavy"), &policies).unwrap();
-        let b = run_opts(Scale::Small, 2, 7, Some("heavy"), &policies).unwrap();
+        let flat = [TopologySpec::Flat];
+        let a = run_opts(Scale::Small, 0, 7, Some("heavy"), &policies, &flat).unwrap();
+        let b = run_opts(Scale::Small, 2, 7, Some("heavy"), &policies, &flat).unwrap();
         assert_eq!(a.rows.len(), policies.len());
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.sample, y.sample, "{} {}", x.profile, x.policy);
@@ -283,6 +324,14 @@ mod tests {
     #[test]
     fn unknown_profile_rejected() {
         let policies = PolicySpec::all_default();
-        assert!(run_opts(Scale::Small, 1, 1, Some("apocalyptic"), &policies).is_err());
+        assert!(run_opts(
+            Scale::Small,
+            1,
+            1,
+            Some("apocalyptic"),
+            &policies,
+            &[TopologySpec::Flat]
+        )
+        .is_err());
     }
 }

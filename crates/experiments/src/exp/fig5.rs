@@ -7,6 +7,7 @@ use crate::durable::{DurableError, DurableOptions};
 use crate::scale::Scale;
 use crate::sweep::{SweepPoint, ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
+use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
 
 /// The large-job mixes of Figure 5's columns.
@@ -29,7 +30,13 @@ pub fn run(scale: Scale, threads: usize) -> Fig5 {
 /// Run the Figure 5 experiment over an explicit policy list (must
 /// include baseline, the normalisation reference).
 pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig5 {
-    match run_durable(scale, threads, policies, &DurableOptions::default()) {
+    match run_durable(
+        scale,
+        threads,
+        policies,
+        &[TopologySpec::Flat],
+        &DurableOptions::default(),
+    ) {
         Ok(fig) => fig,
         Err(e) => panic!("fig5 sweep failed: {e}"),
     }
@@ -37,11 +44,13 @@ pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) 
 
 /// [`run_with_policies`] through the durable execution layer: journals
 /// each point to `opts.manifest`, resumes from `opts.resume`, and
-/// drains gracefully on interruption (see `crate::durable`).
+/// drains gracefully on interruption (see `crate::durable`). Every
+/// point runs once per entry of `topologies`.
 pub fn run_durable(
     scale: Scale,
     threads: usize,
     policies: &[PolicySpec],
+    topologies: &[TopologySpec],
     opts: &DurableOptions,
 ) -> Result<Fig5, DurableError> {
     let mut traces: Vec<TraceSpec> = LARGE_MIXES
@@ -51,7 +60,7 @@ pub fn run_durable(
     traces.push(TraceSpec::Grizzly);
     Ok(Fig5 {
         sweep: ThroughputSweep::run_durable(
-            "fig5", scale, &traces, &OVERS, threads, policies, opts,
+            "fig5", scale, &traces, &OVERS, threads, policies, topologies, opts,
         )?,
     })
 }
@@ -64,8 +73,10 @@ impl Fig5 {
             "overest",
             "mem%",
             "policy",
+            "topology",
             "norm_throughput",
             "oom_kills",
+            "cross_frac",
         ]);
         for p in &self.sweep.points {
             t.row(vec![
@@ -73,8 +84,10 @@ impl Fig5 {
                 format!("+{:.0}%", p.overest * 100.0),
                 p.mem_pct.to_string(),
                 p.policy.to_string(),
+                p.topology.to_string(),
                 opt_cell(self.sweep.normalized(p), 3),
                 p.oom_kills.to_string(),
+                format!("{:.3}", p.cross_rack_fraction),
             ]);
         }
         t
@@ -97,6 +110,7 @@ impl Fig5 {
                     && q.overest == p.overest
                     && q.mem_pct == p.mem_pct
                     && q.policy == PolicySpec::Static
+                    && q.topology == p.topology
             });
             let Some(stat_norm) = stat.and_then(|q| self.sweep.normalized(q)) else {
                 continue;
@@ -129,12 +143,14 @@ mod tests {
             overest: over,
             mem_pct: mem,
             policy,
+            topology: TopologySpec::Flat,
             throughput_jps: jps,
             feasible: true,
             completed: 10,
             oom_kills: 0,
             jobs_oom_killed: 0,
             median_response_s: 1.0,
+            cross_rack_fraction: 0.0,
         }
     }
 

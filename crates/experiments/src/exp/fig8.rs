@@ -6,6 +6,7 @@ use crate::durable::{DurableError, DurableOptions};
 use crate::scale::Scale;
 use crate::sweep::{ThroughputSweep, TraceSpec};
 use crate::table::{opt_cell, TextTable};
+use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
 
 /// The overestimation sweep of Figure 8.
@@ -25,7 +26,13 @@ pub fn run(scale: Scale, threads: usize) -> Fig8 {
 /// Run the Figure 8 experiment over an explicit policy list (must
 /// include baseline, the normalisation reference).
 pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) -> Fig8 {
-    match run_durable(scale, threads, policies, &DurableOptions::default()) {
+    match run_durable(
+        scale,
+        threads,
+        policies,
+        &[TopologySpec::Flat],
+        &DurableOptions::default(),
+    ) {
         Ok(fig) => fig,
         Err(e) => panic!("fig8 sweep failed: {e}"),
     }
@@ -33,11 +40,13 @@ pub fn run_with_policies(scale: Scale, threads: usize, policies: &[PolicySpec]) 
 
 /// [`run_with_policies`] through the durable execution layer: journals
 /// each point to `opts.manifest`, resumes from `opts.resume`, and
-/// drains gracefully on interruption (see `crate::durable`).
+/// drains gracefully on interruption (see `crate::durable`). Every
+/// point runs once per entry of `topologies`.
 pub fn run_durable(
     scale: Scale,
     threads: usize,
     policies: &[PolicySpec],
+    topologies: &[TopologySpec],
     opts: &DurableOptions,
 ) -> Result<Fig8, DurableError> {
     let traces = [
@@ -48,7 +57,7 @@ pub fn run_durable(
     ];
     Ok(Fig8 {
         sweep: ThroughputSweep::run_durable(
-            "fig8", scale, &traces, &OVERS, threads, policies, opts,
+            "fig8", scale, &traces, &OVERS, threads, policies, topologies, opts,
         )?,
     })
 }
@@ -61,6 +70,7 @@ impl Fig8 {
             "overest",
             "mem%",
             "policy",
+            "topology",
             "norm_throughput",
         ]);
         for p in &self.sweep.points {
@@ -69,6 +79,7 @@ impl Fig8 {
                 format!("+{:.0}%", p.overest * 100.0),
                 p.mem_pct.to_string(),
                 p.policy.to_string(),
+                p.topology.to_string(),
                 opt_cell(self.sweep.normalized(p), 3),
             ]);
         }
@@ -106,12 +117,14 @@ mod tests {
             overest: over,
             mem_pct: mem,
             policy,
+            topology: TopologySpec::Flat,
             throughput_jps: jps,
             feasible,
             completed: 10,
             oom_kills: 0,
             jobs_oom_killed: 0,
             median_response_s: 1.0,
+            cross_rack_fraction: 0.0,
         }
     }
 

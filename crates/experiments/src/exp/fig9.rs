@@ -120,6 +120,8 @@ mod tests {
                         overest: over,
                         mem_pct: mem,
                         policy,
+                        topology: dmhpc_core::cluster::TopologySpec::Flat,
+                        cross_rack_fraction: 0.0,
                         throughput_jps: (mem as f64 / 100.0 + 1.0 - handicap).min(1.0),
                         feasible: true,
                         completed: 1,

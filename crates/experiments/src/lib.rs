@@ -27,6 +27,7 @@
 
 pub mod bench_huge;
 pub mod chart;
+pub mod cli;
 pub mod durable;
 pub mod exp;
 pub mod runner;

@@ -9,7 +9,7 @@ use crate::scenario::{
     grizzly_bundle, grizzly_rep_workload, grizzly_system, median_response, memory_axis,
     norm_throughput, simulate, synthetic_system, synthetic_workload, BASE_SEED,
 };
-use dmhpc_core::cluster::MemoryMix;
+use dmhpc_core::cluster::{MemoryMix, TopologySpec};
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
 use std::collections::hash_map::Entry;
@@ -52,6 +52,8 @@ pub struct SweepPoint {
     pub mem_pct: u32,
     /// Allocation policy.
     pub policy: PolicySpec,
+    /// Fabric topology the system ran on.
+    pub topology: TopologySpec,
     /// Raw throughput in jobs/s.
     pub throughput_jps: f64,
     /// Whether every job could run (false ⇒ "missing bar").
@@ -64,6 +66,9 @@ pub struct SweepPoint {
     pub jobs_oom_killed: u32,
     /// Median response time of completed jobs, seconds.
     pub median_response_s: f64,
+    /// Time-weighted fraction of allocated memory borrowed across rack
+    /// boundaries (always 0 on flat).
+    pub cross_rack_fraction: f64,
 }
 
 impl Journaled for SweepPoint {
@@ -73,6 +78,8 @@ impl Journaled for SweepPoint {
         p.push_f64_bits("overest", self.overest);
         p.push_u64("mem_pct", self.mem_pct as u64);
         p.push_str("policy", &self.policy.to_string());
+        p.push_str("topology", &self.topology.to_string());
+        p.push_f64_bits("cross_rack_fraction", self.cross_rack_fraction);
         p.push_f64_bits("throughput_jps", self.throughput_jps);
         p.push_bool("feasible", self.feasible);
         p.push_u64("completed", self.completed as u64);
@@ -91,6 +98,13 @@ impl Journaled for SweepPoint {
                 .str("policy")?
                 .parse::<PolicySpec>()
                 .map_err(|e| e.to_string())?,
+            // Rows journaled before the topology layer carry no
+            // topology key; they were all flat.
+            topology: match p.str("topology") {
+                Ok(s) => s.parse::<TopologySpec>().map_err(|e| e.to_string())?,
+                Err(_) => TopologySpec::Flat,
+            },
+            cross_rack_fraction: p.f64_bits("cross_rack_fraction").unwrap_or(0.0),
             throughput_jps: p.f64_bits("throughput_jps")?,
             feasible: p.bool("feasible")?,
             completed: p.u64("completed")? as u32,
@@ -143,6 +157,7 @@ impl ThroughputSweep {
             overs,
             threads,
             policies,
+            &[TopologySpec::Flat],
             &DurableOptions::default(),
         ) {
             Ok(sweep) => sweep,
@@ -157,6 +172,11 @@ impl ThroughputSweep {
     /// its outcome is already journaled. Simulated values are
     /// bit-identical to the plain sweep — the layer only decides
     /// *whether* a point runs, never how.
+    /// `topologies` adds a fabric-topology axis: every `(leg, mem,
+    /// policy)` point runs once per topology, and normalisation is per
+    /// `(trace, topology)` — each topology is normalised against *its
+    /// own* baseline, so topology legs compare policy effects, not raw
+    /// fabric overhead.
     #[allow(clippy::too_many_arguments)]
     pub fn run_durable(
         label: &str,
@@ -165,6 +185,7 @@ impl ThroughputSweep {
         overs: &[f64],
         threads: usize,
         policies: &[PolicySpec],
+        topologies: &[TopologySpec],
         opts: &DurableOptions,
     ) -> Result<Self, DurableError> {
         assert!(
@@ -175,6 +196,7 @@ impl ThroughputSweep {
             overs.contains(&0.0),
             "sweep needs the 0% overestimation leg for normalisation"
         );
+        assert!(!topologies.is_empty(), "sweep needs at least one topology");
         // Phase 1: build one workload per (trace, over, week), in
         // parallel. Synthetic legs have a single "week" (index 0).
         let needs_grizzly = traces.contains(&TraceSpec::Grizzly);
@@ -218,22 +240,25 @@ impl ThroughputSweep {
                     ))
                 }
             });
-        // Phase 2: simulate every (leg, mem, policy) point.
+        // Phase 2: simulate every (leg, mem, policy, topology) point.
         let axis = memory_axis();
-        let mut tasks: Vec<(usize, u32, MemoryMix, PolicySpec)> = Vec::new();
+        let mut tasks: Vec<(usize, u32, MemoryMix, PolicySpec, TopologySpec)> = Vec::new();
         for (leg_idx, _) in legs.iter().enumerate() {
             for &(pct, mix) in &axis {
                 for &policy in policies {
-                    tasks.push((leg_idx, pct, mix, policy));
+                    for &topo in topologies {
+                        tasks.push((leg_idx, pct, mix, policy, topo));
+                    }
                 }
             }
         }
         // Fingerprint every point over everything that decides its
         // result: scale, trace, overestimation bits, week, memory
-        // point, policy spec, and the derived simulation seed.
+        // point, policy spec, topology spec, and the derived simulation
+        // seed.
         let fps: Vec<String> = tasks
             .iter()
-            .map(|&(leg_idx, pct, _mix, policy)| {
+            .map(|&(leg_idx, pct, _mix, policy, topo)| {
                 let (trace, over, week) = legs[leg_idx];
                 Fingerprint::new("sweep-point")
                     .field("scale", scale.label())
@@ -242,6 +267,7 @@ impl ThroughputSweep {
                     .field_u64("week", week as u64)
                     .field_u64("mem_pct", pct as u64)
                     .field("policy", &policy.to_string())
+                    .field("topology", &topo.to_string())
                     .field_hex("seed", BASE_SEED ^ ((leg_idx as u64) << 8) ^ pct as u64)
                     .finish()
             })
@@ -252,14 +278,15 @@ impl ThroughputSweep {
             fps,
             threads,
             opts,
-            |&(leg_idx, pct, mix, policy)| {
+            |&(leg_idx, pct, mix, policy, topo)| {
                 let (trace, over, _week) = legs[leg_idx];
                 let system = match trace {
                     TraceSpec::Synthetic { .. } => synthetic_system(scale, mix),
                     TraceSpec::Grizzly => {
                         grizzly_system(mix, &grizzly.as_ref().expect("grizzly built").0)
                     }
-                };
+                }
+                .with_topology(topo);
                 let mut out = simulate(
                     system,
                     Arc::clone(&workloads[leg_idx]),
@@ -272,12 +299,14 @@ impl ThroughputSweep {
                     overest: over,
                     mem_pct: pct,
                     policy,
+                    topology: topo,
                     throughput_jps: out.stats.throughput_jps,
                     feasible: out.feasible,
                     completed: out.stats.completed,
                     oom_kills: out.stats.oom_kills,
                     jobs_oom_killed: out.stats.jobs_oom_killed,
                     median_response_s: median,
+                    cross_rack_fraction: out.stats.avg_cross_rack_fraction,
                 }
             },
         )?;
@@ -290,9 +319,11 @@ impl ThroughputSweep {
         })
     }
 
-    /// The normalisation reference for a trace: Baseline throughput at
-    /// 100% memory and +0% overestimation.
-    pub fn reference_jps(&self, trace: &str) -> Option<f64> {
+    /// The normalisation reference for a `(trace, topology)` pair:
+    /// Baseline throughput at 100% memory and +0% overestimation *on
+    /// that topology*. Per-topology references keep topology legs
+    /// comparing policy effects rather than raw fabric overhead.
+    pub fn reference_jps(&self, trace: &str, topology: TopologySpec) -> Option<f64> {
         self.points
             .iter()
             .find(|p| {
@@ -300,6 +331,7 @@ impl ThroughputSweep {
                     && p.overest == 0.0
                     && p.mem_pct == 100
                     && p.policy == PolicySpec::Baseline
+                    && p.topology == topology
                     && p.feasible
             })
             .map(|p| p.throughput_jps)
@@ -307,7 +339,7 @@ impl ThroughputSweep {
 
     /// Normalised throughput of a point, `None` for missing bars.
     pub fn normalized(&self, p: &SweepPoint) -> Option<f64> {
-        let reference = self.reference_jps(&p.trace)?;
+        let reference = self.reference_jps(&p.trace, p.topology)?;
         if !p.feasible {
             return None;
         }
@@ -315,10 +347,34 @@ impl ThroughputSweep {
     }
 
     /// Points matching a `(trace, overest)` leg, in memory-axis order.
+    /// Spans every topology the sweep ran; single-topology sweeps are
+    /// unaffected.
     pub fn leg<'a>(&'a self, trace: &'a str, overest: f64) -> impl Iterator<Item = &'a SweepPoint> {
         self.points
             .iter()
             .filter(move |p| p.trace == trace && p.overest == overest)
+    }
+
+    /// Points matching a `(trace, overest, topology)` leg.
+    pub fn leg_topo<'a>(
+        &'a self,
+        trace: &'a str,
+        overest: f64,
+        topology: TopologySpec,
+    ) -> impl Iterator<Item = &'a SweepPoint> {
+        self.leg(trace, overest)
+            .filter(move |p| p.topology == topology)
+    }
+
+    /// The distinct topologies in this sweep, in first-seen order.
+    pub fn topologies(&self) -> Vec<TopologySpec> {
+        let mut out: Vec<TopologySpec> = Vec::new();
+        for p in &self.points {
+            if !out.contains(&p.topology) {
+                out.push(p.topology);
+            }
+        }
+        out
     }
 }
 
@@ -328,7 +384,7 @@ impl ThroughputSweep {
 /// canonical display form, which is injective over registered specs
 /// (`PolicySpec` carries `f64` parameters, so it cannot derive `Hash`
 /// itself).
-type AggKey = (String, u64, u32, String);
+type AggKey = (String, u64, u32, String, String);
 
 fn agg_key(p: &SweepPoint) -> AggKey {
     (
@@ -336,6 +392,7 @@ fn agg_key(p: &SweepPoint) -> AggKey {
         p.overest.to_bits(),
         p.mem_pct,
         p.policy.to_string(),
+        p.topology.to_string(),
     )
 }
 
@@ -358,6 +415,8 @@ pub(crate) fn aggregate(raw: Vec<SweepPoint>) -> Vec<SweepPoint> {
                 let k = counts[i] as f64;
                 q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
                 q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.cross_rack_fraction =
+                    (q.cross_rack_fraction * k + p.cross_rack_fraction) / (k + 1.0);
                 q.feasible &= p.feasible;
                 q.completed += p.completed;
                 q.oom_kills += p.oom_kills;
@@ -405,7 +464,9 @@ mod tests {
         );
         // 8 memory points × 6 registered policies.
         assert_eq!(sweep.points.len(), 48);
-        let reference = sweep.reference_jps("large 50%").expect("reference exists");
+        let reference = sweep
+            .reference_jps("large 50%", TopologySpec::Flat)
+            .expect("reference exists");
         assert!(reference > 0.0);
         // Normalised baseline at 100% is exactly 1.
         let base100 = sweep
@@ -476,6 +537,8 @@ mod tests {
                 let k = counts[i] as f64;
                 q.throughput_jps = (q.throughput_jps * k + p.throughput_jps) / (k + 1.0);
                 q.median_response_s = (q.median_response_s * k + p.median_response_s) / (k + 1.0);
+                q.cross_rack_fraction =
+                    (q.cross_rack_fraction * k + p.cross_rack_fraction) / (k + 1.0);
                 q.feasible &= p.feasible;
                 q.completed += p.completed;
                 q.oom_kills += p.oom_kills;
@@ -508,12 +571,14 @@ mod tests {
                                 overest: over,
                                 mem_pct,
                                 policy,
+                                topology: TopologySpec::Flat,
                                 throughput_jps: 0.017 * (salt as f64) + week as f64,
                                 feasible: !salt.is_multiple_of(7),
                                 completed: 100 + salt,
                                 oom_kills: salt % 5,
                                 jobs_oom_killed: salt % 3,
                                 median_response_s: 3600.0 / salt as f64,
+                                cross_rack_fraction: (salt % 11) as f64 / 100.0,
                             });
                         }
                     }

@@ -9,7 +9,7 @@
 //!   distributions (Table 2);
 //! * [`heatmap`] — 2-D binned job-size × memory heatmaps (Fig. 4);
 //! * [`cost`] — the throughput-per-dollar cost model (Fig. 7, §4.3);
-//! * [`bootstrap`] — percentile-bootstrap confidence intervals for
+//! * [`mod@bootstrap`] — percentile-bootstrap confidence intervals for
 //!   comparing close policies robustly;
 //! * [`resilience`] — fault-sweep aggregates (work lost vs checkpoint
 //!   credit, pool availability, Actuator retry pressure).

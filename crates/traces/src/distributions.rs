@@ -31,7 +31,7 @@ pub enum SizeClass {
 /// Which dataset's Table 2 column to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Dataset {
-    /// "Synthetic" — adapted from the Archer memory survey [41].
+    /// "Synthetic" — adapted from the Archer memory survey \[41\].
     Synthetic,
     /// The LANL Grizzly trace column.
     Grizzly,

@@ -134,7 +134,7 @@ fn insert(
     Ok(())
 }
 
-/// Collect a workload's usage traces into the map [`write`] expects.
+/// Collect a workload's usage traces into the map [`write()`] expects.
 pub fn from_workload(workload: &dmhpc_core::sim::Workload) -> BTreeMap<JobId, MemoryUsageTrace> {
     workload
         .jobs

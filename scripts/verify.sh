@@ -37,6 +37,27 @@ for name in baseline static dynamic predictive overcommit conservative; do
 done
 rm -f /tmp/policy_sweep_a.csv /tmp/policy_sweep_b.csv
 
+echo "== topology smoke (flat is the default bit-for-bit; racks leg is thread-invariant) =="
+# The registry subcommand knows both fabric shapes. (To a file, not a
+# pipe: grep -q exits at first match and the closed pipe would kill
+# the CLI mid-print.)
+./target/release/dmhpc topologies > /tmp/topo_registry.txt
+grep -q "flat" /tmp/topo_registry.txt
+grep -q "racks" /tmp/topo_registry.txt
+rm -f /tmp/topo_registry.txt
+# An explicit --topology flat must be byte-identical to no flag at all:
+# the flat topology IS the pre-topology behavior.
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv > /tmp/topo_default.csv
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv --topology flat > /tmp/topo_flat.csv
+cmp /tmp/topo_default.csv /tmp/topo_flat.csv
+# One racked sweep leg: rows carry the spec, and thread count must not
+# change the bits on the rack-aware lender path either.
+./target/release/dmhpc fault-sweep --scale small --threads 1 --csv --topology "flat,racks:size=16" > /tmp/topo_racks_a.csv
+./target/release/dmhpc fault-sweep --scale small --threads 4 --csv --topology "flat,racks:size=16" > /tmp/topo_racks_b.csv
+cmp /tmp/topo_racks_a.csv /tmp/topo_racks_b.csv
+grep -q "racks:size=16" /tmp/topo_racks_a.csv
+rm -f /tmp/topo_default.csv /tmp/topo_flat.csv /tmp/topo_racks_a.csv /tmp/topo_racks_b.csv
+
 echo "== bench-huge smoke (trimmed stress leg: gate + threads-1-vs-N bits) =="
 ./target/release/dmhpc bench-huge --smoke --threads 1 \
     --out /tmp/bench_huge_a.json --points-out /tmp/bench_huge_a.csv
@@ -78,6 +99,9 @@ rm -f /tmp/trace_smoke.jsonl /tmp/trace_diff.txt
 
 echo "== clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS='-D warnings' cargo doc --no-deps --workspace
 
 echo "== rustfmt check =="
 cargo fmt --check

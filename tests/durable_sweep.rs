@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use dmhpc::core::cluster::{Cluster, JobAlloc, MemoryMix};
+use dmhpc::core::cluster::{Cluster, JobAlloc, MemoryMix, TopologySpec};
 use dmhpc::core::config::SystemConfig;
 use dmhpc::core::policy::{PlacementScratch, PolicySpec};
 use dmhpc::core::sim::{MemManagement, MemoryPolicy, Simulation, StaticAlloc};
@@ -53,6 +53,7 @@ fn golden_sweep(threads: usize, opts: &DurableOptions) -> Result<ThroughputSweep
             PolicySpec::Static,
             PolicySpec::Dynamic,
         ],
+        &[TopologySpec::Flat],
         opts,
     )
 }
@@ -321,6 +322,7 @@ fn incompatible_resume_is_a_hard_error() {
         &[0.0, 0.6],
         1,
         &[PolicySpec::Baseline, PolicySpec::Dynamic],
+        &[TopologySpec::Flat],
         &opts,
     )
     .unwrap_err();
@@ -349,6 +351,7 @@ fn incompatible_resume_is_a_hard_error() {
             PolicySpec::Static,
             PolicySpec::Dynamic,
         ],
+        &[TopologySpec::Flat],
         &opts,
     )
     .unwrap_err();
