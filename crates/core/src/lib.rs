@@ -21,6 +21,9 @@
 //!   pool-blade degradation, Monitor sample loss, Actuator failures);
 //! * [`trace`] — structured per-run event tracing behind the
 //!   [`trace::TraceSink`] trait (zero-cost when disabled);
+//! * [`telemetry`] — sim-time gauge sampling into a fixed-capacity
+//!   time series plus a wall-clock phase profiler, with Prometheus /
+//!   CSV / JSONL exporters (zero-cost when disabled, like tracing);
 //! * [`error`] — the crate-wide [`CoreError`] type.
 //!
 //! ## Example
@@ -65,6 +68,7 @@ pub mod job;
 pub mod policy;
 pub mod sched;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 
 pub use cluster::{Cluster, JobAlloc, MemoryMix, NodeId, Topology, TopologySpec};
@@ -75,6 +79,7 @@ pub use faults::{FaultConfig, FaultEvent, FaultSchedule};
 pub use job::{Job, JobId, MemoryUsageTrace};
 pub use policy::{PolicyInfo, PolicyKind, PolicySpec};
 pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};
+pub use telemetry::{Phase, Profile, Sample, Telemetry, TelemetryCollector, TelemetrySpec};
 pub use trace::{
     CountingSink, FanoutSink, JsonlSink, NullSink, RingSink, RunMetrics, TraceEvent, TraceKind,
     TraceSink,

@@ -38,6 +38,7 @@ impl Runner {
                 return;
             }
         }
+        let span = self.phase_start();
         let management = self.job_management(jid);
         if management == MemManagement::Managed {
             // Fault injection: the Monitor sample may be lost, in which
@@ -48,14 +49,15 @@ impl Runner {
                 && self.fault_rng.chance(self.faults.monitor_loss_prob)
             {
                 self.on_monitor_loss(jid);
-                return;
+            } else {
+                self.dynamic_update(jid);
             }
-            self.dynamic_update(jid);
         } else {
             // For pinned (static/baseline and static-fallback) jobs this
             // event is the exceeded-request probe.
             self.exceed_probe(jid);
         }
+        self.phase_end(crate::telemetry::Phase::DynLoop, span);
     }
 
     /// Static/baseline: kill the job once its usage exceeds its request

@@ -18,6 +18,7 @@ impl Runner {
     /// ladder directly: the policy picks the rung — demote the job to a
     /// static-guaranteed allocation, or boost its queue priority.
     pub(crate) fn fault_kill(&mut self, jid: JobId, escalate: bool) {
+        let span = self.phase_start();
         self.advance_work(jid);
         self.stats.fault_job_kills += 1;
         let alloc = self.cluster.finish_job(jid);
@@ -82,11 +83,13 @@ impl Runner {
         self.update_borrower_speeds(&lenders);
         self.scratch.lenders = lenders;
         self.ensure_tick();
+        self.phase_end(crate::telemetry::Phase::Oom, span);
     }
 
     /// Dynamic OOM: kill, release, and resubmit (F/R from scratch, C/R
     /// from the last checkpoint).
     pub(crate) fn oom_kill(&mut self, jid: JobId) {
+        let span = self.phase_start();
         self.stats.oom_kills += 1;
         if self.st[jid.0 as usize].restarts == 0 {
             self.stats.jobs_oom_killed += 1;
@@ -145,10 +148,12 @@ impl Runner {
         self.update_borrower_speeds(&lenders);
         self.scratch.lenders = lenders;
         self.ensure_tick();
+        self.phase_end(crate::telemetry::Phase::Oom, span);
     }
 
     /// Static/baseline kill for exceeding the request: permanent failure.
     pub(crate) fn kill_job(&mut self, jid: JobId, reason: FailReason) {
+        let span = self.phase_start();
         let alloc = self.cluster.finish_job(jid);
         let mut lenders = std::mem::take(&mut self.scratch.lenders);
         alloc.lenders_into(&mut lenders);
@@ -171,5 +176,6 @@ impl Runner {
         self.update_borrower_speeds(&lenders);
         self.scratch.lenders = lenders;
         self.ensure_tick();
+        self.phase_end(crate::telemetry::Phase::Oom, span);
     }
 }

@@ -18,6 +18,7 @@ impl Runner {
         if self.cluster.is_down(node) {
             return;
         }
+        let span = self.phase_start();
         self.stats.fault_node_crashes += 1;
         self.emit(FaultEvent::NodeFail { node }.trace_kind());
         let resident = self.cluster.node(node).running;
@@ -33,6 +34,7 @@ impl Runner {
         self.change_counter += 1;
         self.ensure_tick();
         debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+        self.phase_end(crate::telemetry::Phase::Recovery, span);
     }
 
     /// A crashed node's repair completed: it rejoins the free and
@@ -41,11 +43,13 @@ impl Runner {
         if !self.cluster.is_down(node) {
             return;
         }
+        let span = self.phase_start();
         self.emit(FaultEvent::NodeRepair { node }.trace_kind());
         self.cluster.repair_node(node);
         self.change_counter += 1;
         self.ensure_tick();
         debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+        self.phase_end(crate::telemetry::Phase::Recovery, span);
     }
 
     /// Injected pool-blade degradation: `mb` of the node's memory leaves
@@ -62,6 +66,7 @@ impl Runner {
         if mb == 0 || degraded + mb > cap {
             return;
         }
+        let span = self.phase_start();
         self.stats.fault_pool_degrades += 1;
         self.emit(FaultEvent::PoolDegrade { node, mb }.trace_kind());
         let allowed = cap - degraded - mb;
@@ -87,6 +92,7 @@ impl Runner {
         self.change_counter += 1;
         self.ensure_tick();
         debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+        self.phase_end(crate::telemetry::Phase::Recovery, span);
     }
 
     /// A previously degraded slice returns to the pool (clamped to the
@@ -97,6 +103,7 @@ impl Runner {
         if mb == 0 {
             return;
         }
+        let span = self.phase_start();
         // The clamped amount, so the trace records what actually
         // returned to the pool.
         self.emit(FaultEvent::PoolRestore { node, mb }.trace_kind());
@@ -104,6 +111,7 @@ impl Runner {
         self.change_counter += 1;
         self.ensure_tick();
         debug_assert_eq!(self.cluster.check_invariants(), Ok(()));
+        self.phase_end(crate::telemetry::Phase::Recovery, span);
     }
 
     /// Revoke borrowed slices from `lender`, borrower by borrower, until

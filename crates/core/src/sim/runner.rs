@@ -15,6 +15,7 @@ use crate::sched::PendingQueue;
 use dmhpc_model::rng::Rng64;
 use dmhpc_model::ContentionModel;
 
+use crate::telemetry::{Phase, Profile, Sample, TelemetryCollector, TimeSeries};
 use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
 use std::sync::Arc;
 
@@ -39,6 +40,7 @@ pub struct Simulation {
     reference_scheduler: bool,
     fault_schedule: Option<FaultSchedule>,
     sink: Box<dyn TraceSink>,
+    telemetry: Option<TelemetryCollector>,
 }
 
 impl Simulation {
@@ -72,6 +74,7 @@ impl Simulation {
             reference_scheduler: false,
             fault_schedule: None,
             sink: Box::new(NullSink),
+            telemetry: None,
         }
     }
 
@@ -103,6 +106,18 @@ impl Simulation {
     /// so the scheduling hot path pays a single predictable branch.
     pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Attach a [`TelemetryCollector`] that receives the run's gauge
+    /// time series and wall-clock phase profile. Telemetry is
+    /// observation-only and, like tracing, costs one cached-bool branch
+    /// per event when absent: the outcome is bit-identical with or
+    /// without a collector. The runner accumulates locally and flushes
+    /// into the collector once at finalize; keep a clone of the handle
+    /// and read [`TelemetryCollector::snapshot`] after the run.
+    pub fn with_telemetry(mut self, collector: TelemetryCollector) -> Self {
+        self.telemetry = Some(collector);
         self
     }
 
@@ -172,6 +187,16 @@ pub(crate) struct Runner {
     /// Cached `sink.enabled()`: the only tracing cost a `NullSink` run
     /// pays is testing this bool at each emit point.
     pub(crate) trace_on: bool,
+
+    // Telemetry. Samples and spans accumulate locally (the event loop
+    // never takes the collector's lock) and flush once at finalize.
+    pub(crate) telem: Option<TelemetryCollector>,
+    /// Cached `telem.is_some()`: with no collector, every sampling and
+    /// profiling point costs one predictable branch — the same
+    /// zero-cost contract as `trace_on`.
+    pub(crate) telem_on: bool,
+    pub(crate) series: TimeSeries,
+    pub(crate) profile: Profile,
 }
 
 impl Runner {
@@ -243,6 +268,12 @@ impl Runner {
         let monitor = crate::dynmem::Monitor::new(sim.cfg.mem_update_interval_s)
             .expect("SystemConfig carries a positive update interval");
         let trace_on = sim.sink.enabled();
+        let telem_on = sim.telemetry.is_some();
+        let telem_spec = sim
+            .telemetry
+            .as_ref()
+            .map(TelemetryCollector::spec)
+            .unwrap_or_default();
         let class_peaks = vec![0u64; sim.workload.pool.len()];
         Self {
             rng: Rng64::stream(sim.seed, 0xD15A),
@@ -273,6 +304,10 @@ impl Runner {
             metrics: Metrics::default(),
             sink: sim.sink,
             trace_on,
+            telem: sim.telemetry,
+            telem_on,
+            series: TimeSeries::new(telem_spec.sample_interval_s, telem_spec.capacity),
+            profile: Profile::default(),
         }
     }
 
@@ -317,10 +352,65 @@ impl Runner {
         }
     }
 
+    /// Start a wall-clock phase span; `None` (one branch, no clock
+    /// read) when no telemetry collector is attached.
+    #[inline]
+    pub(crate) fn phase_start(&self) -> Option<std::time::Instant> {
+        self.telem_on.then(std::time::Instant::now)
+    }
+
+    /// Close a span opened by [`Runner::phase_start`], folding its
+    /// elapsed wall-clock into the run profile.
+    #[inline]
+    pub(crate) fn phase_end(&mut self, phase: Phase, span: Option<std::time::Instant>) {
+        if let Some(t0) = span {
+            self.profile.record(phase, t0.elapsed());
+        }
+    }
+
+    /// Snapshot the gauge set at the current instant. Every field is a
+    /// pure function of simulation state, so equal seeds yield equal
+    /// samples. The per-rack lend scan is O(nodes) but runs only at
+    /// sample instants with telemetry attached.
+    fn gauge_sample(&self) -> Sample {
+        let racks = self.cluster.topology().racks() as usize;
+        let mut rack_lent_mb = vec![0u64; racks];
+        for (id, node) in self.cluster.iter() {
+            if node.lent_mb > 0 {
+                rack_lent_mb[self.cluster.rack_of(id) as usize] += node.lent_mb;
+            }
+        }
+        let cap = self.cluster.total_capacity_mb();
+        let alloc = self.cluster.total_allocated_mb();
+        Sample {
+            t_s: self.now.as_secs(),
+            queue_depth: self.pending.len() as u32,
+            resident_jobs: self.running.len() as u32,
+            pool_util: if cap > 0 {
+                alloc as f64 / cap as f64
+            } else {
+                0.0
+            },
+            free_pool_mb: self.cluster.free_pool_mb(),
+            borrowed_mb: self.cluster.total_remote_mb(),
+            cross_rack_mb: self.cluster.total_cross_rack_mb(),
+            oom_kills: self.stats.oom_kills,
+            actuator_retries: self.stats.actuator_retries,
+            rack_lent_mb,
+        }
+    }
+
     pub(crate) fn run(mut self) -> SimulationOutcome {
         while let Some(ev) = self.queue.pop() {
             self.metrics.advance_integrals(&self.cluster, ev.time);
             self.now = ev.time;
+            // Gauge sampling: one branch when telemetry is off; when
+            // on, one f64 compare per event plus the gauge snapshot at
+            // crossing instants (idle gaps contribute one sample).
+            if self.telem_on && self.series.due(ev.time.as_secs()) {
+                let sample = self.gauge_sample();
+                self.series.push(sample);
+            }
             match ev.kind {
                 EventKind::Submit(job) => self.on_submit(job),
                 EventKind::SchedTick => self.on_tick(),
@@ -468,12 +558,20 @@ impl Runner {
     }
 
     fn finalize(mut self) -> SimulationOutcome {
+        let span = self.phase_start();
         debug_assert!(self.running.is_empty(), "run ended with running jobs");
         debug_assert!(self.pending.is_empty(), "run ended with pending jobs");
+        // The series always ends on the final simulated state, even if
+        // the stride would not be due yet.
+        if self.telem_on {
+            let sample = self.gauge_sample();
+            self.series.push_final(sample);
+        }
         // Double-counting guard: every job must end in exactly one
         // terminal bucket.
         debug_assert_eq!(self.stats.reconcile(), Ok(()));
-        let (resp, waits) = self.metrics.finish(&mut self.stats, &self.cluster);
+        let metrics = std::mem::take(&mut self.metrics);
+        let (resp, waits) = metrics.finish(&mut self.stats, &self.cluster);
         let feasible = self.stats.unschedulable == 0;
         let job_records = self
             .workload
@@ -498,6 +596,10 @@ impl Runner {
                 }
             })
             .collect();
+        self.phase_end(Phase::Finalize, span);
+        if let Some(collector) = self.telem.take() {
+            collector.absorb(self.series, &self.profile);
+        }
         SimulationOutcome {
             stats: self.stats,
             response_times_s: resp,

@@ -54,6 +54,9 @@ impl Runner {
             self.scratch.window = window;
             return;
         }
+        // Span covers only passes that examine at least one job, so the
+        // profile's call count matches the traced pass count.
+        let span = self.phase_start();
         // Passes over an empty queue return above without a trace: only
         // passes that examine at least one job appear in the stream.
         if self.trace_on {
@@ -140,6 +143,7 @@ impl Runner {
             started: placed,
             backfill_depth: backfill_seen as u32,
         });
+        self.phase_end(crate::telemetry::Phase::Schedule, span);
     }
 
     /// Aggregate EASY reservation for a blocked queue head. Builds and

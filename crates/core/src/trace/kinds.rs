@@ -1,0 +1,279 @@
+//! The event taxonomy: what can happen in a run and when it happened.
+
+use crate::cluster::NodeId;
+use crate::engine::SimTime;
+use crate::job::JobId;
+
+/// One structured event: what happened ([`TraceKind`]) and when.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time at which the event fired.
+    pub t: SimTime,
+    /// The event payload.
+    pub kind: TraceKind,
+}
+
+/// Why a running job was killed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillReason {
+    /// Dynamic policy ran out of growable memory (§2.2 OOM).
+    Oom,
+    /// An injected fault (crash evacuation, irrecoverable degradation,
+    /// Actuator escalation) took the job down.
+    Fault,
+    /// Static/baseline rule: usage exceeded the request (terminal).
+    ExceededRequest,
+}
+
+impl KillReason {
+    /// Stable lower-case name used in the JSONL stream.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KillReason::Oom => "oom",
+            KillReason::Fault => "fault",
+            KillReason::ExceededRequest => "exceeded_request",
+        }
+    }
+}
+
+/// Which subsystem an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Subsystem {
+    /// Job lifecycle (submit/start/finish/kill/requeue).
+    Job,
+    /// Dynamic-memory loop (decide/grow/shrink/monitor/actuator).
+    Mem,
+    /// Scheduler passes.
+    Sched,
+    /// Injected faults (crash/repair/degrade/restore).
+    Fault,
+}
+
+impl Subsystem {
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Subsystem::Job => "job",
+            Subsystem::Mem => "mem",
+            Subsystem::Sched => "sched",
+            Subsystem::Fault => "fault",
+        }
+    }
+}
+
+/// The event taxonomy. Every variant is plain-old-data (`Copy`), so
+/// constructing one on the emit path costs a handful of register moves.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A job entered the pending queue (first submission or resubmission
+    /// after a kill).
+    JobSubmit {
+        /// The submitted job.
+        job: JobId,
+    },
+    /// A job started running.
+    JobStart {
+        /// The started job.
+        job: JobId,
+        /// Compute nodes the job spans.
+        nodes: u32,
+        /// Total allocated memory, MB.
+        mem_mb: u64,
+        /// Portion of `mem_mb` borrowed from remote lenders, MB.
+        remote_mb: u64,
+    },
+    /// A job completed successfully.
+    JobFinish {
+        /// The finished job.
+        job: JobId,
+        /// Restarts the job went through before completing.
+        restarts: u32,
+    },
+    /// A running job was killed. A [`TraceKind::JobRequeue`] follows at
+    /// the same instant unless the kill was terminal (exceeded-request,
+    /// or the restart cap was hit).
+    JobKill {
+        /// The killed job.
+        job: JobId,
+        /// Why it was killed.
+        reason: KillReason,
+        /// Restart count after this kill.
+        restarts: u32,
+    },
+    /// A killed job was resubmitted.
+    JobRequeue {
+        /// The resubmitted job.
+        job: JobId,
+        /// Whether the job now jumps to the queue head (§2.2 fairness).
+        boosted: bool,
+        /// Whether the job was demoted to a pinned static allocation.
+        static_mode: bool,
+    },
+    /// The Decider compared demand against the allocation.
+    MemDecide {
+        /// The managed job.
+        job: JobId,
+        /// Monitor-sampled demand for the coming period, MB.
+        demand_mb: u64,
+        /// Total growth the decision requests across nodes, MB (0 on
+        /// hold/shrink).
+        grow_mb: u64,
+        /// Per-node shrink target, MB (0 when the decision does not
+        /// shrink; real targets are always positive).
+        shrink_to_mb: u64,
+    },
+    /// The Executor grew one allocation entry.
+    MemGrow {
+        /// The growing job.
+        job: JobId,
+        /// The entry (compute node) that grew.
+        node: NodeId,
+        /// MB satisfied from the node's local free memory.
+        local_mb: u64,
+        /// MB borrowed from remote lenders.
+        borrowed_mb: u64,
+    },
+    /// The Executor shrank an allocation (remote slices first).
+    MemShrink {
+        /// The shrinking job.
+        job: JobId,
+        /// MB returned to the pool.
+        released_mb: u64,
+    },
+    /// An injected Monitor sample loss: the Decider saw nothing this
+    /// period.
+    MonitorLoss {
+        /// The affected job.
+        job: JobId,
+    },
+    /// An injected Actuator failure: the resize will be retried after a
+    /// deterministic exponential backoff.
+    ActuatorRetry {
+        /// The affected job.
+        job: JobId,
+        /// Consecutive failed attempts so far (1 = first retry).
+        attempt: u32,
+        /// Backoff before the retry, seconds.
+        backoff_s: f64,
+    },
+    /// The Actuator retry budget was exhausted; the job is killed and
+    /// resubmitted down the §2.2 fairness ladder.
+    ActuatorEscalate {
+        /// The affected job.
+        job: JobId,
+        /// Failed attempts that exhausted the budget.
+        attempts: u32,
+    },
+    /// A scheduling pass began with a non-empty queue window.
+    SchedPassStart {
+        /// Pending-queue depth at pass start.
+        queued: u32,
+        /// Memory currently allocated across the cluster, MB.
+        alloc_mb: u64,
+        /// Total cluster memory capacity, MB.
+        cap_mb: u64,
+    },
+    /// The scheduling pass finished.
+    SchedPassEnd {
+        /// Jobs examined in the queue window.
+        considered: u32,
+        /// Jobs started by this pass.
+        started: u32,
+        /// Backfill candidates examined behind a blocked head.
+        backfill_depth: u32,
+    },
+    /// An injected node crash took a node out of the pool.
+    NodeCrash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A crashed node's repair completed.
+    NodeRepair {
+        /// The repaired node.
+        node: NodeId,
+    },
+    /// Pool-blade degradation removed capacity from a node.
+    PoolDegrade {
+        /// The degraded node.
+        node: NodeId,
+        /// Capacity that left the pool, MB.
+        mb: u64,
+    },
+    /// Previously degraded capacity returned to the pool.
+    PoolRestore {
+        /// The restored node.
+        node: NodeId,
+        /// Capacity that returned, MB (clamped to the outstanding
+        /// degradation).
+        mb: u64,
+    },
+}
+
+impl TraceKind {
+    /// Every kind name, in taxonomy order. [`crate::trace::validate_stream`]
+    /// rejects lines whose `kind` is not in this list.
+    pub const NAMES: &'static [&'static str] = &[
+        "job_submit",
+        "job_start",
+        "job_finish",
+        "job_kill",
+        "job_requeue",
+        "mem_decide",
+        "mem_grow",
+        "mem_shrink",
+        "monitor_loss",
+        "actuator_retry",
+        "actuator_escalate",
+        "sched_pass_start",
+        "sched_pass_end",
+        "node_crash",
+        "node_repair",
+        "pool_degrade",
+        "pool_restore",
+    ];
+
+    /// Stable snake-case name used as the JSONL `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::JobSubmit { .. } => "job_submit",
+            TraceKind::JobStart { .. } => "job_start",
+            TraceKind::JobFinish { .. } => "job_finish",
+            TraceKind::JobKill { .. } => "job_kill",
+            TraceKind::JobRequeue { .. } => "job_requeue",
+            TraceKind::MemDecide { .. } => "mem_decide",
+            TraceKind::MemGrow { .. } => "mem_grow",
+            TraceKind::MemShrink { .. } => "mem_shrink",
+            TraceKind::MonitorLoss { .. } => "monitor_loss",
+            TraceKind::ActuatorRetry { .. } => "actuator_retry",
+            TraceKind::ActuatorEscalate { .. } => "actuator_escalate",
+            TraceKind::SchedPassStart { .. } => "sched_pass_start",
+            TraceKind::SchedPassEnd { .. } => "sched_pass_end",
+            TraceKind::NodeCrash { .. } => "node_crash",
+            TraceKind::NodeRepair { .. } => "node_repair",
+            TraceKind::PoolDegrade { .. } => "pool_degrade",
+            TraceKind::PoolRestore { .. } => "pool_restore",
+        }
+    }
+
+    /// The subsystem this kind belongs to.
+    pub fn subsystem(&self) -> Subsystem {
+        match self {
+            TraceKind::JobSubmit { .. }
+            | TraceKind::JobStart { .. }
+            | TraceKind::JobFinish { .. }
+            | TraceKind::JobKill { .. }
+            | TraceKind::JobRequeue { .. } => Subsystem::Job,
+            TraceKind::MemDecide { .. }
+            | TraceKind::MemGrow { .. }
+            | TraceKind::MemShrink { .. }
+            | TraceKind::MonitorLoss { .. }
+            | TraceKind::ActuatorRetry { .. }
+            | TraceKind::ActuatorEscalate { .. } => Subsystem::Mem,
+            TraceKind::SchedPassStart { .. } | TraceKind::SchedPassEnd { .. } => Subsystem::Sched,
+            TraceKind::NodeCrash { .. }
+            | TraceKind::NodeRepair { .. }
+            | TraceKind::PoolDegrade { .. }
+            | TraceKind::PoolRestore { .. } => Subsystem::Fault,
+        }
+    }
+}

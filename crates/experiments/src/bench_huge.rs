@@ -14,13 +14,15 @@
 //! a threads-1-vs-N determinism comparison — on every commit.
 
 use crate::durable::{DurableError, DurableOptions, Fingerprint, Journaled, Payload};
+use crate::report::{decode_profile, encode_profile};
 use crate::scale::Scale;
-use crate::scenario::{median_response, memory_axis, simulate, BASE_SEED};
+use crate::scenario::{median_response, memory_axis, simulate_observed, BASE_SEED};
 use crate::sweep::{aggregate, SweepPoint, TraceSpec};
 use dmhpc_core::cluster::{MemoryMix, TopologySpec};
 use dmhpc_core::config::SystemConfig;
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::sim::Workload;
+use dmhpc_core::telemetry::{Profile, TelemetrySpec};
 use dmhpc_traces::{CirneModel, WorkloadBuilder};
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,6 +48,11 @@ pub struct HugeLegConfig {
     pub topology: TopologySpec,
     /// Samples for the per-point provisioning micro-measurement.
     pub samples: usize,
+    /// When set, each simulation runs under the wall-clock phase
+    /// profiler (the CLI's `--telemetry`); profiles ride the journal
+    /// and fold into [`BenchHugeReport::profile`]. Never part of the
+    /// deterministic points CSV.
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl HugeLegConfig {
@@ -70,6 +77,7 @@ impl HugeLegConfig {
             policies: Self::paper_policies(),
             topology: TopologySpec::Flat,
             samples: 32,
+            telemetry: None,
         }
     }
 
@@ -89,6 +97,7 @@ impl HugeLegConfig {
             policies: Self::paper_policies(),
             topology: TopologySpec::Flat,
             samples: 8,
+            telemetry: None,
         }
     }
 }
@@ -100,6 +109,7 @@ impl HugeLegConfig {
 struct TimedPoint {
     point: SweepPoint,
     sim_s: f64,
+    profile: Profile,
 }
 
 impl Journaled for TimedPoint {
@@ -107,6 +117,10 @@ impl Journaled for TimedPoint {
         let mut p = Payload::new();
         p.push_map("point", self.point.encode());
         p.push_f64_bits("sim_s", self.sim_s);
+        // Telemetry-off runs journal the exact pre-telemetry payload.
+        if !self.profile.is_empty() {
+            p.push_map("phases", encode_profile(&self.profile));
+        }
         p
     }
 
@@ -114,6 +128,11 @@ impl Journaled for TimedPoint {
         Ok(TimedPoint {
             point: SweepPoint::decode(p.map("point")?)?,
             sim_s: p.f64_bits("sim_s")?,
+            // Points journaled without telemetry carry no phases map.
+            profile: match p.map("phases") {
+                Ok(map) => decode_profile(map)?,
+                Err(_) => Profile::default(),
+            },
         })
     }
 }
@@ -162,6 +181,9 @@ pub struct BenchHugeReport {
     /// Per-point clone cost summed over the leg's points, in seconds:
     /// the end-to-end overhead the shared pipeline removed.
     pub clone_overhead_s: f64,
+    /// Wall-clock phase profile merged over every simulated point.
+    /// Empty unless the leg ran with telemetry enabled.
+    pub profile: Profile,
 }
 
 impl BenchHugeReport {
@@ -283,11 +305,12 @@ pub fn run_durable(
                 .with_memory_mix(mix)
                 .with_topology(cfg.topology);
             let ts = Instant::now();
-            let mut out = simulate(
+            let (mut out, profile) = simulate_observed(
                 system,
                 Arc::clone(&workload),
                 policy,
                 BASE_SEED ^ pct as u64,
+                cfg.telemetry,
             );
             let sim_s = ts.elapsed().as_secs_f64();
             let median = median_response(&mut out.response_times_s);
@@ -305,10 +328,18 @@ pub fn run_durable(
                 median_response_s: median,
                 cross_rack_fraction: out.stats.avg_cross_rack_fraction,
             };
-            TimedPoint { point, sim_s }
+            TimedPoint {
+                point,
+                sim_s,
+                profile,
+            }
         },
     )?;
     let simulate_s = t1.elapsed().as_secs_f64();
+    let mut leg_profile = Profile::default();
+    for t in &timed {
+        leg_profile.merge(&t.profile);
+    }
     let sim_points: Vec<BenchPoint> = timed
         .iter()
         .map(|t| BenchPoint {
@@ -340,6 +371,7 @@ pub fn run_durable(
         clone_ns,
         share_ns,
         clone_overhead_s: clone_ns * n_points as f64 / 1e9,
+        profile: leg_profile,
     })
 }
 
@@ -360,6 +392,7 @@ mod tests {
             policies: vec![PolicySpec::Baseline, PolicySpec::Dynamic],
             topology: TopologySpec::Flat,
             samples: 2,
+            telemetry: None,
         }
     }
 
@@ -376,6 +409,22 @@ mod tests {
         assert!(a.cloned_total_s() >= a.shared_total_s());
         // Thread count must not change simulated bits.
         assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn telemetry_leg_matches_plain_leg_bit_for_bit() {
+        let plain = run(tiny(), 1);
+        let observed = run(
+            HugeLegConfig {
+                telemetry: Some(TelemetrySpec::default()),
+                ..tiny()
+            },
+            1,
+        );
+        // The profiler must not perturb any simulated value.
+        assert_eq!(plain.points, observed.points);
+        assert!(plain.profile.is_empty());
+        assert!(!observed.profile.is_empty());
     }
 
     #[test]

@@ -3,21 +3,26 @@
 //!
 //! ```text
 //! dmhpc <command> [--scale small|medium|full|huge] [--threads N] [--csv]
+//!                 [--quiet | --progress]
 //!
 //! commands: table1 table2 table3 table4
 //!           fig2 fig4 fig5 fig6 fig7 fig8 fig9
 //!           ablate fault-sweep validate all policies
-//!           export simulate chart bench-sched bench-huge trace-run help
+//!           export simulate chart bench-sched bench-huge trace-run
+//!           report sweep-status help
 //! ```
 
 use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
+use dmhpc_core::telemetry::{Profile, TelemetryCollector, TelemetrySpec};
 use dmhpc_experiments::cli::{
-    durable_from_opts, opt_parse, parse_args_from, policies_from_opts, topologies_from_opts, usage,
-    Args, OptMap,
+    durable_from_opts, opt_parse, parse_args_from, policies_from_opts, progress_mode_from_opts,
+    telemetry_from_opts, topologies_from_opts, usage, Args, OptMap,
 };
 use dmhpc_experiments::durable::{DurableError, PointStatus, ResumeState, EXIT_INTERRUPTED};
 use dmhpc_experiments::exp;
+use dmhpc_experiments::report;
+use dmhpc_experiments::runner::set_progress_mode;
 use dmhpc_experiments::scale::Scale;
 use dmhpc_experiments::table::TextTable;
 
@@ -90,8 +95,9 @@ fn cmd_topologies(csv: bool) {
 }
 
 /// `dmhpc sweep-status <manifest>`: inspect a durable-sweep journal —
-/// header identity, completed/failed/pending counts, and per-point
-/// attempts and wall time.
+/// header identity, completed/failed/pending counts, per-point
+/// attempts, wall time and failure reasons, and (when points were
+/// profiled with `--telemetry`) the merged phase-time breakdown.
 fn cmd_sweep_status(opts: &OptMap) -> Result<(), String> {
     let path = opts
         .get("manifest")
@@ -111,16 +117,25 @@ fn cmd_sweep_status(opts: &OptMap) -> Result<(), String> {
     if state.records.is_empty() {
         return Ok(());
     }
-    let mut t = TextTable::new(vec!["status", "attempts", "wall_s", "point"]);
+    let mut t = TextTable::new(vec!["status", "attempts", "wall_s", "reason", "point"]);
+    let mut profile_total = Profile::default();
+    let mut profiled = 0usize;
     for (fp, status) in &state.records {
         match status {
             PointStatus::Done {
-                attempts, wall_ms, ..
+                attempts,
+                wall_ms,
+                payload,
             } => {
+                if let Some(p) = report::profile_from_payload(payload) {
+                    profile_total.merge(&p);
+                    profiled += 1;
+                }
                 t.row(vec![
                     "done".to_string(),
                     attempts.to_string(),
                     format!("{:.3}", *wall_ms as f64 / 1000.0),
+                    "-".to_string(),
                     fp.clone(),
                 ]);
             }
@@ -129,12 +144,17 @@ fn cmd_sweep_status(opts: &OptMap) -> Result<(), String> {
                     "failed".to_string(),
                     attempts.to_string(),
                     "-".to_string(),
-                    format!("{fp}  [{}]", error.lines().next().unwrap_or("")),
+                    error.lines().next().unwrap_or("").to_string(),
+                    fp.clone(),
                 ]);
             }
         }
     }
     print!("{}", t.render());
+    if profiled > 0 {
+        println!("phase-time breakdown ({profiled} profiled points, wall clock):");
+        print!("{}", report::phase_table(&profile_total).render());
+    }
     Ok(())
 }
 
@@ -246,7 +266,12 @@ fn cmd_simulate(scale: Scale, opts: &OptMap) -> Result<(), String> {
         large_nodes,
     ));
     let n_jobs = workload.len();
-    let out = Simulation::from_policy(system, workload, policy.build()).run();
+    let collector = telemetry_from_opts(opts)?.map(TelemetryCollector::new);
+    let mut sim = Simulation::from_policy(system, workload, policy.build());
+    if let Some(c) = &collector {
+        sim = sim.with_telemetry(c.clone());
+    }
+    let out = sim.run();
     let mut t = TextTable::new(vec!["metric", "value"]);
     t.row(vec!["jobs".to_string(), n_jobs.to_string()]);
     t.row(vec!["policy".to_string(), policy.to_string()]);
@@ -298,6 +323,9 @@ fn cmd_simulate(scale: Scale, opts: &OptMap) -> Result<(), String> {
         ]);
     }
     emit("Simulation result", &t, false);
+    if let Some(c) = collector {
+        print!("{}", report::render(&c.snapshot(), "run telemetry"));
+    }
     Ok(())
 }
 
@@ -411,6 +439,7 @@ fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
         HugeLegConfig::full()
     };
     cfg.samples = opt_parse(opts, "samples", cfg.samples)?;
+    cfg.telemetry = telemetry_from_opts(opts)?;
     let topologies = topologies_from_opts(opts)?;
     match topologies.as_slice() {
         [topo] => cfg.topology = *topo,
@@ -470,10 +499,31 @@ fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
         report.cloned_total_s(),
         report.clone_overhead_s
     );
+    // The phase profile rides the JSON only when telemetry was on:
+    // wall-clock totals are non-deterministic, so the off-by-default
+    // output stays byte-comparable to pre-telemetry runs.
+    let profile_json = if report.profile.is_empty() {
+        String::new()
+    } else {
+        let phases: Vec<String> = dmhpc_core::telemetry::Phase::ALL
+            .iter()
+            .map(|&ph| {
+                format!(
+                    "\"{}\": {{\"ns\": {}, \"calls\": {}}}",
+                    ph.name(),
+                    report.profile.phase_ns(ph),
+                    report.profile.phase_calls(ph)
+                )
+            })
+            .collect();
+        println!("  wall-clock phase profile (all points merged):");
+        print!("{}", report::phase_table(&report.profile).render());
+        format!("  \"profile\": {{{}}},\n", phases.join(", "))
+    };
     let policies: Vec<String> = cfg.policies.iter().map(|p| format!("\"{p}\"")).collect();
     let pass = speedup >= ACCEPT_SPEEDUP;
     let json = format!(
-        "{{\n  \"bench\": \"huge_sweep_leg\",\n  \"mode\": \"{label}\",\n  \"nodes\": {},\n  \"jobs\": {},\n  \"usage_points\": {},\n  \"leg\": {{\"trace\": \"large 50%\", \"overest\": 0.6, \"mem_points\": {}, \"policies\": [{}]}},\n  \"phases_s\": {{\"build\": {:.3}, \"simulate\": {:.3}, \"aggregate\": {:.6}}},\n  \"sims\": [\n{sims}\n  ],\n  \"provisioning\": {{\"samples\": {}, \"clone_ns\": {:.0}, \"share_ns\": {:.0}, \"speedup\": {speedup:.1}}},\n  \"end_to_end\": {{\"shared_s\": {:.3}, \"clone_overhead_s\": {:.4}, \"cloned_s\": {:.3}, \"speedup\": {end_to_end_speedup:.4}}},\n  \"acceptance\": {{\"metric\": \"per_point_workload_provisioning\", \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {speedup:.1}, \"pass\": {pass}}}\n}}\n",
+        "{{\n  \"bench\": \"huge_sweep_leg\",\n  \"mode\": \"{label}\",\n  \"nodes\": {},\n  \"jobs\": {},\n  \"usage_points\": {},\n  \"leg\": {{\"trace\": \"large 50%\", \"overest\": 0.6, \"mem_points\": {}, \"policies\": [{}]}},\n  \"phases_s\": {{\"build\": {:.3}, \"simulate\": {:.3}, \"aggregate\": {:.6}}},\n  \"sims\": [\n{sims}\n  ],\n  \"provisioning\": {{\"samples\": {}, \"clone_ns\": {:.0}, \"share_ns\": {:.0}, \"speedup\": {speedup:.1}}},\n  \"end_to_end\": {{\"shared_s\": {:.3}, \"clone_overhead_s\": {:.4}, \"cloned_s\": {:.3}, \"speedup\": {end_to_end_speedup:.4}}},\n{profile_json}  \"acceptance\": {{\"metric\": \"per_point_workload_provisioning\", \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {speedup:.1}, \"pass\": {pass}}}\n}}\n",
         cfg.nodes,
         cfg.jobs,
         report.usage_points,
@@ -559,8 +609,12 @@ fn trace_scenario(
 
 /// Run one traced simulation of the [`trace_scenario`]; returns the
 /// JSONL stream and, when `want_metrics`, the folded [`RunMetrics`].
+/// When `telemetry` is given, the run is additionally observed through
+/// that collector (read it back with
+/// [`TelemetryCollector::snapshot`] after this returns).
 ///
 /// [`RunMetrics`]: dmhpc_core::RunMetrics
+#[allow(clippy::too_many_arguments)]
 fn run_traced(
     scale: Scale,
     policy: PolicySpec,
@@ -569,6 +623,7 @@ fn run_traced(
     fault_seed: u64,
     sample_s: f64,
     want_metrics: bool,
+    telemetry: Option<&TelemetryCollector>,
 ) -> Result<(String, Option<dmhpc_core::RunMetrics>), String> {
     use dmhpc_core::sim::Simulation;
     use dmhpc_core::{CountingSink, FanoutSink, JsonlSink, TraceSink};
@@ -582,10 +637,13 @@ fn run_traced(
         ])),
         None => Box::new(jsonl.clone()),
     };
-    Simulation::from_policy(system, workload, policy.build())
+    let mut sim = Simulation::from_policy(system, workload, policy.build())
         .with_seed(seed)
-        .with_trace_sink(sink)
-        .run();
+        .with_trace_sink(sink);
+    if let Some(c) = telemetry {
+        sim = sim.with_telemetry(c.clone());
+    }
+    sim.run();
     jsonl.flush().map_err(|e| format!("trace stream: {e}"))?;
     if let Some(e) = jsonl.error() {
         return Err(format!("trace stream: {e}"));
@@ -667,6 +725,72 @@ fn report_diff(seed_a: u64, seed_b: u64, a: &str, b: &str) {
     );
 }
 
+/// `dmhpc report`: run the stress scenario ([`trace_scenario`]) under
+/// full telemetry and render the result — gauge sparklines, quantile
+/// summaries and the wall-clock phase profile by default, or one of the
+/// deterministic machine exports with `--format prom|csv|jsonl` (equal
+/// seeds produce byte-identical export streams; the wall-clock profile
+/// never enters them).
+fn cmd_report(scale: Scale, opts: &OptMap) -> Result<(), String> {
+    use dmhpc_core::sim::Simulation;
+    use dmhpc_experiments::scenario::BASE_SEED;
+    let policy: PolicySpec = opts
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("dynamic")
+        .parse()
+        .map_err(|e| format!("--policy: {e}"))?;
+    let profile = opts
+        .get("fault-profile")
+        .map(String::as_str)
+        .unwrap_or("none");
+    let fault_seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
+    let seed: u64 = opt_parse(opts, "seed", BASE_SEED ^ 0xFA17)?;
+    let interval: f64 = opt_parse(opts, "sample-interval", 60.0)?;
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(format!(
+            "--sample-interval: must be a positive number of seconds, got {interval}"
+        ));
+    }
+    let format = opts.get("format").map(String::as_str).unwrap_or("table");
+    let (system, workload) = trace_scenario(scale, profile, fault_seed)?;
+    let collector = TelemetryCollector::new(TelemetrySpec::with_interval(interval));
+    let out = Simulation::from_policy(system, workload, policy.build())
+        .with_seed(seed)
+        .with_telemetry(collector.clone())
+        .run();
+    let telem = collector.snapshot();
+    let rendered = match format {
+        "prom" => telem.prometheus(),
+        "csv" => telem.csv(),
+        "jsonl" => telem.jsonl(),
+        "table" => {
+            let title = format!("telemetry report: {policy} policy, {profile} faults, seed {seed}");
+            let mut s = report::render(&telem, &title);
+            s.push_str(&format!(
+                "run outcome: {} completed, {} OOM kill events, throughput {:.3} jobs/h\n",
+                out.stats.completed,
+                out.stats.oom_kills,
+                out.stats.throughput_jps * 3600.0
+            ));
+            s
+        }
+        other => {
+            return Err(format!(
+                "--format: unknown format '{other}' (expected table, prom, csv, or jsonl)"
+            ))
+        }
+    };
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {format} report to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 /// Run-level metrics digest on stderr (the JSONL stream owns stdout).
 fn print_trace_summary(m: &dmhpc_core::RunMetrics) {
     eprintln!("trace summary: {} events", m.total_events);
@@ -732,15 +856,28 @@ fn cmd_trace_run(scale: Scale, opts: &OptMap) -> Result<(), String> {
     // --diff A,B: same scenario and fault realisation, two sim seeds.
     if let Some(spec) = opts.get("diff") {
         let (sa, sb) = parse_seed_pair(spec)?;
-        let (ta, _) = run_traced(scale, policy, sa, profile, fault_seed, sample_s, false)?;
-        let (tb, _) = run_traced(scale, policy, sb, profile, fault_seed, sample_s, false)?;
+        let (ta, _) = run_traced(
+            scale, policy, sa, profile, fault_seed, sample_s, false, None,
+        )?;
+        let (tb, _) = run_traced(
+            scale, policy, sb, profile, fault_seed, sample_s, false, None,
+        )?;
         report_diff(sa, sb, &ta, &tb);
         return Ok(());
     }
 
     let seed: u64 = opt_parse(opts, "seed", BASE_SEED ^ 0xFA17)?;
-    let (stream, metrics) =
-        run_traced(scale, policy, seed, profile, fault_seed, sample_s, summary)?;
+    let collector = telemetry_from_opts(opts)?.map(TelemetryCollector::new);
+    let (stream, metrics) = run_traced(
+        scale,
+        policy,
+        seed,
+        profile,
+        fault_seed,
+        sample_s,
+        summary,
+        collector.as_ref(),
+    )?;
 
     // Select lines: optional kind filter and [--from, --to] sim-time
     // window (inclusive, seconds). Lines pass through byte-identical.
@@ -779,6 +916,11 @@ fn cmd_trace_run(scale: Scale, opts: &OptMap) -> Result<(), String> {
     if let Some(m) = metrics {
         print_trace_summary(&m);
     }
+    // The JSONL stream owns stdout; telemetry goes to stderr with the
+    // other run-level digests.
+    if let Some(c) = collector {
+        eprint!("{}", report::render(&c.snapshot(), "run telemetry"));
+    }
     Ok(())
 }
 
@@ -788,6 +930,7 @@ fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Re
     let policies = policies_from_opts(opts)?;
     let topologies = topologies_from_opts(opts)?;
     let durable = durable_from_opts(opts)?;
+    let telemetry = telemetry_from_opts(opts)?;
     let sweep = exp::faults::run_opts_durable(
         scale,
         threads,
@@ -796,6 +939,7 @@ fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Re
         &policies,
         &topologies,
         &durable,
+        telemetry,
     )?;
     emit(
         "Fault sweep: resilience under injected faults (stress scenario, C/R)",
@@ -812,6 +956,12 @@ fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Re
                 );
             }
         }
+    }
+    // Wall-clock values stay off stdout: the CSV/table above is byte-
+    // compared across thread counts, the profile is not deterministic.
+    if telemetry.is_some() {
+        eprintln!("wall-clock phase profile (all points merged, oom nests in dynloop/recovery):");
+        eprint!("{}", report::phase_table(&sweep.profile_total()).render());
     }
     Ok(())
 }
@@ -989,6 +1139,13 @@ fn main() {
         println!("{}", usage());
         return;
     }
+    match progress_mode_from_opts(&args.opts) {
+        Ok(mode) => set_progress_mode(mode),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
     let start = std::time::Instant::now();
     let result = match args.command.as_str() {
         "export" => cmd_export(args.scale, &args.opts).map_err(Failure::Run),
@@ -999,6 +1156,7 @@ fn main() {
         "bench-huge" => cmd_bench_huge(args.threads, &args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
         "sweep-status" => cmd_sweep_status(&args.opts).map_err(Failure::Run),
+        "report" => cmd_report(args.scale, &args.opts).map_err(Failure::Run),
         cmd => run_command(cmd, args.scale, args.threads, args.csv, &args.opts),
     };
     match result {
@@ -1156,8 +1314,12 @@ mod tests {
             7,
             900.0,
             true,
+            None,
         )
         .unwrap();
+        // The second run adds a telemetry collector: the stream must
+        // still match byte for byte (telemetry is observation-only).
+        let telem = TelemetryCollector::default();
         let (b, _) = run_traced(
             Scale::Small,
             PolicySpec::Dynamic,
@@ -1166,9 +1328,13 @@ mod tests {
             7,
             900.0,
             false,
+            Some(&telem),
         )
         .unwrap();
         assert_eq!(a, b, "same seed must reproduce the stream byte for byte");
+        let snap = telem.snapshot();
+        assert!(!snap.series.samples().is_empty(), "telemetry sampled");
+        assert!(!snap.profile.is_empty(), "phases were profiled");
         let n = dmhpc_core::trace::validate_stream(a.lines()).unwrap();
         assert!(n > 0, "the stress scenario must emit events");
         let m = m.unwrap();

@@ -49,6 +49,15 @@ pub fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, S
             "--smoke" => {
                 opts.insert("smoke".to_string(), "1".to_string());
             }
+            "--telemetry" => {
+                opts.insert("telemetry".to_string(), "1".to_string());
+            }
+            "--quiet" => {
+                opts.insert("quiet".to_string(), "1".to_string());
+            }
+            "--progress" => {
+                opts.insert("progress".to_string(), "1".to_string());
+            }
             flag if flag.starts_with("--") => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
                 opts.insert(flag[2..].to_string(), v);
@@ -72,6 +81,7 @@ pub fn parse_args_from(mut args: impl Iterator<Item = String>) -> Result<Args, S
 /// The usage text shown by `dmhpc help` and on argument errors.
 pub fn usage() -> String {
     "usage: dmhpc <command> [--scale small|medium|full|huge] [--threads N] [--csv]\n\
+     \x20               [--quiet | --progress]\n\
      commands:\n\
      \x20 table1 table2 table3 table4            regenerate the paper's tables\n\
      \x20 fig2 fig4 fig5 fig6 fig7 fig8 fig9     regenerate the paper's figures\n\
@@ -104,8 +114,24 @@ pub fn usage() -> String {
      \x20                                        sim seeds part, --check validates a file\n\
      \x20 sweep-status <manifest>                inspect a durable-sweep journal: header,\n\
      \x20                                        completed/failed/pending counts, per-point\n\
-     \x20                                        attempts and wall time\n\
+     \x20                                        attempts, wall time and failure reasons,\n\
+     \x20                                        plus a phase-time breakdown when points\n\
+     \x20                                        were profiled with --telemetry\n\
+     \x20 report  [--policy P] [--seed S] [--fault-profile none|light|heavy] [--fault-seed S]\n\
+     \x20         [--sample-interval S] [--format table|prom|csv|jsonl] [--out FILE]\n\
+     \x20                                        run the stress scenario under telemetry and\n\
+     \x20                                        render gauge sparklines + the phase profile,\n\
+     \x20                                        or export the sampled series (Prometheus\n\
+     \x20                                        text, CSV, or JSONL)\n\
      \x20 help                                   show this message\n\
+     \n\
+     simulate, trace-run, fault-sweep and bench-huge accept --telemetry\n\
+     [--sample-interval S] to sample gauge series (sim time, default 60 s)\n\
+     and profile simulator phases (wall clock); off by default and\n\
+     bit-inert on every simulated outcome\n\
+     \n\
+     --quiet forces the stderr progress line off; --progress forces it on\n\
+     even when stderr is not a terminal\n\
      \n\
      fig5 and fig8 also accept --policies SPECS, a comma-separated list of\n\
      policy specs like 'baseline,dynamic,overcommit:factor=0.8' (see\n\
@@ -194,11 +220,13 @@ mod tests {
             "bench-huge",
             "trace-run",
             "sweep-status",
+            "report",
             "help",
         ] {
             assert!(u.contains(cmd), "usage() is missing '{cmd}'");
         }
-        // The durable-execution and topology flags are documented too.
+        // The durable-execution, topology and telemetry flags are
+        // documented too.
         for flag in [
             "--manifest",
             "--resume",
@@ -206,9 +234,30 @@ mod tests {
             "--backoff-ms",
             "--point-limit",
             "--topology",
+            "--telemetry",
+            "--sample-interval",
+            "--quiet",
+            "--progress",
         ] {
             assert!(u.contains(flag), "usage() is missing '{flag}'");
         }
+    }
+
+    #[test]
+    fn telemetry_and_progress_flags_are_valueless() {
+        let args = parse(&[
+            "fault-sweep",
+            "--telemetry",
+            "--sample-interval",
+            "30",
+            "--quiet",
+        ])
+        .unwrap();
+        assert!(args.opts.contains_key("telemetry"));
+        assert!(args.opts.contains_key("quiet"));
+        assert_eq!(args.opts.get("sample-interval").unwrap(), "30");
+        let args = parse(&["fig5", "--progress"]).unwrap();
+        assert!(args.opts.contains_key("progress"));
     }
 
     #[test]

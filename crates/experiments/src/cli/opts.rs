@@ -3,8 +3,10 @@
 //! durable-execution options shared by the sweep commands.
 
 use crate::durable::{install_sigint_drain, DurableOptions, ResumeState};
+use crate::runner::ProgressMode;
 use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
+use dmhpc_core::telemetry::TelemetrySpec;
 
 /// The free-form option map [`parse_args_from`] collects.
 ///
@@ -59,6 +61,46 @@ pub fn topologies_from_opts(opts: &OptMap) -> Result<Vec<TopologySpec>, String> 
     match opts.get("topology") {
         Some(s) => TopologySpec::parse_list(s).map_err(|e| format!("--topology: {e}")),
         None => Ok(vec![TopologySpec::Flat]),
+    }
+}
+
+/// Parse the telemetry flags: `None` without `--telemetry` (the
+/// default — telemetry must stay opt-in so runs are byte-identical to
+/// their pre-telemetry output), otherwise a [`TelemetrySpec`] with
+/// `--sample-interval` seconds between gauge samples (default 60 s of
+/// simulated time).
+///
+/// # Errors
+/// Returns a message when `--sample-interval` is malformed or
+/// non-positive, or given without `--telemetry` (a silent no-op flag
+/// would hide the typo).
+pub fn telemetry_from_opts(opts: &OptMap) -> Result<Option<TelemetrySpec>, String> {
+    let enabled = opts.contains_key("telemetry");
+    let interval: f64 = opt_parse(opts, "sample-interval", 60.0)?;
+    if !enabled {
+        if opts.contains_key("sample-interval") {
+            return Err("--sample-interval requires --telemetry".into());
+        }
+        return Ok(None);
+    }
+    if !interval.is_finite() || interval <= 0.0 {
+        return Err(format!(
+            "--sample-interval: must be a positive number of seconds, got {interval}"
+        ));
+    }
+    Ok(Some(TelemetrySpec::with_interval(interval)))
+}
+
+/// Parse `--quiet` / `--progress` into a [`ProgressMode`] override.
+///
+/// # Errors
+/// Rejects passing both flags at once.
+pub fn progress_mode_from_opts(opts: &OptMap) -> Result<ProgressMode, String> {
+    match (opts.contains_key("quiet"), opts.contains_key("progress")) {
+        (true, true) => Err("--quiet conflicts with --progress".into()),
+        (true, false) => Ok(ProgressMode::Off),
+        (false, true) => Ok(ProgressMode::On),
+        (false, false) => Ok(ProgressMode::Auto),
     }
 }
 
@@ -235,6 +277,52 @@ mod tests {
         // Garbage is a parse error, not a silent default.
         let args = parse(&["fault-sweep", "--fault-seed", "not-a-number"]).unwrap();
         assert!(opt_parse::<u64>(&args.opts, "fault-seed", 0).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_build_a_spec() {
+        // Off by default; interval alone is an error, not a no-op.
+        let args = parse(&["simulate", "--swf", "w.swf"]).unwrap();
+        assert_eq!(telemetry_from_opts(&args.opts).unwrap(), None);
+        let args = parse(&["simulate", "--swf", "w.swf", "--sample-interval", "30"]).unwrap();
+        assert!(telemetry_from_opts(&args.opts)
+            .unwrap_err()
+            .contains("requires --telemetry"));
+        // On with the default and a custom interval.
+        let args = parse(&["simulate", "--swf", "w.swf", "--telemetry"]).unwrap();
+        let spec = telemetry_from_opts(&args.opts).unwrap().unwrap();
+        assert_eq!(spec.sample_interval_s, 60.0);
+        let args = parse(&["fault-sweep", "--telemetry", "--sample-interval", "15"]).unwrap();
+        let spec = telemetry_from_opts(&args.opts).unwrap().unwrap();
+        assert_eq!(spec.sample_interval_s, 15.0);
+        // Garbage and non-positive intervals are loud.
+        for bad in ["abc", "0", "-5", "nan"] {
+            let args = parse(&["fault-sweep", "--telemetry", "--sample-interval", bad]).unwrap();
+            assert!(telemetry_from_opts(&args.opts).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn progress_flags_pick_a_mode() {
+        let auto = parse(&["fig5"]).unwrap();
+        assert_eq!(
+            progress_mode_from_opts(&auto.opts).unwrap(),
+            ProgressMode::Auto
+        );
+        let quiet = parse(&["fig5", "--quiet"]).unwrap();
+        assert_eq!(
+            progress_mode_from_opts(&quiet.opts).unwrap(),
+            ProgressMode::Off
+        );
+        let forced = parse(&["fig5", "--progress"]).unwrap();
+        assert_eq!(
+            progress_mode_from_opts(&forced.opts).unwrap(),
+            ProgressMode::On
+        );
+        let both = parse(&["fig5", "--quiet", "--progress"]).unwrap();
+        assert!(progress_mode_from_opts(&both.opts)
+            .unwrap_err()
+            .contains("conflicts"));
     }
 
     #[test]

@@ -11,14 +11,16 @@
 //! match the fault-free simulator bit for bit.
 
 use crate::durable::{run_durable, DurableError, DurableOptions, Fingerprint, Journaled, Payload};
+use crate::report::{decode_profile, encode_profile};
 use crate::scale::Scale;
-use crate::scenario::{simulate, synthetic_system, synthetic_workload, BASE_SEED};
+use crate::scenario::{simulate_observed, synthetic_system, synthetic_workload, BASE_SEED};
 use crate::table::TextTable;
 use dmhpc_core::cluster::{MemoryMix, TopologySpec};
 use dmhpc_core::config::{RestartStrategy, SystemConfig};
 use dmhpc_core::error::CoreError;
 use dmhpc_core::faults::FaultConfig;
 use dmhpc_core::policy::PolicySpec;
+use dmhpc_core::telemetry::{Profile, TelemetrySpec};
 use dmhpc_metrics::resilience::{ResilienceSample, ResilienceSummary};
 
 /// Default fault-schedule seed (override with `--fault-seed`).
@@ -40,6 +42,11 @@ pub struct FaultRow {
     pub throughput_jps: f64,
     /// Resilience counters extracted from the run.
     pub sample: ResilienceSample,
+    /// Wall-clock phase profile of this point's run. Empty unless the
+    /// sweep ran with `--telemetry`; never rendered into the stdout CSV
+    /// (wall-clock values would break the thread-count byte comparison)
+    /// but journaled so `sweep-status` can show a phase breakdown.
+    pub phases: Profile,
 }
 
 impl Journaled for FaultRow {
@@ -61,6 +68,11 @@ impl Journaled for FaultRow {
             "actuator_escalations",
             self.sample.actuator_escalations as u64,
         );
+        // Only telemetry runs carry a phase profile; plain runs journal
+        // the exact pre-telemetry payload, byte for byte.
+        if !self.phases.is_empty() {
+            p.push_map("phases", encode_profile(&self.phases));
+        }
         p
     }
 
@@ -87,6 +99,11 @@ impl Journaled for FaultRow {
                 pool_availability: p.f64_bits("pool_availability")?,
                 actuator_retries: p.u64("actuator_retries")? as u32,
                 actuator_escalations: p.u64("actuator_escalations")? as u32,
+            },
+            // Rows journaled without telemetry have no phases map.
+            phases: match p.map("phases") {
+                Ok(map) => decode_profile(map)?,
+                Err(_) => Profile::default(),
             },
         })
     }
@@ -138,6 +155,7 @@ pub fn run_opts(
         policies,
         topologies,
         &DurableOptions::default(),
+        None,
     ) {
         Ok(sweep) => Ok(sweep),
         Err(DurableError::Core(e)) => Err(e),
@@ -149,7 +167,9 @@ pub fn run_opts(
 /// `(profile, policy, topology)` point is fingerprinted over the scale,
 /// profile, policy spec, topology spec, and both seeds, journaled to
 /// `opts.manifest` the moment it completes, and skipped on resume when
-/// already journaled.
+/// already journaled. When `telemetry` is set, every point runs under
+/// the wall-clock phase profiler (its own collector — points run in
+/// parallel) and the per-point profile rides the journal payload.
 #[allow(clippy::too_many_arguments)]
 pub fn run_opts_durable(
     scale: Scale,
@@ -159,6 +179,7 @@ pub fn run_opts_durable(
     policies: &[PolicySpec],
     topologies: &[TopologySpec],
     opts: &DurableOptions,
+    telemetry: Option<TelemetrySpec>,
 ) -> Result<FaultSweep, DurableError> {
     let profiles: Vec<&str> = match profile {
         Some(p) => {
@@ -207,7 +228,13 @@ pub fn run_opts_durable(
         threads,
         opts,
         |(prof, policy, topo, sys)| {
-            let out = simulate(sys.clone(), workload.clone(), *policy, BASE_SEED ^ 0xFA17);
+            let (out, phase_profile) = simulate_observed(
+                sys.clone(),
+                workload.clone(),
+                *policy,
+                BASE_SEED ^ 0xFA17,
+                telemetry,
+            );
             FaultRow {
                 profile: prof.clone(),
                 policy: *policy,
@@ -224,6 +251,7 @@ pub fn run_opts_durable(
                     actuator_retries: out.stats.actuator_retries,
                     actuator_escalations: out.stats.actuator_escalations,
                 },
+                phases: phase_profile,
             }
         },
     )?;
@@ -240,6 +268,17 @@ impl FaultSweep {
             .map(|r| r.sample)
             .collect();
         ResilienceSummary::of(&samples)
+    }
+
+    /// Merge every row's wall-clock phase profile into one aggregate —
+    /// the phase-time breakdown `fault-sweep --telemetry` prints to
+    /// stderr. Empty when the sweep ran without telemetry.
+    pub fn profile_total(&self) -> Profile {
+        let mut total = Profile::default();
+        for r in &self.rows {
+            total.merge(&r.phases);
+        }
+        total
     }
 
     /// Render the sweep table.
@@ -319,6 +358,41 @@ mod tests {
             assert!(r.sample.pool_availability <= 1.0);
         }
         assert!(a.table().render().contains("heavy"));
+    }
+
+    #[test]
+    fn telemetry_profiles_points_without_changing_outcomes() {
+        let policies = [PolicySpec::Dynamic];
+        let flat = [TopologySpec::Flat];
+        let plain = run_opts(Scale::Small, 1, 7, Some("light"), &policies, &flat).unwrap();
+        let observed = run_opts_durable(
+            Scale::Small,
+            1,
+            7,
+            Some("light"),
+            &policies,
+            &flat,
+            &DurableOptions::default(),
+            Some(TelemetrySpec::default()),
+        )
+        .unwrap();
+        // Telemetry is observation-only: every simulated bit matches.
+        assert_eq!(plain.rows.len(), observed.rows.len());
+        for (a, b) in plain.rows.iter().zip(&observed.rows) {
+            assert_eq!(a.sample, b.sample, "{} {}", a.profile, a.policy);
+            assert_eq!(a.throughput_jps, b.throughput_jps);
+        }
+        // The profiler actually ran: the stress scenario schedules jobs
+        // and finalizes, so those phases must have recorded spans.
+        assert!(plain.profile_total().is_empty());
+        let total = observed.profile_total();
+        assert!(!total.is_empty());
+        assert!(total.phase_calls(dmhpc_core::telemetry::Phase::Finalize) > 0);
+        // And the profile survives a journal round trip on each row.
+        for r in &observed.rows {
+            let back = FaultRow::decode(&r.encode()).unwrap();
+            assert_eq!(back.phases, r.phases);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod chart;
 pub mod cli;
 pub mod durable;
 pub mod exp;
+pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod scenario;

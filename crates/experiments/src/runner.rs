@@ -14,8 +14,44 @@
 //! journaling observer.
 
 use std::io::IsTerminal;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// How the stderr [`Progress`] line decides whether to draw.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressMode {
+    /// Draw only when stderr is a terminal (the default heuristic).
+    Auto,
+    /// Never draw, even on a terminal — the CLI's `--quiet`.
+    Off,
+    /// Always draw, even when stderr is piped — the CLI's `--progress`
+    /// (useful under `tee` or CI logs that want the ticks).
+    On,
+}
+
+/// Process-global progress mode, set once by the CLI before any sweep
+/// starts. 0 = Auto, 1 = Off, 2 = On.
+static PROGRESS_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the TTY heuristic for every [`Progress`] built after this
+/// call (`--quiet` forces Off, `--progress` forces On).
+pub fn set_progress_mode(mode: ProgressMode) {
+    let v = match mode {
+        ProgressMode::Auto => 0,
+        ProgressMode::Off => 1,
+        ProgressMode::On => 2,
+    };
+    PROGRESS_MODE.store(v, Ordering::Relaxed);
+}
+
+/// The currently configured [`ProgressMode`].
+pub fn progress_mode() -> ProgressMode {
+    match PROGRESS_MODE.load(Ordering::Relaxed) {
+        1 => ProgressMode::Off,
+        2 => ProgressMode::On,
+        _ => ProgressMode::Auto,
+    }
+}
 
 /// Run `f` over all `inputs` on up to `threads` worker threads (0 =
 /// hardware parallelism), returning outputs in input order. `observe`
@@ -159,7 +195,13 @@ impl Progress {
             done: AtomicUsize::new(0),
             work_done_bits: AtomicU64::new(0f64.to_bits()),
             start: Instant::now(),
-            active: std::io::stderr().is_terminal() && total.saturating_sub(pre) > 1,
+            active: match progress_mode() {
+                ProgressMode::Off => false,
+                ProgressMode::On => total.saturating_sub(pre) > 0,
+                ProgressMode::Auto => {
+                    std::io::stderr().is_terminal() && total.saturating_sub(pre) > 1
+                }
+            },
         }
     }
 
@@ -340,6 +382,23 @@ mod tests {
         let done = f64::from_bits(p.work_done_bits.load(Ordering::Relaxed));
         assert!((done - 2.0).abs() < 1e-12);
         assert_eq!(p.done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn progress_mode_overrides_the_tty_heuristic() {
+        // Tests run without a stderr TTY, so Auto must be inactive and
+        // On must force activity anyway (the CLI's --progress); Off
+        // stays quiet regardless.
+        assert_eq!(progress_mode(), ProgressMode::Auto);
+        assert!(!Progress::new("auto", 8).active);
+        set_progress_mode(ProgressMode::On);
+        assert_eq!(progress_mode(), ProgressMode::On);
+        assert!(Progress::new("forced", 8).active);
+        // On still skips fully pre-completed plans: nothing will tick.
+        assert!(!Progress::with_plan("done", &[1.0; 2], &[true, true]).active);
+        set_progress_mode(ProgressMode::Off);
+        assert!(!Progress::new("quiet", 8).active);
+        set_progress_mode(ProgressMode::Auto);
     }
 
     #[test]

@@ -105,6 +105,35 @@ pub fn simulate(
         .run()
 }
 
+/// [`simulate`] with an optional telemetry spec: when `Some`, the run
+/// is observed through a fresh [`TelemetryCollector`] (each sweep point
+/// gets its own — points run in parallel) and the run's wall-clock
+/// phase [`Profile`] is returned alongside the outcome. The outcome is
+/// bit-identical either way — telemetry is observation-only, enforced
+/// by the determinism goldens.
+///
+/// [`Profile`]: dmhpc_core::telemetry::Profile
+/// [`TelemetryCollector`]: dmhpc_core::telemetry::TelemetryCollector
+pub fn simulate_observed(
+    system: SystemConfig,
+    workload: impl Into<Arc<Workload>>,
+    policy: PolicySpec,
+    seed: u64,
+    telemetry: Option<dmhpc_core::telemetry::TelemetrySpec>,
+) -> (SimulationOutcome, dmhpc_core::telemetry::Profile) {
+    match telemetry {
+        None => (simulate(system, workload, policy, seed), Default::default()),
+        Some(spec) => {
+            let collector = dmhpc_core::telemetry::TelemetryCollector::new(spec);
+            let out = Simulation::from_policy(system, workload, policy.build())
+                .with_seed(seed)
+                .with_telemetry(collector.clone())
+                .run();
+            (out, collector.snapshot().profile)
+        }
+    }
+}
+
 /// Median of `times` (the upper median `sorted[len/2]`, matching the
 /// previous clone-and-full-sort implementation) computed in place with
 /// `select_nth_unstable_by` — O(n) instead of O(n log n), and no clone

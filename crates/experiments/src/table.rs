@@ -47,10 +47,13 @@ impl TextTable {
     /// Render as an aligned text table with a separator under the header.
     pub fn render(&self) -> String {
         let cols = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        // Width in characters, not bytes: sparkline cells are multi-byte
+        // UTF-8 and `format!`'s padding width counts chars too.
+        let char_len = |s: &String| s.chars().count();
+        let mut widths: Vec<usize> = self.header.iter().map(char_len).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                widths[i] = widths[i].max(c.len());
+                widths[i] = widths[i].max(char_len(c));
             }
         }
         let mut out = String::new();

@@ -150,6 +150,29 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_interval_is_degenerate() {
+        // With n = 1 every resample is the same sample, so the interval
+        // must collapse to the point estimate rather than widen or NaN.
+        for iv in [
+            mean_interval(&[42.0], 200, 0.95, 7),
+            median_interval(&[42.0], 200, 0.95, 7),
+        ] {
+            assert_eq!(iv.point, 42.0);
+            assert_eq!(iv.lo, 42.0);
+            assert_eq!(iv.hi, 42.0);
+            assert_eq!(iv.width(), 0.0);
+            assert!(!iv.excludes(42.0));
+            assert!(iv.excludes(42.0001));
+        }
+    }
+
+    #[test]
+    fn degenerate_ratio_interval_is_exact() {
+        let iv = ratio_interval(&[10.0], &[4.0], |s| s[0], 100, 0.9, 3);
+        assert_eq!((iv.point, iv.lo, iv.hi), (2.5, 2.5, 2.5));
+    }
+
+    #[test]
     fn interval_brackets_the_point() {
         let s = uniformish(500, 1);
         let iv = mean_interval(&s, 500, 0.95, 2);

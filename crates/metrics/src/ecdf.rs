@@ -119,6 +119,13 @@ impl Ecdf {
             .collect()
     }
 
+    /// Evaluate several quantiles at once (each clamped to `[0,1]`) —
+    /// the batch form the telemetry report uses to summarise a sampled
+    /// gauge series as p50/p90/p99 rows.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter().map(|&q| self.quantile(q)).collect()
+    }
+
     /// Maximum vertical distance to another ECDF (two-sample
     /// Kolmogorov–Smirnov statistic) — handy for comparing policies.
     pub fn ks_distance(&self, other: &Ecdf) -> f64 {
@@ -128,6 +135,16 @@ impl Ecdf {
         }
         d
     }
+}
+
+/// Quantiles of a raw time-series value vector: drops non-finite
+/// entries, then evaluates each `q` through an [`Ecdf`]. Returns `None`
+/// when nothing finite remains — the empty-series guard the telemetry
+/// report leans on instead of unwrapping [`Ecdf::new`].
+pub fn series_quantiles(values: &[f64], qs: &[f64]) -> Option<Vec<f64>> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let ecdf = Ecdf::new(finite).ok()?;
+    Some(ecdf.quantiles(qs))
 }
 
 #[cfg(test)]
@@ -143,6 +160,35 @@ mod tests {
         assert!(Ecdf::new(vec![]).is_err());
         assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
         assert!(Ecdf::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn empty_ecdf_reports_a_usable_error() {
+        // The error path is part of the API contract: callers branch on
+        // it (see `series_quantiles`), so the message must say what was
+        // wrong rather than panic downstream.
+        let err = Ecdf::new(vec![]).unwrap_err();
+        assert!(err.contains("at least one sample"), "{err}");
+    }
+
+    #[test]
+    fn batch_quantiles_match_single_calls() {
+        let e = ecdf(&[10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(
+            e.quantiles(&[0.0, 0.5, 0.9, 1.0]),
+            vec![10.0, 30.0, 50.0, 50.0]
+        );
+    }
+
+    #[test]
+    fn series_quantiles_guards_empty_and_non_finite() {
+        assert_eq!(series_quantiles(&[], &[0.5]), None);
+        assert_eq!(series_quantiles(&[f64::NAN, f64::INFINITY], &[0.5]), None);
+        // Non-finite entries are dropped, not propagated.
+        assert_eq!(
+            series_quantiles(&[1.0, f64::NAN, 3.0], &[0.0, 1.0]),
+            Some(vec![1.0, 3.0])
+        );
     }
 
     #[test]

@@ -102,6 +102,20 @@ mod tests {
     use super::*;
 
     #[test]
+    #[should_panic(expected = "at least two edges")]
+    fn zero_bin_axis_is_rejected() {
+        // One edge means zero bins: `add` would index an empty counts
+        // vector, so construction must refuse up front.
+        let _ = Heatmap2D::new(vec![1.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_edges_are_rejected() {
+        let _ = Heatmap2D::new(vec![0.0, 1.0, 1.0], vec![0.0, 1.0]);
+    }
+
+    #[test]
     fn paper_edges_shape() {
         let h = Heatmap2D::new(
             Heatmap2D::paper_size_edges(),

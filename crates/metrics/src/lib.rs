@@ -25,7 +25,7 @@ pub mod summary;
 
 pub use bootstrap::{bootstrap, mean_interval, median_interval, ratio_interval, Interval};
 pub use cost::CostModel;
-pub use ecdf::Ecdf;
+pub use ecdf::{series_quantiles, Ecdf};
 pub use heatmap::Heatmap2D;
 pub use resilience::{ResilienceSample, ResilienceSummary};
 pub use summary::{binned_percentages, FiveNumber};

@@ -90,6 +90,31 @@ cmp /tmp/durable_ref.csv /tmp/durable_res.csv
 ./target/release/dmhpc sweep-status "$M" | grep -q "pending 0"
 rm -f "$M" /tmp/durable_ref.csv /tmp/durable_res.csv /tmp/durable_int.csv /tmp/durable_int.err
 
+echo "== telemetry smoke (off by default, bit-inert, byte-deterministic exports) =="
+# Off by default: a telemetry-flagged sweep must emit the exact CSV of
+# an unflagged one (gauges and the profiler may not touch outcomes).
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv > /tmp/telem_off.csv
+./target/release/dmhpc fault-sweep --scale small --threads 2 --csv --telemetry > /tmp/telem_on.csv
+cmp /tmp/telem_off.csv /tmp/telem_on.csv
+# The report subcommand exports every format; equal seeds must produce
+# byte-identical series (the wall-clock profile never enters them).
+./target/release/dmhpc report --scale small --format prom --out /tmp/telem.prom --quiet
+for family in dmhpc_queue_depth dmhpc_pool_util dmhpc_borrowed_mb dmhpc_oom_kills; do
+    grep -q "$family" /tmp/telem.prom
+done
+./target/release/dmhpc report --scale small --format csv --out /tmp/telem_a.csv --quiet
+./target/release/dmhpc report --scale small --format csv --out /tmp/telem_b.csv --quiet
+cmp /tmp/telem_a.csv /tmp/telem_b.csv
+# Telemetry-flagged durable points journal their phase profile and
+# sweep-status renders the breakdown.
+rm -f /tmp/telem_sweep.jsonl
+./target/release/dmhpc fault-sweep --scale small --fault-profile light --csv \
+    --telemetry --manifest /tmp/telem_sweep.jsonl > /dev/null 2>&1
+./target/release/dmhpc sweep-status /tmp/telem_sweep.jsonl > /tmp/telem_status.txt
+grep -q "phase-time breakdown" /tmp/telem_status.txt
+rm -f /tmp/telem_off.csv /tmp/telem_on.csv /tmp/telem.prom \
+      /tmp/telem_a.csv /tmp/telem_b.csv /tmp/telem_sweep.jsonl /tmp/telem_status.txt
+
 echo "== trace smoke (JSONL parses, sim-time monotone, diff pinpoints) =="
 ./target/release/dmhpc trace-run --scale small --fault-profile heavy --out /tmp/trace_smoke.jsonl
 ./target/release/dmhpc trace-run --check /tmp/trace_smoke.jsonl
