@@ -187,6 +187,7 @@ impl Cluster {
         }
         self.scratch_per_lender = per_lender;
         self.allocs.insert(job, alloc);
+        self.bump_alloc_version(job);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
     }
@@ -233,6 +234,7 @@ impl Cluster {
             }
         }
         self.scratch_lenders = lenders;
+        self.clear_alloc_version(job);
         self.debug_check();
         alloc
     }
@@ -303,6 +305,7 @@ impl Cluster {
         self.scratch_touched = touched_lenders;
         self.total_alloc_mb = mb_sub(self.total_alloc_mb, released);
         self.allocs.insert(job, alloc);
+        self.bump_alloc_version(job);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
         released
@@ -380,6 +383,7 @@ impl Cluster {
                 entry.remote.push((lender, mb));
             }
         }
+        self.bump_alloc_version(job);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
     }

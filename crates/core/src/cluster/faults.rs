@@ -137,6 +137,7 @@ impl Cluster {
             }
         }
         self.allocs.insert(job, alloc);
+        self.bump_alloc_version(job);
         self.refresh_demand(job, bandwidth_gbs);
         self.debug_check();
         lost

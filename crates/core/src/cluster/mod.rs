@@ -99,6 +99,17 @@ pub struct Cluster {
     total_cross_mb: u64,
     /// Cached `sched_index` population for O(1) feasibility checks.
     schedulable_count: usize,
+    /// Monotone clock stamping per-job allocation versions: every
+    /// mutation that touches a job's allocation (start/shrink/grow/
+    /// revoke) advances the clock and stamps the job with it, so a
+    /// stamp observed once can never recur — the dynamic-memory fast
+    /// path compares stamps to prove an allocation unchanged.
+    alloc_clock: u64,
+    /// Per-job allocation version stamps, indexed by job id and grown
+    /// lazily on first bump (0 = not placed). A flat vector rather than
+    /// a map: the fast path reads this on every memory update, and an
+    /// indexed load beats hashing the id.
+    alloc_versions: Vec<u64>,
     /// Reusable buffers for mutation internals (per-lender aggregation,
     /// lender-set snapshots); kept here so the hot path never allocates.
     scratch_per_lender: Vec<(NodeId, u64)>,
@@ -162,6 +173,8 @@ impl Cluster {
             total_remote_mb: 0,
             total_cross_mb: 0,
             schedulable_count: 0,
+            alloc_clock: 0,
+            alloc_versions: Vec::new(),
             scratch_per_lender: Vec::new(),
             scratch_lenders: Vec::new(),
             scratch_touched: Vec::new(),
@@ -345,6 +358,41 @@ impl Cluster {
     /// The allocation of a running job, if any.
     pub fn alloc_of(&self, job: JobId) -> Option<&JobAlloc> {
         self.allocs.get(&job)
+    }
+
+    /// The job's allocation version: a stamp off a cluster-wide
+    /// monotone clock, advanced by every mutation of the job's
+    /// allocation ([`Self::start_job`], [`Self::shrink_job`],
+    /// [`Self::grow_entry`], [`Self::revoke_lender`]) — crash/degrade
+    /// recovery routes through those same mutations. Two equal stamps
+    /// therefore prove the allocation has not changed in between; 0
+    /// means the job is not placed. The dynamic-memory update loop uses
+    /// this to skip the Decider when nothing could have changed.
+    pub fn alloc_version(&self, job: JobId) -> u64 {
+        self.alloc_versions
+            .get(job.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Advance the allocation clock and stamp `job` with the new value.
+    #[inline]
+    pub(super) fn bump_alloc_version(&mut self, job: JobId) {
+        self.alloc_clock += 1;
+        let slot = job.0 as usize;
+        if slot >= self.alloc_versions.len() {
+            self.alloc_versions.resize(slot + 1, 0);
+        }
+        self.alloc_versions[slot] = self.alloc_clock;
+    }
+
+    /// Drop a finished job's version stamp (the clock itself never
+    /// rewinds, so a later restart gets a fresh, never-seen stamp).
+    #[inline]
+    pub(super) fn clear_alloc_version(&mut self, job: JobId) {
+        if let Some(v) = self.alloc_versions.get_mut(job.0 as usize) {
+            *v = 0;
+        }
     }
 
     /// Jobs currently borrowing memory from `lender`.

@@ -2,8 +2,9 @@
 //! borrowing across rack boundaries costs.
 //!
 //! [`TopologySpec`] is the string-parameterized construction API in the
-//! style of [`PolicySpec`](crate::policy::PolicySpec): every shipped
-//! topology is named in one [`registry`](TopologySpec::registry),
+//! style of [`PolicySpec`](crate::policy::PolicySpec) — both speak the
+//! shared [`SpecRegistry`] grammar: every
+//! shipped topology is named in one [`registry`](TopologySpec::registry),
 //! parameterized specs round-trip through strings
 //! (`racks:size=16,cross_cap=0.5`), and [`build`](TopologySpec::build)
 //! resolves a spec into the [`Topology`] a [`Cluster`] carries.
@@ -32,6 +33,7 @@
 //! [`Cluster`]: crate::cluster::Cluster
 
 use crate::error::CoreError;
+use crate::spec::{SpecInfo, SpecRegistry};
 use serde::{Deserialize, Serialize};
 
 /// Price multiplier applied to cross-rack borrowed megabytes when
@@ -42,18 +44,9 @@ use serde::{Deserialize, Serialize};
 /// [`Cluster::priced_remote_fraction`]: crate::cluster::Cluster::priced_remote_fraction
 pub const CROSS_RACK_WEIGHT: f64 = 2.0;
 
-/// A registry row: everything the CLI needs to list a topology.
-#[derive(Clone, Copy, Debug)]
-pub struct TopologyInfo {
-    /// Spec name (the part before `:`).
-    pub name: &'static str,
-    /// Parameter grammar, empty for parameterless topologies.
-    pub params: &'static str,
-    /// The spec string a bare name expands to.
-    pub default_spec: &'static str,
-    /// One-line description.
-    pub description: &'static str,
-}
+/// A registry row: everything the CLI needs to list a topology (the
+/// shared [`SpecInfo`] shape under its historical name).
+pub type TopologyInfo = SpecInfo;
 
 /// A fully-parameterized topology selection: how the cluster's nodes
 /// partition into fabric domains. Parses from and prints to the spec
@@ -89,31 +82,32 @@ const REGISTRY: [TopologyInfo; 2] = [
     },
 ];
 
+impl SpecRegistry for TopologySpec {
+    const KIND: &'static str = "topology";
+    const KIND_PLURAL: &'static str = "topologies";
+
+    fn spec_registry() -> &'static [SpecInfo] {
+        &REGISTRY
+    }
+}
+
 impl TopologySpec {
     /// Every shipped topology: name, parameter grammar, defaults, and a
     /// one-line description. The order is the presentation order used
     /// by sweeps and charts.
     pub fn registry() -> &'static [TopologyInfo] {
-        &REGISTRY
+        Self::spec_registry()
     }
 
     /// One spec per registry entry, each at its default parameters.
     pub fn all_default() -> Vec<TopologySpec> {
-        REGISTRY
-            .iter()
-            .map(|info| {
-                info.default_spec
-                    .parse()
-                    .expect("registry defaults must parse")
-            })
-            .collect()
+        Self::registry_defaults()
     }
 
     /// The comma-separated registry names, for self-documenting parse
     /// errors.
     pub fn known_names() -> String {
-        let names: Vec<&str> = REGISTRY.iter().map(|i| i.name).collect();
-        names.join(", ")
+        Self::registry_names()
     }
 
     /// Spec name (the part before `:`).
@@ -187,63 +181,22 @@ impl TopologySpec {
     /// Returns the first spec's parse error, or an error on an empty
     /// list.
     pub fn parse_list(s: &str) -> Result<Vec<TopologySpec>, CoreError> {
-        let mut groups: Vec<String> = Vec::new();
-        for token in s.split(',') {
-            let token = token.trim();
-            if token.is_empty() {
-                continue;
-            }
-            match groups.last_mut() {
-                Some(prev) if token.contains('=') && !token.contains(':') => {
-                    prev.push(',');
-                    prev.push_str(token);
-                }
-                _ => groups.push(token.to_string()),
-            }
-        }
-        if groups.is_empty() {
-            return Err(CoreError::invalid_config(format!(
-                "empty topology list (known topologies: {})",
-                TopologySpec::known_names()
-            )));
-        }
-        groups.iter().map(|g| g.parse()).collect()
+        Self::parse_spec_list(s)
     }
-}
-
-fn parse_params<'a>(name: &str, params: &'a str) -> Result<Vec<(&'a str, &'a str)>, CoreError> {
-    params
-        .split(',')
-        .map(|kv| {
-            kv.split_once('=').ok_or_else(|| {
-                CoreError::invalid_config(format!(
-                    "topology '{name}': parameter '{kv}' is not key=value"
-                ))
-            })
-        })
-        .collect()
 }
 
 impl std::str::FromStr for TopologySpec {
     type Err = CoreError;
 
     fn from_str(s: &str) -> Result<Self, CoreError> {
-        let (name, params) = match s.split_once(':') {
-            Some((n, p)) => (n.trim(), Some(p.trim())),
-            None => (s.trim(), None),
-        };
+        let (name, params) = Self::split_spec(s);
         match name {
-            "flat" => match params {
-                None => Ok(TopologySpec::Flat),
-                Some(p) => Err(CoreError::invalid_config(format!(
-                    "topology 'flat' takes no parameters, got '{p}'"
-                ))),
-            },
+            "flat" => Self::reject_params(name, params).map(|()| TopologySpec::Flat),
             "racks" => {
                 let mut size = 16u32;
                 let mut cross_cap = 1.0f64;
                 if let Some(p) = params {
-                    for (k, v) in parse_params(name, p)? {
+                    for (k, v) in Self::split_params(name, p)? {
                         match k {
                             "size" => {
                                 size = v.parse().map_err(|_| {
@@ -272,10 +225,7 @@ impl std::str::FromStr for TopologySpec {
                 spec.validate()?;
                 Ok(spec)
             }
-            other => Err(CoreError::invalid_config(format!(
-                "unknown topology '{other}' (known topologies: {})",
-                TopologySpec::known_names()
-            ))),
+            other => Err(Self::unknown_name(other)),
         }
     }
 }

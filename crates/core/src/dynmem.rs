@@ -68,6 +68,26 @@ impl Monitor {
     ) -> u64 {
         usage.max_in(progress, self.horizon(progress, speed, base_runtime_s))
     }
+
+    /// [`Self::sample_demand`] resuming from a per-job trace cursor
+    /// ([`MemoryUsageTrace::max_in_from`]): progress only moves forward
+    /// between restarts, so the sample is O(1) amortized instead of a
+    /// full-trace scan per update. Returns the same value as
+    /// [`Self::sample_demand`] for any cursor state.
+    pub fn sample_demand_at(
+        &self,
+        usage: &MemoryUsageTrace,
+        progress: f64,
+        speed: f64,
+        base_runtime_s: f64,
+        cursor: &mut usize,
+    ) -> u64 {
+        usage.max_in_from(
+            progress,
+            self.horizon(progress, speed, base_runtime_s),
+            cursor,
+        )
+    }
 }
 
 /// What the Actuator must do to one job after a usage update.
@@ -145,6 +165,22 @@ mod tests {
         // Window [0.6, 0.7] sits inside the 200 MB tail.
         let d = m.sample_demand(&usage, 0.6, 1.0, 3000.0);
         assert_eq!(d, 200);
+    }
+
+    #[test]
+    fn sample_demand_at_matches_sample_demand() {
+        let m = Monitor::new(300.0).unwrap();
+        let usage =
+            MemoryUsageTrace::new(vec![(0.0, 100), (0.25, 800), (0.5, 200), (0.8, 600)]).unwrap();
+        let mut cur = 0usize;
+        for i in 0..=40 {
+            let p = i as f64 / 40.0;
+            assert_eq!(
+                m.sample_demand_at(&usage, p, 0.9, 3000.0, &mut cur),
+                m.sample_demand(&usage, p, 0.9, 3000.0),
+                "p={p}"
+            );
+        }
     }
 
     #[test]

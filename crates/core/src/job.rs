@@ -111,6 +111,47 @@ impl MemoryUsageTrace {
         max
     }
 
+    /// [`Self::usage_at`] with a resumable cursor: `cursor` is the index
+    /// of the segment active at the previous query, and the scan resumes
+    /// there instead of binary-searching the whole trace. Per-job
+    /// progress only moves forward between restarts, so across a job's
+    /// life the cursor walks each trace point once — O(1) amortized
+    /// per call. A backwards query (job restarted with checkpoint
+    /// credit) rewinds the cursor linearly; result is identical to
+    /// [`Self::usage_at`] either way.
+    pub fn usage_at_from(&self, progress: f64, cursor: &mut usize) -> u64 {
+        let p = progress.clamp(0.0, 1.0);
+        let mut i = (*cursor).min(self.points.len() - 1);
+        // Rewind if the caller moved backwards (restart rewound progress).
+        while i > 0 && self.points[i].0 > p {
+            i -= 1;
+        }
+        // Advance to the last point with progress <= p.
+        while i + 1 < self.points.len() && self.points[i + 1].0 <= p {
+            i += 1;
+        }
+        *cursor = i;
+        self.points[i].1
+    }
+
+    /// [`Self::max_in`] with a resumable cursor (see
+    /// [`Self::usage_at_from`]): the cursor advances to `from`, and the
+    /// window scan reads only the points inside `(from, to]`, which sit
+    /// immediately after it — no full-trace rescan per Monitor sample.
+    pub fn max_in_from(&self, from: f64, to: f64, cursor: &mut usize) -> u64 {
+        let (from, to) = (from.clamp(0.0, 1.0), to.clamp(0.0, 1.0));
+        let (from, to) = if from <= to { (from, to) } else { (to, from) };
+        let mut max = self.usage_at_from(from, cursor);
+        // The cursor is the last point at or before `from`; every later
+        // point has progress > from, so scan forward while <= to.
+        let mut i = *cursor + 1;
+        while i < self.points.len() && self.points[i].0 <= to {
+            max = max.max(self.points[i].1);
+            i += 1;
+        }
+        max
+    }
+
     /// Peak memory over the whole job.
     pub fn peak(&self) -> u64 {
         self.points.iter().map(|&(_, m)| m).max().unwrap_or(0)
@@ -228,6 +269,69 @@ mod tests {
     fn max_in_swapped_bounds() {
         let t = trace();
         assert_eq!(t.max_in(1.0, 0.0), 800);
+    }
+
+    #[test]
+    fn cursor_twins_match_full_scans_on_monotone_and_rewound_queries() {
+        let t = trace();
+        // Forward walk: the cursor variants must agree with the
+        // full-scan originals at every step.
+        let mut cur = 0usize;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            assert_eq!(t.usage_at_from(p, &mut cur), t.usage_at(p), "p={p}");
+        }
+        // Rewind (job restart): the cursor walks back and still agrees.
+        assert_eq!(t.usage_at_from(0.1, &mut cur), t.usage_at(0.1));
+        assert_eq!(cur, 0);
+        // Windowed max over a forward walk, including swapped bounds.
+        let mut cur = 0usize;
+        for i in 0..=50 {
+            let from = i as f64 / 50.0 * 0.9;
+            let to = from + 0.15;
+            assert_eq!(t.max_in_from(from, to, &mut cur), t.max_in(from, to));
+        }
+        let mut cur = 3usize;
+        assert_eq!(t.max_in_from(1.0, 0.0, &mut cur), t.max_in(1.0, 0.0));
+    }
+
+    #[test]
+    fn cursor_twins_randomized_equivalence() {
+        // Deterministic LCG over random traces and monotone query
+        // sequences with occasional rewinds — the `first_exceed_at`
+        // style equivalence sweep for the cursor twins.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        for _ in 0..200 {
+            let n = 1 + (next() % 9) as usize;
+            let mut pts = vec![(0.0, 64 + next() % 4096)];
+            let mut p = 0.0;
+            for _ in 1..n {
+                p += 0.01 + (next() % 100) as f64 / 500.0;
+                if p > 1.0 {
+                    break;
+                }
+                pts.push((p, 64 + next() % 4096));
+            }
+            let t = MemoryUsageTrace::new(pts).unwrap();
+            let mut cur = 0usize;
+            let mut q = 0.0f64;
+            for _ in 0..40 {
+                if next() % 8 == 0 {
+                    q = (q - 0.3).max(0.0); // restart-style rewind
+                } else {
+                    q = (q + (next() % 100) as f64 / 1000.0).min(1.0);
+                }
+                let horizon = q + (next() % 200) as f64 / 1000.0;
+                assert_eq!(t.usage_at_from(q, &mut cur), t.usage_at(q));
+                assert_eq!(t.max_in_from(q, horizon, &mut cur), t.max_in(q, horizon));
+            }
+        }
     }
 
     #[test]

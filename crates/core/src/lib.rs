@@ -19,6 +19,9 @@
 //! * [`config`] — the simulated system configurations of Table 4;
 //! * [`faults`] — seeded deterministic fault injection (node crashes,
 //!   pool-blade degradation, Monitor sample loss, Actuator failures);
+//! * [`spec`] — the shared [`spec::SpecRegistry`] grammar behind the
+//!   policy and topology registries (`name:key=value` parsing, list
+//!   continuation, uniform error vocabulary);
 //! * [`trace`] — structured per-run event tracing behind the
 //!   [`trace::TraceSink`] trait (zero-cost when disabled);
 //! * [`telemetry`] — sim-time gauge sampling into a fixed-capacity
@@ -68,6 +71,7 @@ pub mod job;
 pub mod policy;
 pub mod sched;
 pub mod sim;
+pub mod spec;
 pub mod telemetry;
 pub mod trace;
 
@@ -78,7 +82,8 @@ pub use error::CoreError;
 pub use faults::{FaultConfig, FaultEvent, FaultSchedule};
 pub use job::{Job, JobId, MemoryUsageTrace};
 pub use policy::{PolicyInfo, PolicyKind, PolicySpec};
-pub use sim::{JobOutcome, JobRecord, Simulation, SimulationOutcome, Stats, Workload};
+pub use sim::{JobOutcome, JobRecord, SimBuilder, Simulation, SimulationOutcome, Stats, Workload};
+pub use spec::{SpecInfo, SpecRegistry};
 pub use telemetry::{Phase, Profile, Sample, Telemetry, TelemetryCollector, TelemetrySpec};
 pub use trace::{
     CountingSink, FanoutSink, JsonlSink, NullSink, RingSink, RunMetrics, TraceEvent, TraceKind,

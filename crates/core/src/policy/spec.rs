@@ -19,7 +19,9 @@
 //! Bare names take each parameter's default. Lists of specs (the CLI's
 //! `--policies`) are comma-separated; a comma followed by a `key=value`
 //! token without a `:` continues the previous spec's parameter list,
-//! so both separators coexist unambiguously.
+//! so both separators coexist unambiguously. The grammar, the list
+//! continuation, and the error vocabulary all come from the shared
+//! [`SpecRegistry`] trait.
 //!
 //! [`Simulation::from_policy`]: crate::sim::Simulation::from_policy
 
@@ -29,19 +31,11 @@ use crate::policy::overcommit::Overcommit;
 use crate::policy::predictive::Predictive;
 use crate::policy::PolicyKind;
 use crate::sim::hooks::{Baseline, DynamicAlloc, MemoryPolicy, StaticAlloc};
+use crate::spec::{SpecInfo, SpecRegistry};
 
-/// A registry row: everything the CLI needs to list a policy.
-#[derive(Clone, Copy, Debug)]
-pub struct PolicyInfo {
-    /// Spec name (the part before `:`).
-    pub name: &'static str,
-    /// Parameter grammar, empty for parameterless policies.
-    pub params: &'static str,
-    /// The spec string a bare name expands to.
-    pub default_spec: &'static str,
-    /// One-line description.
-    pub description: &'static str,
-}
+/// A registry row: everything the CLI needs to list a policy (the
+/// shared [`SpecInfo`] shape under its historical name).
+pub type PolicyInfo = SpecInfo;
 
 /// A fully-parameterized policy selection: which allocation scheme a
 /// simulation runs, plus its parameters. Parses from and prints to the
@@ -115,32 +109,33 @@ const REGISTRY: [PolicyInfo; 6] = [
     },
 ];
 
+impl SpecRegistry for PolicySpec {
+    const KIND: &'static str = "policy";
+    const KIND_PLURAL: &'static str = "policies";
+
+    fn spec_registry() -> &'static [SpecInfo] {
+        &REGISTRY
+    }
+}
+
 impl PolicySpec {
     /// Every shipped policy: name, parameter grammar, defaults, and a
     /// one-line description. The order is the presentation order used
     /// by sweeps and charts.
     pub fn registry() -> &'static [PolicyInfo] {
-        &REGISTRY
+        Self::spec_registry()
     }
 
     /// One spec per registry entry, each at its default parameters —
     /// the six-column sweep the experiments iterate.
     pub fn all_default() -> Vec<PolicySpec> {
-        REGISTRY
-            .iter()
-            .map(|info| {
-                info.default_spec
-                    .parse()
-                    .expect("registry defaults must parse")
-            })
-            .collect()
+        Self::registry_defaults()
     }
 
     /// The comma-separated registry names, for self-documenting parse
     /// errors.
     pub fn known_names() -> String {
-        let names: Vec<&str> = REGISTRY.iter().map(|i| i.name).collect();
-        names.join(", ")
+        Self::registry_names()
     }
 
     /// Spec name (the part before `:`).
@@ -197,50 +192,7 @@ impl PolicySpec {
     /// Returns the first spec's parse error, or an error on an empty
     /// list.
     pub fn parse_list(s: &str) -> Result<Vec<PolicySpec>, CoreError> {
-        let mut groups: Vec<String> = Vec::new();
-        for token in s.split(',') {
-            let token = token.trim();
-            if token.is_empty() {
-                continue;
-            }
-            match groups.last_mut() {
-                Some(prev) if token.contains('=') && !token.contains(':') => {
-                    prev.push(',');
-                    prev.push_str(token);
-                }
-                _ => groups.push(token.to_string()),
-            }
-        }
-        if groups.is_empty() {
-            return Err(CoreError::invalid_config(format!(
-                "empty policy list (known policies: {})",
-                PolicySpec::known_names()
-            )));
-        }
-        groups.iter().map(|g| g.parse()).collect()
-    }
-}
-
-fn parse_params<'a>(name: &str, params: &'a str) -> Result<Vec<(&'a str, &'a str)>, CoreError> {
-    params
-        .split(',')
-        .map(|kv| {
-            kv.split_once('=').ok_or_else(|| {
-                CoreError::invalid_config(format!(
-                    "policy '{name}': parameter '{kv}' is not key=value"
-                ))
-            })
-        })
-        .collect()
-}
-
-/// Reject parameters on a parameterless policy.
-fn no_params(name: &str, params: Option<&str>) -> Result<(), CoreError> {
-    match params {
-        None => Ok(()),
-        Some(p) => Err(CoreError::invalid_config(format!(
-            "policy '{name}' takes no parameters, got '{p}'"
-        ))),
+        Self::parse_spec_list(s)
     }
 }
 
@@ -248,18 +200,15 @@ impl std::str::FromStr for PolicySpec {
     type Err = CoreError;
 
     fn from_str(s: &str) -> Result<Self, CoreError> {
-        let (name, params) = match s.split_once(':') {
-            Some((n, p)) => (n.trim(), Some(p.trim())),
-            None => (s.trim(), None),
-        };
+        let (name, params) = Self::split_spec(s);
         match name {
-            "baseline" => no_params(name, params).map(|()| PolicySpec::Baseline),
-            "static" => no_params(name, params).map(|()| PolicySpec::Static),
-            "dynamic" => no_params(name, params).map(|()| PolicySpec::Dynamic),
+            "baseline" => Self::reject_params(name, params).map(|()| PolicySpec::Baseline),
+            "static" => Self::reject_params(name, params).map(|()| PolicySpec::Static),
+            "dynamic" => Self::reject_params(name, params).map(|()| PolicySpec::Dynamic),
             "predictive" => {
                 let mut history = true;
                 if let Some(p) = params {
-                    for (k, v) in parse_params(name, p)? {
+                    for (k, v) in Self::split_params(name, p)? {
                         match (k, v) {
                             ("history", "on" | "true") => history = true,
                             ("history", "off" | "false") => history = false,
@@ -281,7 +230,7 @@ impl std::str::FromStr for PolicySpec {
             "overcommit" => {
                 let mut factor = 0.8f64;
                 if let Some(p) = params {
-                    for (k, v) in parse_params(name, p)? {
+                    for (k, v) in Self::split_params(name, p)? {
                         match k {
                             "factor" => {
                                 factor = v.parse().map_err(|_| {
@@ -308,7 +257,7 @@ impl std::str::FromStr for PolicySpec {
             "conservative" => {
                 let mut quantum_mb = 4096u64;
                 if let Some(p) = params {
-                    for (k, v) in parse_params(name, p)? {
+                    for (k, v) in Self::split_params(name, p)? {
                         match k {
                             "quantum" => {
                                 quantum_mb = v.parse().map_err(|_| {
@@ -332,10 +281,7 @@ impl std::str::FromStr for PolicySpec {
                 }
                 Ok(PolicySpec::Conservative { quantum_mb })
             }
-            other => Err(CoreError::invalid_config(format!(
-                "unknown policy '{other}' (known policies: {})",
-                PolicySpec::known_names()
-            ))),
+            other => Err(Self::unknown_name(other)),
         }
     }
 }

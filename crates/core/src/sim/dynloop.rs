@@ -30,6 +30,32 @@ impl Runner {
         Some(((p_exceed - p_now).max(0.0) * job.base_runtime_s) / s.speed)
     }
 
+    /// [`Self::time_to_exceed`] resuming from an already-positioned
+    /// trace cursor (the last point at or before the job's progress):
+    /// the first candidate at or past `p_now` is the cursor itself or
+    /// its successor, so the probe skips the binary search entirely.
+    fn time_to_exceed_from(&self, jid: JobId, cursor: usize) -> Option<f64> {
+        let job = self.job(jid);
+        let s = &self.st[jid.0 as usize];
+        let p_now = s.work_done_s / job.base_runtime_s;
+        let points = job.usage.points();
+        let start = if points[cursor].0 >= p_now {
+            cursor
+        } else {
+            cursor + 1
+        };
+        debug_assert_eq!(
+            start,
+            points.partition_point(|&(p, _)| p < p_now),
+            "cursor start must match the binary-search start"
+        );
+        let p_exceed = points[start.min(points.len())..]
+            .iter()
+            .find(|&&(_, m)| m > job.mem_request_mb)
+            .map(|&(p, _)| p)?;
+        Some(((p_exceed - p_now).max(0.0) * job.base_runtime_s) / s.speed)
+    }
+
     pub(crate) fn on_mem_update(&mut self, jid: JobId, epoch: u32) {
         {
             let s = &self.st[jid.0 as usize];
@@ -39,7 +65,14 @@ impl Runner {
             }
         }
         let span = self.phase_start();
-        let management = self.job_management(jid);
+        // The management mode is fixed for the whole attempt (resolved
+        // at placement from inputs that only change across restarts);
+        // the reference twin re-asks the policy hook every update.
+        let management = if self.reference_dynloop {
+            self.job_management(jid)
+        } else {
+            self.st[jid.0 as usize].management
+        };
         if management == MemManagement::Managed {
             // Fault injection: the Monitor sample may be lost, in which
             // case the Decider acts on the last-known demand (i.e. the
@@ -67,9 +100,18 @@ impl Runner {
         let job = self.job(jid);
         let s = &self.st[jid.0 as usize];
         let progress = (s.work_done_s / job.base_runtime_s).min(1.0);
-        if job.usage.usage_at(progress) > job.mem_request_mb {
+        let mut cursor = s.trace_cursor;
+        let (usage, next) = if self.reference_dynloop {
+            (job.usage.usage_at(progress), self.time_to_exceed(jid))
+        } else {
+            let usage = job.usage.usage_at_from(progress, &mut cursor);
+            (usage, self.time_to_exceed_from(jid, cursor))
+        };
+        let request = job.mem_request_mb;
+        self.st[jid.0 as usize].trace_cursor = cursor;
+        if usage > request {
             self.kill_job(jid, FailReason::ExceededRequest);
-        } else if let Some(t) = self.time_to_exceed(jid) {
+        } else if let Some(t) = next {
             // Re-arm for the next exceed point still ahead of the job.
             let epoch = self.st[jid.0 as usize].life_epoch;
             self.queue.push(
@@ -87,10 +129,91 @@ impl Runner {
         let base = job.base_runtime_s;
         let s = &self.st[jid.0 as usize];
         let progress = (s.work_done_s / base).min(1.0);
-        // Monitor: demand for the period until the next nominal update.
-        let demand = self
-            .monitor
-            .sample_demand(&job.usage, progress, s.speed, base);
+        let speed = s.speed;
+        // Monitor: demand for the period until the next nominal update,
+        // resumed from the per-job trace cursor (full-scan twin behind
+        // the reference flag). When the previous window sat inside one
+        // flat trace segment and this horizon is still short of the
+        // segment's end, the demand *is* the cached segment value —
+        // progress is monotone within a life, so the new window
+        // [progress, horizon] ⊂ [segment start, seg_end) — and the
+        // trace is not touched at all.
+        let mut cursor = s.trace_cursor;
+        let (demand, seg_demand, seg_end);
+        if self.reference_dynloop {
+            demand = self
+                .monitor
+                .sample_demand(&job.usage, progress, speed, base);
+            (seg_demand, seg_end) = (s.seg_demand, s.seg_end);
+        } else {
+            let horizon = self.monitor.horizon(progress, speed, base);
+            if horizon < s.seg_end {
+                demand = s.seg_demand;
+                (seg_demand, seg_end) = (s.seg_demand, s.seg_end);
+            } else {
+                demand = job.usage.max_in_from(progress, horizon, &mut cursor);
+                // max_in_from leaves the cursor on the last point at or
+                // before `progress`; if its successor lies past the
+                // (unclamped) horizon, the window stayed inside the
+                // cursor's segment and the sampled max is that
+                // segment's value — cache it. A window that crossed a
+                // boundary invalidates the cache (seg_end = -inf).
+                let next = job
+                    .usage
+                    .points()
+                    .get(cursor + 1)
+                    .map_or(f64::INFINITY, |&(p, _)| p);
+                (seg_demand, seg_end) = if next > horizon {
+                    (demand, next)
+                } else {
+                    (0, f64::NEG_INFINITY)
+                };
+            }
+        }
+
+        // Hold fast path: every shipped Decider is a deterministic pure
+        // function of (entries, demand) whose post-update allocation it
+        // holds (it grows/shrinks *to* a fixpoint), so if the demand and
+        // the allocation version are unchanged since the last successful
+        // update, the decision is a hold by determinism. (Speed needs no
+        // check of its own: it reaches the Decider only through the
+        // horizon, which the demand sample above already folded in.)
+        // Skip the entry/lender rebuild, the Decider, and the growth
+        // planner, and go straight to re-arm. Rng draw order is
+        // untouched: a hold never draws the Actuator-failure chance
+        // (hold decisions actuate nothing), and the re-arm interval draw
+        // fires exactly as on the slow path, so outcomes are
+        // bit-identical by construction.
+        if !self.reference_dynloop
+            && s.last_demand == demand
+            && s.last_alloc_version == self.cluster.alloc_version(jid)
+        {
+            if self.trace_on {
+                self.emit(TraceKind::MemDecide {
+                    job: jid,
+                    demand_mb: demand,
+                    grow_mb: 0,
+                    shrink_to_mb: 0,
+                });
+            }
+            // Inline epilogue: `last_demand` and `last_alloc_version`
+            // are unchanged by definition of the hold, so only the
+            // cursor/segment cache, the checkpoint, and the re-arm need
+            // touching (and the alloc-version re-read is saved).
+            let s = &mut self.st[jid.0 as usize];
+            s.trace_cursor = cursor;
+            s.seg_demand = seg_demand;
+            s.seg_end = seg_end;
+            s.checkpoint_s = s.work_done_s;
+            s.actuator_attempts = 0;
+            let epoch = s.life_epoch;
+            let dt = self.next_update_interval();
+            self.queue.push(
+                self.now.plus_secs(dt),
+                EventKind::MemUpdate { job: jid, epoch },
+            );
+            return;
+        }
         let bw = self.workload.pool.get(job.profile).bandwidth_gbs;
 
         let alloc = self.cluster.alloc_of(jid).expect("running job has alloc");
@@ -192,9 +315,33 @@ impl Runner {
         self.scratch.lenders = lenders_before;
         self.scratch.entries = entries;
         self.scratch.compute_ids = compute_ids;
-        // Successful update doubles as the checkpoint instant and clears
-        // any Actuator retry streak.
+        self.rearm_after_update(jid, cursor, demand, seg_demand, seg_end);
+    }
+
+    /// Successful-update epilogue of the full Decider path: cache the
+    /// fast-path state `(demand, alloc version)` — the version read
+    /// *after* any grows/shrinks so the stamp covers them — persist the
+    /// Monitor's cursor and segment cache, checkpoint (a successful
+    /// update doubles as the checkpoint instant), clear the Actuator
+    /// retry streak, and re-arm the next update. The hold fast path
+    /// inlines the same epilogue minus the redundant stamp writes; the
+    /// jittered-interval rng draw fires last on both paths, keeping
+    /// draw order identical.
+    fn rearm_after_update(
+        &mut self,
+        jid: JobId,
+        cursor: usize,
+        demand: u64,
+        seg_demand: u64,
+        seg_end: f64,
+    ) {
+        let version = self.cluster.alloc_version(jid);
         let s = &mut self.st[jid.0 as usize];
+        s.trace_cursor = cursor;
+        s.seg_demand = seg_demand;
+        s.seg_end = seg_end;
+        s.last_demand = demand;
+        s.last_alloc_version = version;
         s.checkpoint_s = s.work_done_s;
         s.actuator_attempts = 0;
         let epoch = s.life_epoch;

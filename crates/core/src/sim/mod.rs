@@ -24,8 +24,10 @@
 //!   and conservative-growth extensions live under
 //!   [`crate::policy`]). The runner itself contains no per-policy
 //!   branches.
-//! - [`runner`](self) — [`Simulation`] (configuration + builders) and
-//!   the event loop that dispatches events to the layers below.
+//! - `builder` — [`SimBuilder`], the unified construction surface:
+//!   policy/topology specs, fault config, switches, sinks.
+//! - [`runner`](self) — [`Simulation`] (configuration + legacy shims)
+//!   and the event loop that dispatches events to the layers below.
 //! - `state` — [`Workload`], the per-job lifecycle state machine, and
 //!   the [`JobRecord`]s a run produces.
 //! - `schedule` — FCFS + EASY-backfill passes, job start-up, and the
@@ -50,6 +52,7 @@
 pub mod hooks;
 
 mod bench;
+mod builder;
 mod dynloop;
 mod oom;
 mod recovery;
@@ -62,6 +65,7 @@ mod stats;
 mod tests;
 
 pub use bench::SchedPassBench;
+pub use builder::SimBuilder;
 pub use hooks::{
     Baseline, DynamicAlloc, FaultEscalation, MemManagement, MemoryPolicy, StaticAlloc,
 };

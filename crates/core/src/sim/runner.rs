@@ -16,7 +16,7 @@ use dmhpc_model::rng::Rng64;
 use dmhpc_model::ContentionModel;
 
 use crate::telemetry::{Phase, Profile, Sample, TelemetryCollector, TimeSeries};
-use crate::trace::{NullSink, TraceEvent, TraceKind, TraceSink};
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 use std::sync::Arc;
 
 use super::hooks::{MemManagement, MemoryPolicy};
@@ -32,20 +32,24 @@ const STREAM_SIM_FAULTS: u64 = 0xFA57_0001;
 /// A configured simulation, ready to run.
 #[derive(Clone, Debug)]
 pub struct Simulation {
-    cfg: SystemConfig,
-    workload: Arc<Workload>,
-    policy: Box<dyn MemoryPolicy>,
-    seed: u64,
-    max_restarts: u32,
-    reference_scheduler: bool,
-    fault_schedule: Option<FaultSchedule>,
-    sink: Box<dyn TraceSink>,
-    telemetry: Option<TelemetryCollector>,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) workload: Arc<Workload>,
+    pub(crate) policy: Box<dyn MemoryPolicy>,
+    pub(crate) seed: u64,
+    pub(crate) max_restarts: u32,
+    pub(crate) reference_scheduler: bool,
+    pub(crate) reference_dynloop: bool,
+    pub(crate) fault_schedule: Option<FaultSchedule>,
+    pub(crate) sink: Box<dyn TraceSink>,
+    pub(crate) telemetry: Option<TelemetryCollector>,
 }
 
 impl Simulation {
     /// Create a simulation of `workload` on `cfg` under the policy the
     /// config enum resolves to.
+    ///
+    /// Thin shim over [`super::SimBuilder`], kept for the many existing
+    /// call sites; new code should prefer the builder.
     ///
     /// The workload is taken as `impl Into<Arc<Workload>>`: passing an
     /// owned [`Workload`] moves it into a fresh `Arc`, while passing an
@@ -59,23 +63,16 @@ impl Simulation {
 
     /// Create a simulation driven by an arbitrary [`MemoryPolicy`]
     /// implementation — the runner never needs to know which scheme it
-    /// executes, so custom and test policies plug in here.
+    /// executes, so custom and test policies plug in here. Thin shim
+    /// over [`super::SimBuilder::policy_impl`].
     pub fn from_policy(
         cfg: SystemConfig,
         workload: impl Into<Arc<Workload>>,
         policy: Box<dyn MemoryPolicy>,
     ) -> Self {
-        Self {
-            cfg,
-            workload: workload.into(),
-            policy,
-            seed: 0x5EED,
-            max_restarts: 64,
-            reference_scheduler: false,
-            fault_schedule: None,
-            sink: Box::new(NullSink),
-            telemetry: None,
-        }
+        super::SimBuilder::new(cfg, workload)
+            .policy_impl(policy)
+            .build()
     }
 
     /// Override the seed for the memory-update jitter stream.
@@ -99,10 +96,21 @@ impl Simulation {
         self
     }
 
+    /// Route the dynamic-memory update loop through its pre-fast-path
+    /// reference twin: full-trace Monitor scans instead of the per-job
+    /// cursor, and the Decider on every update instead of the cached
+    /// hold fast path. Outcomes must be bit-identical either way; this
+    /// switch exists so the goldens can prove it and `bench-dynloop`
+    /// can measure the speedup.
+    pub fn with_reference_dynloop(mut self, on: bool) -> Self {
+        self.reference_dynloop = on;
+        self
+    }
+
     /// Attach a [`TraceSink`] that receives every structured
     /// [`TraceEvent`] the run emits. Tracing is observation-only: the
     /// outcome is bit-identical with or without a sink. The default is
-    /// [`NullSink`], whose disabled state the runner caches in one bool
+    /// [`NullSink`](crate::trace::NullSink), whose disabled state the runner caches in one bool
     /// so the scheduling hot path pays a single predictable branch.
     pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
         self.sink = sink;
@@ -158,6 +166,9 @@ pub(crate) struct Runner {
     pub(crate) rng: Rng64,
     pub(crate) scratch: SchedScratch,
     pub(crate) reference_scheduler: bool,
+    /// Run the dynloop's full-scan/always-decide reference twin instead
+    /// of the trace cursor + hold fast path.
+    pub(crate) reference_dynloop: bool,
     pub(crate) monitor: crate::dynmem::Monitor,
     /// Highest peak usage of any *completed* job, per application
     /// class (indexed by `ProfileId`); 0 until a job of the class
@@ -294,6 +305,7 @@ impl Runner {
             running: Vec::new(),
             scratch: SchedScratch::default(),
             reference_scheduler: sim.reference_scheduler,
+            reference_dynloop: sim.reference_dynloop,
             class_peaks,
             now: SimTime::ZERO,
             tick_scheduled: true,

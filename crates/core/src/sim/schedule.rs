@@ -203,6 +203,7 @@ impl Runner {
         s.work_done_s = s.checkpoint_s;
         s.credit_at_start_s = s.checkpoint_s;
         s.speed = 1.0;
+        s.reset_dynloop_cache();
         if s.first_start.is_none() {
             s.first_start = Some(self.now);
         }
@@ -226,8 +227,12 @@ impl Runner {
         self.scratch.lenders = lenders;
         // Managed allocations begin the monitor/update loop. Pinned
         // allocations schedule the exceeded-request kill probe if the
-        // trace will overflow the request.
+        // trace will overflow the request. The answer is cached on the
+        // job state: its inputs (`static_mode`, `sized_mb`) are fixed
+        // until the next (re)start, so every memory update of this
+        // attempt sees the same mode without re-asking the policy.
         let management = self.job_management(jid);
+        self.st[jid.0 as usize].management = management;
         if management == MemManagement::Pinned {
             // Pinned jobs (static/baseline policies, and managed jobs
             // demoted to the static-fallback mitigation) keep their

@@ -1,6 +1,7 @@
 //! Job-lifecycle state: the workload container, the per-job state
 //! machine the runner drives, and the per-job records a run produces.
 
+use super::hooks::MemManagement;
 use crate::engine::SimTime;
 use crate::error::CoreError;
 use crate::job::{Job, JobId};
@@ -116,6 +117,39 @@ pub(crate) struct JobState {
     /// [`size_request`](crate::sim::MemoryPolicy::size_request) answer);
     /// below `mem_request_mb` means the job runs undersized.
     pub(crate) sized_mb: u64,
+    /// Demand the last *successful* memory update provisioned, or
+    /// `u64::MAX` when no update has completed this attempt. Together
+    /// with `last_alloc_version` this is the dynloop hold-fast-path
+    /// cache: an unchanged (demand, alloc version) pair proves the
+    /// Decider would hold, so the update re-arms without rebuilding
+    /// entries or running the Decider. Speed needs no stamp of its own —
+    /// it enters the decision only through the Monitor's horizon, which
+    /// is resampled into `demand` on every update.
+    pub(crate) last_demand: u64,
+    /// [`crate::cluster::Cluster::alloc_version`] stamp observed when
+    /// `last_demand` was cached.
+    pub(crate) last_alloc_version: u64,
+    /// Resumable usage-trace cursor (segment index of the last sampled
+    /// progress); reset on every (re)start since restarts rewind
+    /// progress to the checkpoint.
+    pub(crate) trace_cursor: usize,
+    /// Monitor segment cache: when the last sampled window sat entirely
+    /// inside one flat trace segment, the segment's value; demand stays
+    /// exactly this while the horizon remains below `seg_end`, so the
+    /// Monitor skips the trace walk. Invalidated (`seg_end = -inf`)
+    /// whenever the window crossed a segment boundary.
+    pub(crate) seg_demand: u64,
+    /// Progress of the first trace point past the cached segment
+    /// (`f64::INFINITY` when the cursor sits on the last point).
+    pub(crate) seg_end: f64,
+    /// Management mode resolved at placement. `static_mode` and
+    /// `sized_mb` are fixed for the whole attempt and
+    /// [`MemoryPolicy::management_for`] is pure, so the answer cannot
+    /// change between updates; the reference twin re-asks the policy
+    /// every update (the per-update hook contract).
+    ///
+    /// [`MemoryPolicy::management_for`]: crate::sim::MemoryPolicy::management_for
+    pub(crate) management: MemManagement,
 }
 
 impl JobState {
@@ -138,7 +172,25 @@ impl JobState {
             fault_killed: false,
             actuator_attempts: 0,
             sized_mb: 0,
+            last_demand: u64::MAX,
+            last_alloc_version: 0,
+            trace_cursor: 0,
+            seg_demand: 0,
+            seg_end: f64::NEG_INFINITY,
+            management: MemManagement::Pinned,
         }
+    }
+
+    /// Invalidate the dynloop fast-path cache and rewind the trace
+    /// cursor. Called at every (re)start of the job: a restart rewinds
+    /// progress to the checkpoint, and the fresh placement has a fresh
+    /// allocation version anyway.
+    pub(crate) fn reset_dynloop_cache(&mut self) {
+        self.last_demand = u64::MAX;
+        self.last_alloc_version = 0;
+        self.trace_cursor = 0;
+        self.seg_demand = 0;
+        self.seg_end = f64::NEG_INFINITY;
     }
 }
 

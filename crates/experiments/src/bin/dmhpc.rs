@@ -16,8 +16,8 @@ use dmhpc_core::cluster::TopologySpec;
 use dmhpc_core::policy::PolicySpec;
 use dmhpc_core::telemetry::{Profile, TelemetryCollector, TelemetrySpec};
 use dmhpc_experiments::cli::{
-    durable_from_opts, opt_parse, parse_args_from, policies_from_opts, progress_mode_from_opts,
-    telemetry_from_opts, topologies_from_opts, usage, Args, OptMap,
+    opt_parse, parse_args_from, progress_mode_from_opts, telemetry_from_opts, usage, Args,
+    CommonRunOpts, OptMap,
 };
 use dmhpc_experiments::durable::{DurableError, PointStatus, ResumeState, EXIT_INTERRUPTED};
 use dmhpc_experiments::exp;
@@ -220,18 +220,16 @@ fn cmd_chart(scale: Scale, threads: usize, opts: &OptMap) -> Result<(), Failure>
     } else {
         vec![0.0, over]
     };
-    let policies = policies_from_opts(opts)?;
-    let topologies = topologies_from_opts(opts)?;
-    let durable = durable_from_opts(opts)?;
+    let common = CommonRunOpts::from_opts(opts)?;
     let sweep = ThroughputSweep::run_durable(
         "chart",
         scale,
         &[trace],
         &overs,
         threads,
-        &policies,
-        &topologies,
-        &durable,
+        &common.policies,
+        &common.topologies,
+        &common.durable,
     )?;
     print!("{}", sweep_panel(&sweep, &trace.label(), over, width));
     Ok(())
@@ -438,19 +436,10 @@ fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
     } else {
         HugeLegConfig::full()
     };
+    let common = CommonRunOpts::from_opts(opts)?;
     cfg.samples = opt_parse(opts, "samples", cfg.samples)?;
-    cfg.telemetry = telemetry_from_opts(opts)?;
-    let topologies = topologies_from_opts(opts)?;
-    match topologies.as_slice() {
-        [topo] => cfg.topology = *topo,
-        _ => {
-            return Err(
-                "bench-huge runs one topology per invocation; pass a single --topology spec"
-                    .to_string()
-                    .into(),
-            )
-        }
-    }
+    cfg.telemetry = common.telemetry;
+    cfg.topology = common.single_topology("bench-huge")?;
     const ACCEPT_SPEEDUP: f64 = 2.0;
 
     let label = if smoke { "smoke" } else { "full" };
@@ -462,8 +451,7 @@ fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
         cfg.policies.len(),
         cfg.topology
     );
-    let durable = durable_from_opts(opts)?;
-    let report = bench_huge::run_durable(cfg, threads, &durable)?;
+    let report = bench_huge::run_durable(cfg, threads, &common.durable)?;
     let cfg = &report.cfg;
     println!(
         "  build: {:.2}s ({} jobs, {} usage points)",
@@ -581,6 +569,135 @@ fn cmd_bench_huge(threads: usize, opts: &OptMap) -> Result<(), Failure> {
             "workload provisioning speedup {speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar"
         )
         .into())
+    }
+}
+
+/// Time the dynamic-memory update loop on the hold fast path + trace
+/// cursor against the retained full-scan/always-decide reference twin
+/// (`SimBuilder::reference_dynloop`), one pair per policy on the stress
+/// scenario, assert every pair bit-identical, and gate the
+/// dynloop-phase speedup into the `dynloop_fast_path` section of
+/// `BENCH_sched.json` — next to the `schedule_pass` gate it mirrors,
+/// preserving that section. `--points-out` writes the deterministic
+/// per-policy outcome values as CSV so `scripts/verify.sh` can diff a
+/// threads-1 run against a threads-4 run byte for byte.
+fn cmd_bench_dynloop(threads: usize, opts: &OptMap) -> Result<(), Failure> {
+    use dmhpc_experiments::bench_dynloop::{self, DynloopLegConfig};
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let smoke = opts.contains_key("smoke");
+    let mut cfg = if smoke {
+        DynloopLegConfig::smoke()
+    } else {
+        DynloopLegConfig::full()
+    };
+    let common = CommonRunOpts::from_opts(opts)?;
+    cfg.policies = common.policies.clone();
+    cfg.topology = common.single_topology("bench-dynloop")?;
+    cfg.reps = opt_parse(opts, "reps", cfg.reps)?;
+    if let Some(p) = opts.get("fault-profile") {
+        cfg.fault_profile = p.clone();
+    }
+    const ACCEPT_SPEEDUP: f64 = bench_dynloop::ACCEPT_SPEEDUP;
+
+    let label = if smoke { "smoke" } else { "full" };
+    println!(
+        "bench-dynloop ({label}): scale {}, {} policies, fault profile {}, topology {}, {} reps",
+        cfg.scale.label(),
+        cfg.policies.len(),
+        cfg.fault_profile,
+        cfg.topology,
+        cfg.reps
+    );
+    let report = bench_dynloop::run(cfg, threads).map_err(|e| format!("bench-dynloop: {e}"))?;
+    let cfg = &report.cfg;
+    let mut rows = String::new();
+    for (i, r) in report.rows.iter().enumerate() {
+        println!(
+            "  {:<26} fast {:>12} ns   reference {:>12} ns   speedup {:>6.2}x   {} updates   identical {}",
+            r.policy.to_string(),
+            r.fast_ns,
+            r.reference_ns,
+            r.speedup(),
+            r.updates,
+            r.identical
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "      {{\"policy\": \"{}\", \"fast_ns\": {}, \"reference_ns\": {}, \"speedup\": {:.3}, \"updates\": {}, \"identical\": {}}}",
+            r.policy, r.fast_ns, r.reference_ns, r.speedup(), r.updates, r.identical
+        ));
+    }
+    let gate = report.gate_row();
+    println!("  phase profile, reference twin ({} policy):", gate.policy);
+    print!("{}", report::phase_table(&gate.reference_profile).render());
+    println!("  phase profile, fast path:");
+    print!("{}", report::phase_table(&gate.fast_profile).render());
+    let speedup = gate.speedup();
+    let identical = report.all_identical();
+    let pass = speedup >= ACCEPT_SPEEDUP && identical;
+    let section = format!(
+        "{{\n    \"mode\": \"{label}\",\n    \"scale\": \"{}\",\n    \"jobs\": {},\n    \"fault_profile\": \"{}\",\n    \"topology\": \"{}\",\n    \"reps\": {},\n    \"rows\": [\n{rows}\n    ],\n    \"acceptance\": {{\"policy\": \"{}\", \"metric\": \"dynloop_phase_ns\", \"required_speedup\": {ACCEPT_SPEEDUP}, \"measured_speedup\": {speedup:.3}, \"identical\": {identical}, \"pass\": {pass}}}\n  }}",
+        cfg.scale.label(),
+        report.workload_jobs,
+        cfg.fault_profile,
+        cfg.topology,
+        cfg.reps,
+        gate.policy,
+    );
+    let existing = std::fs::read_to_string(&out).ok();
+    let json = bench_dynloop::splice_section(existing.as_deref(), "dynloop_fast_path", &section);
+    std::fs::write(&out, json).map_err(|e| format!("write {out}: {e}"))?;
+    if let Some(points_out) = opts.get("points-out") {
+        let mut t = TextTable::new(vec![
+            "policy",
+            "topology",
+            "fault_profile",
+            "completed",
+            "oom_kills",
+            "throughput_jps",
+            "identical",
+        ]);
+        for r in &report.rows {
+            t.row(vec![
+                r.policy.to_string(),
+                cfg.topology.to_string(),
+                cfg.fault_profile.clone(),
+                r.completed.to_string(),
+                r.oom_kills.to_string(),
+                format!("{:.9}", r.throughput_jps),
+                r.identical.to_string(),
+            ]);
+        }
+        std::fs::write(points_out, t.to_csv()).map_err(|e| format!("write {points_out}: {e}"))?;
+    }
+    println!(
+        "acceptance (dynloop phase, {} policy): {speedup:.2}x (>= {ACCEPT_SPEEDUP}x required), identical {identical} -> {}",
+        gate.policy,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!("wrote {out}");
+    if !identical {
+        // A divergence is a correctness bug; it fails the run whether or
+        // not the timing gate is enforced.
+        Err("fast-path outcome diverged from the reference twin"
+            .to_string()
+            .into())
+    } else if pass || opts.contains_key("no-gate") {
+        // `--no-gate` drops the timing bar from the exit status: the
+        // verify.sh threads-4 leg exists to cross-check determinism (the
+        // points CSV), and wall-clock ratios are not trustworthy after a
+        // multi-threaded sweep on a small machine.
+        Ok(())
+    } else {
+        Err(
+            format!("dynloop speedup {speedup:.2}x below the {ACCEPT_SPEEDUP}x acceptance bar")
+                .into(),
+        )
     }
 }
 
@@ -927,19 +1044,17 @@ fn cmd_trace_run(scale: Scale, opts: &OptMap) -> Result<(), String> {
 fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Result<(), Failure> {
     let seed: u64 = opt_parse(opts, "fault-seed", exp::faults::FAULT_SEED)?;
     let profile = opts.get("fault-profile").map(String::as_str);
-    let policies = policies_from_opts(opts)?;
-    let topologies = topologies_from_opts(opts)?;
-    let durable = durable_from_opts(opts)?;
-    let telemetry = telemetry_from_opts(opts)?;
+    let common = CommonRunOpts::from_opts(opts)?;
+    let telemetry_on = common.telemetry.is_some();
     let sweep = exp::faults::run_opts_durable(
         scale,
         threads,
         seed,
         profile,
-        &policies,
-        &topologies,
-        &durable,
-        telemetry,
+        &common.policies,
+        &common.topologies,
+        &common.durable,
+        common.telemetry,
     )?;
     emit(
         "Fault sweep: resilience under injected faults (stress scenario, C/R)",
@@ -959,7 +1074,7 @@ fn cmd_fault_sweep(scale: Scale, threads: usize, csv: bool, opts: &OptMap) -> Re
     }
     // Wall-clock values stay off stdout: the CSV/table above is byte-
     // compared across thread counts, the profile is not deterministic.
-    if telemetry.is_some() {
+    if telemetry_on {
         eprintln!("wall-clock phase profile (all points merged, oom nests in dynloop/recovery):");
         eprint!("{}", report::phase_table(&sweep.profile_total()).render());
     }
@@ -1031,12 +1146,13 @@ fn run_command(
             }
         }
         "fig5" => {
+            let common = CommonRunOpts::from_opts(opts)?;
             let f = exp::fig5::run_durable(
                 scale,
                 threads,
-                &policies_from_opts(opts)?,
-                &topologies_from_opts(opts)?,
-                &durable_from_opts(opts)?,
+                &common.policies,
+                &common.topologies,
+                &common.durable,
             )?;
             emit("Figure 5: normalized throughput", &f.table(), csv);
             if !csv {
@@ -1071,12 +1187,13 @@ fn run_command(
             }
         }
         "fig8" => {
+            let common = CommonRunOpts::from_opts(opts)?;
             let f = exp::fig8::run_durable(
                 scale,
                 threads,
-                &policies_from_opts(opts)?,
-                &topologies_from_opts(opts)?,
-                &durable_from_opts(opts)?,
+                &common.policies,
+                &common.topologies,
+                &common.durable,
             )?;
             emit("Figure 8: throughput vs overestimation", &f.table(), csv);
             if !csv {
@@ -1116,7 +1233,11 @@ fn run_command(
                 run_command(c, scale, threads, csv, opts)?;
             }
             // Figures 8 and 9 share one sweep; run it once.
-            let f8 = exp::fig8::run_with_policies(scale, threads, &policies_from_opts(opts)?);
+            let f8 = exp::fig8::run_with_policies(
+                scale,
+                threads,
+                &CommonRunOpts::from_opts(opts)?.policies,
+            );
             emit("Figure 8: throughput vs overestimation", &f8.table(), csv);
             let f9 = exp::fig9::derive(&f8, "large 50%");
             emit("Figure 9: min memory for 95% throughput", &f9.table(), csv);
@@ -1154,6 +1275,7 @@ fn main() {
         "simulate" => cmd_simulate(args.scale, &args.opts).map_err(Failure::Run),
         "bench-sched" => cmd_bench_sched(&args.opts).map_err(Failure::Run),
         "bench-huge" => cmd_bench_huge(args.threads, &args.opts),
+        "bench-dynloop" => cmd_bench_dynloop(args.threads, &args.opts),
         "chart" => cmd_chart(args.scale, args.threads, &args.opts),
         "sweep-status" => cmd_sweep_status(&args.opts).map_err(Failure::Run),
         "report" => cmd_report(args.scale, &args.opts).map_err(Failure::Run),

@@ -17,5 +17,5 @@ pub mod opts;
 pub use args::{parse_args_from, usage, Args};
 pub use opts::{
     durable_from_opts, opt_parse, policies_from_opts, progress_mode_from_opts, telemetry_from_opts,
-    topologies_from_opts, OptMap,
+    topologies_from_opts, CommonRunOpts, OptMap,
 };

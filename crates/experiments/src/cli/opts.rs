@@ -1,6 +1,8 @@
 //! Typed readers over the free-form `--key value` option map: scalar
-//! parsing with defaults, the policy and topology list flags, and the
-//! durable-execution options shared by the sweep commands.
+//! parsing with defaults, the policy and topology list flags, the
+//! durable-execution options shared by the sweep commands, and
+//! [`CommonRunOpts`] bundling the whole shared flag surface in one
+//! read.
 
 use crate::durable::{install_sigint_drain, DurableOptions, ResumeState};
 use crate::runner::ProgressMode;
@@ -142,6 +144,60 @@ pub fn durable_from_opts(opts: &OptMap) -> Result<DurableOptions, String> {
         d.interrupt = Some(install_sigint_drain());
     }
     Ok(d)
+}
+
+/// Every flag the sweep-style commands share, read in one call: the
+/// policy and topology lists, the opt-in telemetry spec, the
+/// durable-execution options, and the progress-mode override. Commands
+/// that historically called the five readers back to back
+/// (`policies_from_opts`, `topologies_from_opts`, …) read this instead,
+/// so a new shared flag lands in every command by construction.
+#[derive(Debug)]
+pub struct CommonRunOpts {
+    /// `--policies spec,…` (default: the full registry, baseline first).
+    pub policies: Vec<PolicySpec>,
+    /// `--topology spec,…` (default: flat).
+    pub topologies: Vec<TopologySpec>,
+    /// `--telemetry` / `--sample-interval` (default: off).
+    pub telemetry: Option<TelemetrySpec>,
+    /// `--manifest` / `--resume` / `--retries` / `--backoff-ms` /
+    /// `--point-limit`.
+    pub durable: DurableOptions,
+    /// `--quiet` / `--progress` (default: auto-detect a TTY).
+    pub progress: ProgressMode,
+}
+
+impl CommonRunOpts {
+    /// Read the shared flag surface from the option map. Each field
+    /// keeps its individual reader's defaults and error messages, so a
+    /// command migrated onto this bundle parses identically.
+    ///
+    /// # Errors
+    /// Returns the first malformed flag's message, prefixed with the
+    /// flag name as the individual readers do.
+    pub fn from_opts(opts: &OptMap) -> Result<Self, String> {
+        Ok(Self {
+            policies: policies_from_opts(opts)?,
+            topologies: topologies_from_opts(opts)?,
+            telemetry: telemetry_from_opts(opts)?,
+            durable: durable_from_opts(opts)?,
+            progress: progress_mode_from_opts(opts)?,
+        })
+    }
+
+    /// The single topology a one-run-at-a-time command accepts.
+    ///
+    /// # Errors
+    /// Returns `context` in the message when `--topology` named more
+    /// than one spec.
+    pub fn single_topology(&self, context: &str) -> Result<TopologySpec, String> {
+        match self.topologies.as_slice() {
+            [topo] => Ok(*topo),
+            _ => Err(format!(
+                "{context} runs one topology per invocation; pass a single --topology spec"
+            )),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +407,48 @@ mod tests {
         assert!(d.manifest.is_none());
         assert_eq!((d.retries, d.backoff_ms), (1, 250));
         assert!(d.interrupt.is_none());
+    }
+
+    #[test]
+    fn common_run_opts_bundle_matches_the_individual_readers() {
+        let args = parse(&[
+            "fault-sweep",
+            "--policies",
+            "baseline,dynamic",
+            "--topology",
+            "racks:size=8",
+            "--telemetry",
+            "--sample-interval",
+            "30",
+            "--retries",
+            "2",
+            "--quiet",
+        ])
+        .unwrap();
+        let common = CommonRunOpts::from_opts(&args.opts).unwrap();
+        assert_eq!(common.policies, policies_from_opts(&args.opts).unwrap());
+        assert_eq!(common.topologies, topologies_from_opts(&args.opts).unwrap());
+        assert_eq!(common.telemetry, telemetry_from_opts(&args.opts).unwrap());
+        assert_eq!(common.durable.retries, 2);
+        assert_eq!(common.progress, ProgressMode::Off);
+        assert_eq!(common.single_topology("bench").unwrap().name(), "racks");
+
+        // Defaults mirror the individual readers' defaults.
+        let bare = CommonRunOpts::from_opts(&parse(&["fig5"]).unwrap().opts).unwrap();
+        assert_eq!(bare.policies, PolicySpec::all_default());
+        assert_eq!(bare.topologies, vec![TopologySpec::Flat]);
+        assert_eq!(bare.telemetry, None);
+        assert_eq!(bare.progress, ProgressMode::Auto);
+
+        // Errors keep their flag-name prefix and surface in one read.
+        let bad = parse(&["fig5", "--policies", "greedy"]).unwrap();
+        let err = CommonRunOpts::from_opts(&bad.opts).unwrap_err();
+        assert!(err.starts_with("--policies:"), "{err}");
+        let multi = parse(&["fig5", "--topology", "flat,racks"]).unwrap();
+        let common = CommonRunOpts::from_opts(&multi.opts).unwrap();
+        let err = common.single_topology("bench-huge").unwrap_err();
+        assert!(err.contains("bench-huge"), "{err}");
+        assert!(err.contains("single --topology"), "{err}");
     }
 
     #[test]

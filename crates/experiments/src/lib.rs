@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench_dynloop;
 pub mod bench_huge;
 pub mod chart;
 pub mod cli;

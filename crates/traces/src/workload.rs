@@ -88,6 +88,16 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Relative RDP tolerance for usage traces (Fig. 3 step 8). The
+    /// default 0.02 compresses aggressively; pass something small
+    /// (e.g. 0.001) to keep traces near the 5-minute monitoring-window
+    /// resolution of the source shapes.
+    pub fn rdp_epsilon(mut self, e: f64) -> Self {
+        assert!(e >= 0.0);
+        self.cfg.rdp_epsilon = e;
+        self
+    }
+
     /// Override the profiled-application pool size.
     pub fn profile_pool(mut self, n: usize) -> Self {
         self.cfg.profile_pool_size = n;

@@ -70,6 +70,23 @@ grep -q '"pass": true' /tmp/bench_huge_a.json
 rm -f /tmp/bench_huge_a.json /tmp/bench_huge_b.json \
       /tmp/bench_huge_a.csv /tmp/bench_huge_b.csv
 
+echo "== bench-dynloop smoke (fast-path gate + threads-1-vs-4 bits) =="
+# Threads-1 leg carries the timing gate: the dynloop-phase speedup of
+# the hold fast path over the always-decide reference twin must clear
+# the 1.5x acceptance bar with bit-identical outcomes.
+./target/release/dmhpc bench-dynloop --smoke --threads 1 \
+    --out /tmp/bench_dynloop_a.json --points-out /tmp/bench_dynloop_a.csv
+# Threads-4 leg exists for the determinism cross-check (thread count
+# must not change simulated bits); --no-gate keeps the timing bar out
+# of its exit status, since wall-clock ratios after a multi-threaded
+# sweep are not meaningful. Identity divergence still fails it.
+./target/release/dmhpc bench-dynloop --smoke --threads 4 --no-gate \
+    --out /tmp/bench_dynloop_b.json --points-out /tmp/bench_dynloop_b.csv
+cmp /tmp/bench_dynloop_a.csv /tmp/bench_dynloop_b.csv
+grep -q '"pass": true' /tmp/bench_dynloop_a.json
+rm -f /tmp/bench_dynloop_a.json /tmp/bench_dynloop_b.json \
+      /tmp/bench_dynloop_a.csv /tmp/bench_dynloop_b.csv
+
 echo "== durable-sweep smoke (journal, interrupt at 75, resume, bit-identical) =="
 M=/tmp/durable_sweep.jsonl
 rm -f "$M"
@@ -86,9 +103,13 @@ grep -q "interrupted:" /tmp/durable_int.err
 # Resume: skip journaled points, finish the rest, reproduce the bytes.
 ./target/release/dmhpc fault-sweep --scale small --threads 2 --csv --resume "$M" > /tmp/durable_res.csv
 cmp /tmp/durable_ref.csv /tmp/durable_res.csv
-# The journal must report itself fully drained.
-./target/release/dmhpc sweep-status "$M" | grep -q "pending 0"
-rm -f "$M" /tmp/durable_ref.csv /tmp/durable_res.csv /tmp/durable_int.csv /tmp/durable_int.err
+# The journal must report itself fully drained. (To a file, not a
+# pipe: grep -q exits at first match and the closed pipe would kill
+# the CLI mid-print — same workaround as the topology smoke above.)
+./target/release/dmhpc sweep-status "$M" > /tmp/durable_status.txt
+grep -q "pending 0" /tmp/durable_status.txt
+rm -f "$M" /tmp/durable_ref.csv /tmp/durable_res.csv /tmp/durable_int.csv \
+      /tmp/durable_int.err /tmp/durable_status.txt
 
 echo "== telemetry smoke (off by default, bit-inert, byte-deterministic exports) =="
 # Off by default: a telemetry-flagged sweep must emit the exact CSV of

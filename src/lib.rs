@@ -31,7 +31,10 @@
 //!     .large_job_fraction(0.5)
 //!     .overestimation(0.6)
 //!     .build_for(&system);
-//! let outcome = Simulation::new(system, workload, PolicyKind::Dynamic).run();
+//! let outcome = SimBuilder::new(system, workload)
+//!     .policy(PolicySpec::Dynamic)
+//!     .seed(4242)
+//!     .run();
 //! assert!(outcome.stats.completed > 0);
 //! ```
 
@@ -43,11 +46,11 @@ pub use dmhpc_traces as traces;
 
 /// Convenience re-exports of the most frequently used types.
 pub mod prelude {
-    pub use dmhpc_core::cluster::MemoryMix;
+    pub use dmhpc_core::cluster::{MemoryMix, TopologySpec};
     pub use dmhpc_core::config::SystemConfig;
     pub use dmhpc_core::job::{Job, JobId, MemoryUsageTrace};
-    pub use dmhpc_core::policy::PolicyKind;
-    pub use dmhpc_core::sim::{Simulation, SimulationOutcome};
+    pub use dmhpc_core::policy::{PolicyKind, PolicySpec};
+    pub use dmhpc_core::sim::{SimBuilder, Simulation, SimulationOutcome};
     pub use dmhpc_metrics::ecdf::Ecdf;
     pub use dmhpc_model::{AppProfile, ContentionModel, ProfilePool, SensitivityCurve};
     pub use dmhpc_traces::workload::WorkloadBuilder;

@@ -183,9 +183,13 @@ fn managed_mock_policy_drives_all_hooks() {
     let (policy, counters) = CountingPolicy::new(true);
     let out = Simulation::from_policy(
         two_node_cfg(),
-        workload(vec![job(0, 4000.0, 1600, ramp)]),
+        workload(vec![job(0, 4000.0, 1600, ramp.clone())]),
         Box::new(policy),
     )
+    // The dynloop fast path elides Decider calls it can prove would
+    // hold; the reference twin decides on every update, which is the
+    // per-update hook contract this test counts.
+    .with_reference_dynloop(true)
     .run();
     assert_eq!(out.stats.completed, 1);
     assert!(out.feasible);
@@ -197,6 +201,21 @@ fn managed_mock_policy_drives_all_hooks() {
     assert!(counters.decide.load(Ordering::Relaxed) >= 5);
     // The ramp guarantees at least one grow was planned.
     assert!(counters.plan_growth.load(Ordering::Relaxed) >= 1);
+
+    // With the fast path on (the default), the Decider still runs
+    // whenever the sampled demand or the allocation actually changed —
+    // the ramp forces at least the initial shrink and the later growth.
+    let (policy, fast_counters) = CountingPolicy::new(true);
+    let fast = Simulation::from_policy(
+        two_node_cfg(),
+        workload(vec![job(0, 4000.0, 1600, ramp)]),
+        Box::new(policy),
+    )
+    .run();
+    assert_eq!(fast, out, "fast path must be outcome-identical");
+    let fast_decides = fast_counters.decide.load(Ordering::Relaxed);
+    assert!(fast_decides >= 2, "got {fast_decides}");
+    assert!(fast_decides < counters.decide.load(Ordering::Relaxed));
 }
 
 #[test]
